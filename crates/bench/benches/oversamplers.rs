@@ -1,0 +1,106 @@
+//! Microbenchmarks of the oversampling algorithms on an embedding-space
+//! workload: instance generation cost (the §V-E2 / Table III efficiency
+//! axis). EOS and the SMOTE family are model-free; the GAN methods pay
+//! model induction, with CGAN paying it per class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eos_core::Eos;
+use eos_gan::{BaganLite, CGan, GamoLite, GanConfig};
+use eos_resample::{Adasyn, BorderlineSmote, Oversampler, RandomOversampler, Smote};
+use eos_tensor::{normal, Rng64, Tensor};
+
+/// Imbalanced embeddings: 64-d, exponentially shrinking class sizes.
+fn workload(classes: usize, n_max: usize) -> (Tensor, Vec<usize>) {
+    let mut rng = Rng64::new(99);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..classes {
+        let n = (n_max as f64 * 10f64.powf(-(c as f64) / (classes as f64 - 1.0))) as usize;
+        for _ in 0..n.max(3) {
+            rows.push(normal(&[64], c as f32, 1.0, &mut rng));
+            labels.push(c);
+        }
+    }
+    (Tensor::stack_rows(&rows), labels)
+}
+
+fn bench_model_free(c: &mut Criterion) {
+    let (x, y) = workload(10, 200);
+    let mut group = c.benchmark_group("oversample/model-free");
+    group.sample_size(20);
+    let samplers: Vec<Box<dyn Oversampler>> = vec![
+        Box::new(RandomOversampler),
+        Box::new(Smote::new(5)),
+        Box::new(BorderlineSmote::new(5, 5)),
+        Box::new(Adasyn::new(5)),
+        Box::new(Eos::new(10)),
+    ];
+    for sampler in &samplers {
+        group.bench_function(sampler.name(), |b| {
+            b.iter(|| {
+                let mut rng = Rng64::new(1);
+                std::hint::black_box(sampler.oversample(&x, &y, 10, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_inducing(c: &mut Criterion) {
+    let (x, y) = workload(10, 120);
+    let mut group = c.benchmark_group("oversample/model-inducing");
+    group.sample_size(10);
+    let fast = GanConfig::tiny();
+    let samplers: Vec<Box<dyn Oversampler>> = vec![
+        Box::new(GamoLite {
+            cfg: fast,
+            max_anchors: 32,
+        }),
+        Box::new(BaganLite::fast()),
+        Box::new(CGan { cfg: fast }),
+    ];
+    for sampler in &samplers {
+        group.bench_function(sampler.name(), |b| {
+            b.iter(|| {
+                let mut rng = Rng64::new(1);
+                std::hint::black_box(sampler.oversample(&x, &y, 10, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// CGAN's cost scales with class count (the paper's long-tail
+/// infeasibility argument); EOS's does not.
+fn bench_class_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oversample/class-scaling");
+    group.sample_size(10);
+    for classes in [5usize, 10, 20] {
+        let (x, y) = workload(classes, 60);
+        group.bench_with_input(BenchmarkId::new("CGAN", classes), &classes, |b, _| {
+            let sampler = CGan {
+                cfg: GanConfig::tiny(),
+            };
+            b.iter(|| {
+                let mut rng = Rng64::new(1);
+                std::hint::black_box(sampler.oversample(&x, &y, classes, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("EOS", classes), &classes, |b, _| {
+            let sampler = Eos::new(10);
+            b.iter(|| {
+                let mut rng = Rng64::new(1);
+                std::hint::black_box(sampler.oversample(&x, &y, classes, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_free,
+    bench_model_inducing,
+    bench_class_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Microbenchmarks of the training pipeline's two halves: a full-CNN
+//! training epoch versus a classifier-head fine-tuning epoch. The ratio
+//! between them is the mechanism behind the §V-E2 run-time gap — the
+//! head epoch runs on low-dimensional embeddings with ~1K parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eos_core::{extract_embeddings, PipelineConfig};
+use eos_nn::{
+    train_epochs, Architecture, ConvNet, CrossEntropyLoss, Linear, TrainConfig,
+};
+use eos_tensor::{normal, Rng64, Tensor};
+
+fn data(n: usize, width: usize, classes: usize, rng: &mut Rng64) -> (Tensor, Vec<usize>) {
+    let x = normal(&[n, width], 0.0, 1.0, rng);
+    let y = (0..n).map(|i| i % classes).collect();
+    (x, y)
+}
+
+fn one_epoch_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        lr: 0.01,
+        momentum: 0.9,
+        weight_decay: 5e-4,
+        schedule: None,
+        drw_epoch: None,
+    }
+}
+
+fn bench_backbone_vs_head_epoch(c: &mut Criterion) {
+    let mut rng = Rng64::new(3);
+    let cfg = PipelineConfig::small();
+    let classes = 10;
+    let (x, y) = data(256, 3 * 64, classes, &mut rng);
+    let mut group = c.benchmark_group("training/epoch");
+    group.sample_size(10);
+    group.bench_function("full-cnn", |b| {
+        let mut net = ConvNet::new(cfg.arch, (3, 8, 8), classes, &mut Rng64::new(0));
+        let mut loss = CrossEntropyLoss::new();
+        b.iter(|| {
+            let mut rng = Rng64::new(1);
+            train_epochs(&mut net, &mut loss, &x, &y, &one_epoch_cfg(), None, &mut rng)
+        })
+    });
+    group.bench_function("head-only", |b| {
+        let mut net = ConvNet::new(cfg.arch, (3, 8, 8), classes, &mut Rng64::new(0));
+        let fe = extract_embeddings(&mut net, &x);
+        let mut head = Linear::new(net.feature_dim(), classes, true, &mut Rng64::new(0));
+        let mut loss = CrossEntropyLoss::new();
+        b.iter(|| {
+            let mut rng = Rng64::new(1);
+            train_epochs(&mut head, &mut loss, &fe, &y, &one_epoch_cfg(), None, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = Rng64::new(4);
+    let (x, _) = data(128, 3 * 64, 10, &mut rng);
+    let mut group = c.benchmark_group("training/inference");
+    group.sample_size(20);
+    for (name, arch) in [
+        (
+            "resnet-w8",
+            Architecture::ResNet {
+                blocks_per_stage: 1,
+                width: 8,
+            },
+        ),
+        ("wideresnet-k2", Architecture::WideResNet { k: 2 }),
+        (
+            "densenet-g6",
+            Architecture::DenseNet {
+                growth: 6,
+                layers_per_block: 2,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut net = ConvNet::new(arch, (3, 8, 8), 10, &mut Rng64::new(0));
+            b.iter(|| std::hint::black_box(net.forward(&x, false)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backbone_vs_head_epoch, bench_inference);
+criterion_main!(benches);

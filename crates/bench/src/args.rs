@@ -1,0 +1,123 @@
+//! CLI arguments shared by all experiment binaries.
+
+use eos_core::Scale;
+use eos_data::DATASET_NAMES;
+
+/// Parsed command line: `--scale small|medium --seed N --datasets a,b`.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Dataset analogues to run (defaults to all four).
+    pub datasets: Vec<&'static str>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: Scale::Small,
+            seed: 42,
+            datasets: DATASET_NAMES.to_vec(),
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`, exiting with a usage message on error.
+    pub fn parse() -> Args {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: <bin> [--scale small|medium] [--seed N] [--datasets cifar10,svhn,cifar100,celeba]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument iterator (testable).
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    let v = value("--scale")?;
+                    out.scale = Scale::parse(&v)
+                        .ok_or_else(|| format!("unknown scale '{v}'"))?;
+                }
+                "--seed" => {
+                    let v = value("--seed")?;
+                    out.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+                }
+                "--datasets" => {
+                    let v = value("--datasets")?;
+                    let mut names = Vec::new();
+                    for part in v.split(',') {
+                        let canonical = DATASET_NAMES
+                            .iter()
+                            .find(|&&n| n == part)
+                            .ok_or_else(|| format!("unknown dataset '{part}'"))?;
+                        names.push(*canonical);
+                    }
+                    if names.is_empty() {
+                        return Err("--datasets needs at least one name".into());
+                    }
+                    out.datasets = names;
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::try_parse(strings(&[])).unwrap();
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.datasets.len(), 4);
+        assert_eq!(a.scale, Scale::Small);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = Args::try_parse(strings(&[
+            "--scale", "medium", "--seed", "7", "--datasets", "svhn,celeba",
+        ]))
+        .unwrap();
+        assert_eq!(a.scale, Scale::Medium);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.datasets, vec!["svhn", "celeba"]);
+    }
+
+    #[test]
+    fn rejects_unknown_dataset() {
+        assert!(Args::try_parse(strings(&["--datasets", "mnist"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(Args::try_parse(strings(&["--fast"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Args::try_parse(strings(&["--seed"])).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! # eos-bench
+//!
+//! Experiment harness for the reproduction: shared CLI argument handling,
+//! dataset preparation, backbone caching, and report formatting used by
+//! the per-table/per-figure binaries (`table1` … `table5`, `fig3` …
+//! `fig7`, `runtime`, `pixel_eos`).
+//!
+//! Every binary accepts `--scale small|medium`, `--seed N` and
+//! `--datasets a,b,c`, prints a markdown table mirroring the paper's
+//! layout, and writes a CSV under `results/`.
+
+pub mod args;
+pub mod report;
+pub mod runner;
+
+pub use args::Args;
+pub use report::{write_csv, MarkdownTable};
+pub use runner::{name_hash, prepared_dataset, samplers_for_table2};

@@ -1,0 +1,53 @@
+//! Post-hoc analyses of trained pipelines: classifier weight norms
+//! (Figure 5) and per-class recall.
+
+use crate::metrics::ConfusionMatrix;
+use eos_nn::ConvNet;
+
+/// Per-class L2 norms of the classifier head's weight rows — the paper's
+/// Figure 5 quantity. Cost-sensitive training leaves minority rows with
+/// smaller norms; oversampling in embedding space flattens them.
+pub fn head_weight_norms(net: &ConvNet) -> Vec<f32> {
+    net.head.row_norms()
+}
+
+/// Per-class recall from aligned truth/prediction slices.
+pub fn per_class_recall(y_true: &[usize], y_pred: &[usize], classes: usize) -> Vec<f64> {
+    ConfusionMatrix::from_predictions(y_true, y_pred, classes).recalls()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_nn::{Architecture, Linear};
+    use eos_tensor::{Rng64, Tensor};
+
+    #[test]
+    fn norms_reflect_head_rows() {
+        let mut rng = Rng64::new(0);
+        let mut net = ConvNet::new(
+            Architecture::ResNet {
+                blocks_per_stage: 1,
+                width: 4,
+            },
+            (3, 8, 8),
+            2,
+            &mut rng,
+        );
+        let d = net.feature_dim();
+        let mut w = vec![0.0f32; 2 * d];
+        w[0] = 3.0;
+        w[1] = 4.0;
+        w[d] = 1.0;
+        net.set_head(Linear::from_weights(Tensor::from_vec(w, &[2, d]), None));
+        let norms = head_weight_norms(&net);
+        assert!((norms[0] - 5.0).abs() < 1e-6);
+        assert!((norms[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_per_class() {
+        let r = per_class_recall(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(r, vec![0.5, 1.0]);
+    }
+}

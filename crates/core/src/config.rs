@@ -1,0 +1,129 @@
+//! Experiment-scale configuration shared by the benches and examples.
+
+use eos_nn::Architecture;
+
+/// Reproduction scale: how much compute an experiment run spends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Minutes-per-table scale (default for `cargo run` harnesses).
+    #[default]
+    Small,
+    /// Larger data and training budget; closer trends, longer runs.
+    Medium,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` (used by the bench binaries' `--scale`).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            _ => None,
+        }
+    }
+
+    /// Multiplier applied to the synthetic datasets' sample counts.
+    pub fn data_scale(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Medium => 3,
+        }
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn pipeline(self) -> PipelineConfig {
+        match self {
+            Scale::Small => PipelineConfig::small(),
+            Scale::Medium => PipelineConfig::medium(),
+        }
+    }
+}
+
+/// Hyper-parameters of the three-phase pipeline (and of the pixel-space
+/// pre-processing pipeline it is compared against).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Backbone architecture (paper: ResNet-32/56; here scaled down).
+    pub arch: Architecture,
+    /// End-to-end training epochs (paper: 200; scaled down).
+    pub backbone_epochs: usize,
+    /// Classifier-head fine-tuning epochs (paper: 10).
+    pub head_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Backbone learning rate.
+    pub lr: f32,
+    /// Head fine-tuning learning rate.
+    pub head_lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Epoch at which LDAM's deferred re-weighting switches on
+    /// (applies only when the loss is LDAM).
+    pub drw_epoch: usize,
+}
+
+impl PipelineConfig {
+    /// Small scale: a 14-layer-equivalent ResNet on 8×8 images.
+    pub fn small() -> Self {
+        PipelineConfig {
+            arch: Architecture::ResNet {
+                blocks_per_stage: 1,
+                width: 8,
+            },
+            backbone_epochs: 12,
+            head_epochs: 10,
+            batch_size: 32,
+            lr: 0.05,
+            head_lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            drw_epoch: 9,
+        }
+    }
+
+    /// Medium scale: deeper/wider backbone, longer schedule.
+    pub fn medium() -> Self {
+        PipelineConfig {
+            arch: Architecture::ResNet {
+                blocks_per_stage: 2,
+                width: 16,
+            },
+            backbone_epochs: 25,
+            head_epochs: 10,
+            batch_size: 64,
+            lr: 0.05,
+            head_lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            drw_epoch: 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scales() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn medium_outspends_small() {
+        let s = PipelineConfig::small();
+        let m = PipelineConfig::medium();
+        assert!(m.backbone_epochs > s.backbone_epochs);
+        assert!(Scale::Medium.data_scale() > Scale::Small.data_scale());
+    }
+
+    #[test]
+    fn head_epochs_match_paper() {
+        assert_eq!(PipelineConfig::small().head_epochs, 10);
+        assert_eq!(PipelineConfig::medium().head_epochs, 10);
+    }
+}

@@ -1,0 +1,335 @@
+//! The generalization-gap measure (paper Algorithm 1).
+//!
+//! For each class, compare the per-feature *ranges* (min, max) of the
+//! training and test feature embeddings. A feature contributes the amount
+//! by which the test range extends **outside** the training range, with a
+//! zero floor when it falls inside; contributions are summed over features
+//! (Manhattan distance) and the per-class values averaged into a net gap.
+
+use eos_tensor::Tensor;
+
+/// Per-feature minima and maxima of one class's embeddings.
+#[derive(Debug, Clone)]
+pub struct ClassRange {
+    /// Per-feature minimum.
+    pub min: Tensor,
+    /// Per-feature maximum.
+    pub max: Tensor,
+    /// Samples the range was computed from.
+    pub count: usize,
+}
+
+/// Per-class feature ranges of an embedded, labelled set.
+pub fn class_ranges(fe: &Tensor, y: &[usize], num_classes: usize) -> Vec<Option<ClassRange>> {
+    assert_eq!(fe.dim(0), y.len(), "embedding/label count mismatch");
+    let mut out = Vec::with_capacity(num_classes);
+    for c in 0..num_classes {
+        let rows: Vec<usize> = y
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == c).then_some(i))
+            .collect();
+        if rows.is_empty() {
+            out.push(None);
+            continue;
+        }
+        let sub = fe.select_rows(&rows);
+        out.push(Some(ClassRange {
+            min: sub.min_rows(),
+            max: sub.max_rows(),
+            count: rows.len(),
+        }));
+    }
+    out
+}
+
+/// Gap of one class: Manhattan distance between train and test ranges with
+/// a zero floor — only test mass *outside* the training footprint counts.
+fn range_gap(train: &ClassRange, test: &ClassRange) -> f64 {
+    let mut total = 0.0f64;
+    for j in 0..train.min.len() {
+        let below = (train.min.data()[j] - test.min.data()[j]).max(0.0);
+        let above = (test.max.data()[j] - train.max.data()[j]).max(0.0);
+        total += (below + above) as f64;
+    }
+    total
+}
+
+/// Per-class generalization gaps plus the dataset-level mean.
+#[derive(Debug, Clone)]
+pub struct ClassGaps {
+    /// Gap for each class (0 for classes absent from either split).
+    pub per_class: Vec<f64>,
+    /// Mean over classes — the paper's net generalization gap.
+    pub mean: f64,
+}
+
+/// Algorithm 1: the generalization gap between train and test embeddings.
+pub fn generalization_gap(
+    train_fe: &Tensor,
+    train_y: &[usize],
+    test_fe: &Tensor,
+    test_y: &[usize],
+    num_classes: usize,
+) -> ClassGaps {
+    assert_eq!(train_fe.dim(1), test_fe.dim(1), "embedding width mismatch");
+    let tr = class_ranges(train_fe, train_y, num_classes);
+    let te = class_ranges(test_fe, test_y, num_classes);
+    let per_class: Vec<f64> = tr
+        .iter()
+        .zip(&te)
+        .map(|(a, b)| match (a, b) {
+            (Some(a), Some(b)) => range_gap(a, b),
+            _ => 0.0,
+        })
+        .collect();
+    let mean = per_class.iter().sum::<f64>() / per_class.len().max(1) as f64;
+    ClassGaps { per_class, mean }
+}
+
+/// The mean-based *feature deviation* of Ye et al. (the measure the paper
+/// contrasts with): squared Euclidean distance between per-class train and
+/// test embedding means. Kept for the ablation comparing range-based and
+/// mean-based gap definitions.
+pub fn feature_deviation(
+    train_fe: &Tensor,
+    train_y: &[usize],
+    test_fe: &Tensor,
+    test_y: &[usize],
+    num_classes: usize,
+) -> ClassGaps {
+    assert_eq!(train_fe.dim(1), test_fe.dim(1));
+    let mut per_class = vec![0.0f64; num_classes];
+    for (c, slot) in per_class.iter_mut().enumerate() {
+        let tr_rows: Vec<usize> = train_y
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == c).then_some(i))
+            .collect();
+        let te_rows: Vec<usize> = test_y
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &l)| (l == c).then_some(i))
+            .collect();
+        if tr_rows.is_empty() || te_rows.is_empty() {
+            continue;
+        }
+        let mu_tr = train_fe.select_rows(&tr_rows).mean_rows();
+        let mu_te = test_fe.select_rows(&te_rows).mean_rows();
+        *slot = mu_tr
+            .data()
+            .iter()
+            .zip(mu_te.data())
+            .map(|(&a, &b)| ((a - b) as f64).powi(2))
+            .sum();
+    }
+    let mean = per_class.iter().sum::<f64>() / per_class.len().max(1) as f64;
+    ClassGaps { per_class, mean }
+}
+
+/// The Figure-4 analysis: how far test samples fall **outside their true
+/// class's training range**, split by prediction correctness.
+///
+/// For one sample with true class `c`, the sample gap is the Manhattan
+/// distance from the sample to class `c`'s training bounding box (zero
+/// inside the box). `tp_gap` averages this over correctly classified test
+/// samples; `fp_gap` over misclassified ones (each misclassified sample
+/// is a false positive of its predicted class). Per-sample measurement
+/// avoids the group-size bias of comparing whole-set ranges: a class's
+/// many TPs would otherwise span a wider (and unfairly larger-gap) box
+/// than its few FPs.
+#[derive(Debug, Clone, Copy)]
+pub struct GapReport {
+    /// Mean out-of-range distance of correctly classified test samples.
+    pub tp_gap: f64,
+    /// Mean out-of-range distance of misclassified test samples.
+    pub fp_gap: f64,
+}
+
+/// Per-sample Manhattan distance to the class's training bounding box.
+fn sample_gap(x: &[f32], range: &ClassRange) -> f64 {
+    let mut total = 0.0f64;
+    for (j, &v) in x.iter().enumerate() {
+        let below = (range.min.data()[j] - v).max(0.0);
+        let above = (v - range.max.data()[j]).max(0.0);
+        total += (below + above) as f64;
+    }
+    total
+}
+
+/// Per-class mean out-of-range distance of test samples from their own
+/// class's training bounding box — the sample-count-unbiased estimator
+/// used by gap-aware budget allocation (group ranges grow with sample
+/// count; per-sample means do not).
+pub fn mean_sample_gap(
+    train_fe: &Tensor,
+    train_y: &[usize],
+    test_fe: &Tensor,
+    test_y: &[usize],
+    num_classes: usize,
+) -> Vec<f64> {
+    assert_eq!(test_fe.dim(0), test_y.len());
+    let tr = class_ranges(train_fe, train_y, num_classes);
+    let mut sums = vec![0.0f64; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for (i, &c) in test_y.iter().enumerate() {
+        if let Some(range) = &tr[c] {
+            sums[c] += sample_gap(test_fe.row_slice(i), range);
+            counts[c] += 1;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+        .collect()
+}
+
+/// Splits the test set by prediction correctness and measures each side's
+/// mean out-of-range distance from its true class's training range.
+pub fn tp_fp_gap(
+    train_fe: &Tensor,
+    train_y: &[usize],
+    test_fe: &Tensor,
+    test_y: &[usize],
+    test_pred: &[usize],
+    num_classes: usize,
+) -> GapReport {
+    assert_eq!(test_y.len(), test_pred.len());
+    assert_eq!(test_fe.dim(0), test_y.len());
+    let tr = class_ranges(train_fe, train_y, num_classes);
+    let mut tp_sum = 0.0f64;
+    let mut tp_n = 0usize;
+    let mut fp_sum = 0.0f64;
+    let mut fp_n = 0usize;
+    for i in 0..test_y.len() {
+        let Some(range) = &tr[test_y[i]] else { continue };
+        let g = sample_gap(test_fe.row_slice(i), range);
+        if test_pred[i] == test_y[i] {
+            tp_sum += g;
+            tp_n += 1;
+        } else {
+            fp_sum += g;
+            fp_n += 1;
+        }
+    }
+    GapReport {
+        tp_gap: tp_sum / tp_n.max(1) as f64,
+        fp_gap: fp_sum / fp_n.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::{normal, Rng64};
+
+    #[test]
+    fn zero_gap_when_test_inside_train() {
+        // Train range [-2, 2]; test range [-1, 1] -> floor applies.
+        let train = Tensor::from_vec(vec![-2.0, 2.0, 0.0, -2.0, 2.0, 0.0], &[3, 2]);
+        let test = Tensor::from_vec(vec![-1.0, 1.0, 1.0, -1.0], &[2, 2]);
+        let g = generalization_gap(&train, &[0, 0, 0], &test, &[0, 0], 1);
+        assert_eq!(g.mean, 0.0);
+    }
+
+    #[test]
+    fn gap_counts_only_outside_extension() {
+        // Train range [0, 1] per feature; test reaches [−0.5, 1.25] on
+        // feature 0 only: gap = 0.5 + 0.25.
+        let train = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        let test = Tensor::from_vec(vec![-0.5, 0.5, 1.25, 0.5], &[2, 2]);
+        let g = generalization_gap(&train, &[0, 0], &test, &[0, 0], 1);
+        assert!((g.per_class[0] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparser_training_sample_widens_gap() {
+        // Same distribution; 100 train samples vs 3 train samples. The
+        // minority-style sparse class must show the larger gap — the
+        // paper's core empirical claim in miniature.
+        let mut rng = Rng64::new(1);
+        let dense_train = normal(&[100, 8], 0.0, 1.0, &mut rng);
+        let sparse_train = normal(&[3, 8], 0.0, 1.0, &mut rng);
+        let test = normal(&[100, 8], 0.0, 1.0, &mut rng);
+        let g_dense =
+            generalization_gap(&dense_train, &[0; 100], &test, &[0; 100], 1);
+        let g_sparse =
+            generalization_gap(&sparse_train, &[0; 3], &test, &[0; 100], 1);
+        assert!(
+            g_sparse.mean > 2.0 * g_dense.mean,
+            "sparse {} vs dense {}",
+            g_sparse.mean,
+            g_dense.mean
+        );
+    }
+
+    #[test]
+    fn absent_class_contributes_zero() {
+        let train = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
+        let test = Tensor::from_vec(vec![0.5], &[1, 1]);
+        let g = generalization_gap(&train, &[0, 0], &test, &[0], 3);
+        assert_eq!(g.per_class[1], 0.0);
+        assert_eq!(g.per_class[2], 0.0);
+    }
+
+    #[test]
+    fn feature_deviation_is_mean_based() {
+        // Ranges identical but means differ: range gap 0, deviation > 0.
+        let train = Tensor::from_vec(vec![0.0, 10.0, 0.1, 0.2], &[4, 1]);
+        let test = Tensor::from_vec(vec![0.0, 10.0, 9.8, 9.9], &[4, 1]);
+        let y = vec![0, 0, 0, 0];
+        let g = generalization_gap(&train, &y, &test, &y, 1);
+        let d = feature_deviation(&train, &y, &test, &y, 1);
+        assert_eq!(g.mean, 0.0);
+        assert!(d.mean > 1.0);
+    }
+
+    #[test]
+    fn tp_fp_split_measures_separately() {
+        // Class 0 trained on [0,1], class 1 trained on [10,11]. A class-1
+        // test sample at 5.0 (outside its class range by 5) gets
+        // misclassified as 0; a class-0 sample at 0.5 is correct.
+        let train = Tensor::from_vec(vec![0.0, 1.0, 10.0, 11.0], &[4, 1]);
+        let train_y = vec![0, 0, 1, 1];
+        let test = Tensor::from_vec(vec![0.5, 5.0], &[2, 1]);
+        let test_y = vec![0, 1];
+        let test_pred = vec![0, 0]; // second sample misclassified
+        let r = tp_fp_gap(&train, &train_y, &test, &test_y, &test_pred, 2);
+        assert_eq!(r.tp_gap, 0.0);
+        assert!((r.fp_gap - 5.0).abs() < 1e-6, "{}", r.fp_gap);
+    }
+
+    #[test]
+    fn in_range_misclassification_counts_zero() {
+        // A misclassified sample inside its own class's training box
+        // contributes zero gap (the floor).
+        let train = Tensor::from_vec(vec![0.0, 1.0, 0.4, 0.6], &[4, 1]);
+        let train_y = vec![0, 0, 1, 1];
+        let test = Tensor::from_vec(vec![0.5], &[1, 1]);
+        let r = tp_fp_gap(&train, &train_y, &test, &[1], &[0], 2);
+        assert_eq!(r.fp_gap, 0.0);
+    }
+
+    #[test]
+    fn mean_sample_gap_is_count_unbiased() {
+        // Train box [0, 1]; held-out points each 0.5 outside. The mean
+        // per-sample gap is 0.5 whether one or five points are held out.
+        let train = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
+        let ty = vec![0, 0];
+        let one = Tensor::from_vec(vec![1.5], &[1, 1]);
+        let five = Tensor::from_vec(vec![1.5; 5], &[5, 1]);
+        let g1 = mean_sample_gap(&train, &ty, &one, &[0], 1);
+        let g5 = mean_sample_gap(&train, &ty, &five, &[0; 5], 1);
+        assert!((g1[0] - 0.5).abs() < 1e-6);
+        assert!((g5[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn class_ranges_reports_counts() {
+        let fe = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]);
+        let r = class_ranges(&fe, &[0, 0, 1], 2);
+        assert_eq!(r[0].as_ref().unwrap().count, 2);
+        assert_eq!(r[1].as_ref().unwrap().count, 1);
+        assert_eq!(r[0].as_ref().unwrap().max.data()[0], 2.0);
+    }
+}

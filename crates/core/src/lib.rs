@@ -1,0 +1,51 @@
+//! # eos-core
+//!
+//! The paper's contribution: the feature-embedding-range **generalization
+//! gap** measure (Algorithm 1), the **Expansive Over-Sampling** algorithm
+//! (Algorithm 2), and the **three-phase CNN training framework** that ties
+//! them together:
+//!
+//! 1. train a CNN end-to-end on imbalanced data,
+//! 2. extract feature embeddings and balance them with an oversampler in
+//!    embedding space,
+//! 3. fine-tune the classifier head on the balanced embeddings and
+//!    re-assemble the network for inference.
+//!
+//! ```no_run
+//! use eos_core::{EvalResult, Eos, PipelineConfig, ThreePhase};
+//! use eos_data::SynthSpec;
+//! use eos_nn::LossKind;
+//! use eos_tensor::Rng64;
+//!
+//! let (train, test) = SynthSpec::cifar10_like(1).generate(0);
+//! let cfg = PipelineConfig::small();
+//! let mut rng = Rng64::new(0);
+//! let mut pipeline = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
+//! let result: EvalResult = pipeline.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
+//! println!("BAC = {:.4}", result.bac);
+//! ```
+
+mod analysis;
+mod config;
+mod decoupling;
+mod eos;
+mod framework;
+mod gap;
+mod gap_aware;
+mod metrics;
+mod selection;
+
+pub use analysis::{head_weight_norms, per_class_recall};
+pub use config::{PipelineConfig, Scale};
+pub use decoupling::{crt_finetune, decoupling_eval, ncm_head, tau_normalize_head, DecouplingMethod};
+pub use eos::{Direction, Eos};
+pub use gap_aware::GapAwareEos;
+pub use framework::{
+    evaluate, extract_embeddings, preprocess_and_train, EvalResult, ThreePhase,
+};
+pub use gap::{
+    class_ranges, feature_deviation, generalization_gap, mean_sample_gap, tp_fp_gap, ClassGaps,
+    GapReport,
+};
+pub use metrics::{ConfusionMatrix, Metrics};
+pub use selection::{select_best, three_cut_check, CutReport};

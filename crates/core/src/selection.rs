@@ -1,0 +1,136 @@
+//! The paper's model-selection protocol (§IV-A): "Before final selection,
+//! all models and datasets are run on three different cuts of the
+//! training set. Since the variation in balanced accuracy was less than 2
+//! points for all cuts, a single cut is selected for experimentation."
+
+use crate::config::PipelineConfig;
+use crate::framework::ThreePhase;
+use crate::metrics::ConfusionMatrix;
+use eos_data::{stratified_cuts, Dataset};
+use eos_nn::LossKind;
+use eos_tensor::Rng64;
+
+/// Outcome of the multi-cut stability check.
+#[derive(Debug, Clone)]
+pub struct CutReport {
+    /// Validation balanced accuracy of each cut.
+    pub cut_bacs: Vec<f64>,
+    /// Largest minus smallest cut BAC (in points, i.e. ×100).
+    pub spread_points: f64,
+    /// Whether the spread is under the paper's 2-point threshold.
+    pub stable: bool,
+}
+
+/// Trains the backbone once per stratified cut and reports the validation
+/// BAC spread. `held_fraction` controls the validation share of each cut.
+pub fn three_cut_check(
+    train: &Dataset,
+    loss: LossKind,
+    cfg: &PipelineConfig,
+    cuts: usize,
+    held_fraction: f64,
+    rng: &mut Rng64,
+) -> CutReport {
+    assert!(cuts >= 2, "a stability check needs at least two cuts");
+    let splits = stratified_cuts(train, cuts, held_fraction, rng);
+    let mut cut_bacs = Vec::with_capacity(cuts);
+    for (fit, validation) in &splits {
+        let mut cut_rng = rng.fork();
+        let mut tp = ThreePhase::train(fit, loss, cfg, &mut cut_rng);
+        let r = crate::framework::evaluate(&mut tp.net, validation);
+        cut_bacs.push(r.bac);
+    }
+    let max = cut_bacs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = cut_bacs.iter().copied().fold(f64::INFINITY, f64::min);
+    let spread_points = (max - min) * 100.0;
+    CutReport {
+        cut_bacs,
+        spread_points,
+        stable: spread_points < 2.0,
+    }
+}
+
+/// Selects the best of several trained pipelines by validation balanced
+/// accuracy — the "best performing model ... is selected for further
+/// investigation" step. Returns the winning index.
+pub fn select_best(
+    pipelines: &mut [ThreePhase],
+    validation: &Dataset,
+) -> usize {
+    assert!(!pipelines.is_empty());
+    let mut best = 0;
+    let mut best_bac = f64::NEG_INFINITY;
+    for (i, tp) in pipelines.iter_mut().enumerate() {
+        let fe = tp.embed(validation);
+        let preds = {
+            use eos_nn::Layer;
+            tp.net.head.forward(&fe, false).argmax_rows()
+        };
+        let bac = ConfusionMatrix::from_predictions(&validation.y, &preds, validation.num_classes)
+            .balanced_accuracy();
+        if bac > best_bac {
+            best_bac = bac;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_data::SynthSpec;
+
+    fn tiny() -> (Dataset, PipelineConfig) {
+        let mut spec = SynthSpec::celeba_like(1);
+        spec.n_max_train = 60;
+        spec.imbalance_ratio = 6.0;
+        spec.n_test_per_class = 10;
+        let (mut train, _) = spec.generate(17);
+        let (mean, std) = train.feature_stats();
+        train.standardize(&mean, &std);
+        let mut cfg = PipelineConfig::small();
+        cfg.arch = eos_nn::Architecture::ResNet {
+            blocks_per_stage: 1,
+            width: 4,
+        };
+        cfg.backbone_epochs = 5;
+        (train, cfg)
+    }
+
+    #[test]
+    fn three_cut_check_reports_each_cut() {
+        let (train, cfg) = tiny();
+        let mut rng = Rng64::new(4);
+        let report = three_cut_check(&train, LossKind::Ce, &cfg, 3, 0.25, &mut rng);
+        assert_eq!(report.cut_bacs.len(), 3);
+        assert!(report.cut_bacs.iter().all(|b| (0.0..=1.0).contains(b)));
+        assert!(report.spread_points >= 0.0);
+        assert_eq!(report.stable, report.spread_points < 2.0);
+    }
+
+    #[test]
+    fn select_best_prefers_higher_validation_bac() {
+        let (train, cfg) = tiny();
+        let mut rng = Rng64::new(5);
+        let (fit, validation) = eos_data::stratified_split(&train, 0.3, &mut rng);
+        // One properly trained pipeline, one crippled (zero head).
+        let mut good = ThreePhase::train(&fit, LossKind::Ce, &cfg, &mut rng);
+        let mut bad = ThreePhase::train(&fit, LossKind::Ce, &cfg, &mut Rng64::new(6));
+        let d = bad.net.feature_dim();
+        bad.net.set_head(eos_nn::Linear::from_weights(
+            eos_tensor::Tensor::zeros(&[fit.num_classes, d]),
+            None,
+        ));
+        let _ = &mut good;
+        let winner = select_best(&mut [good, bad], &validation);
+        assert_eq!(winner, 0, "the trained head must beat the zero head");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two cuts")]
+    fn rejects_single_cut() {
+        let (train, cfg) = tiny();
+        let _ = three_cut_check(&train, LossKind::Ce, &cfg, 1, 0.25, &mut Rng64::new(0));
+    }
+}

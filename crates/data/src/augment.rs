@@ -1,0 +1,147 @@
+//! Pixel-space augmentation: the random crop (shift) + horizontal flip
+//! pair from the reference CIFAR training regime (Cui et al.) that the
+//! paper's backbones train under. Operates on `C×H×W` rows.
+
+use crate::dataset::Dataset;
+use eos_tensor::{Rng64, Tensor};
+
+/// Augmentation policy applied independently per image.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentConfig {
+    /// Maximum shift (in pixels) of the random crop, each direction.
+    pub max_shift: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            max_shift: 1,
+            flip_prob: 0.5,
+        }
+    }
+}
+
+/// Horizontally flips one `C×H×W` image in place.
+pub fn hflip(image: &mut [f32], shape: (usize, usize, usize)) {
+    let (c, h, w) = shape;
+    debug_assert_eq!(image.len(), c * h * w);
+    for plane in image.chunks_exact_mut(h * w) {
+        for row in plane.chunks_exact_mut(w) {
+            row.reverse();
+        }
+    }
+}
+
+/// Shifts one `C×H×W` image by `(dy, dx)` pixels with zero padding.
+pub fn shift(image: &[f32], shape: (usize, usize, usize), dy: isize, dx: isize) -> Vec<f32> {
+    let (c, h, w) = shape;
+    debug_assert_eq!(image.len(), c * h * w);
+    let mut out = vec![0.0f32; image.len()];
+    for ch in 0..c {
+        for y in 0..h as isize {
+            let sy = y - dy;
+            if sy < 0 || sy >= h as isize {
+                continue;
+            }
+            for x in 0..w as isize {
+                let sx = x - dx;
+                if sx < 0 || sx >= w as isize {
+                    continue;
+                }
+                out[ch * h * w + y as usize * w + x as usize] =
+                    image[ch * h * w + sy as usize * w + sx as usize];
+            }
+        }
+    }
+    out
+}
+
+/// Applies a random shift + flip to every image of a dataset, returning a
+/// new augmented dataset (labels unchanged). Used to regularise backbone
+/// training; the embedding-space phases never touch pixels.
+pub fn augment_dataset(data: &Dataset, cfg: &AugmentConfig, rng: &mut Rng64) -> Dataset {
+    assert!((0.0..=1.0).contains(&cfg.flip_prob));
+    let width = data.feature_len();
+    let mut out = Vec::with_capacity(data.len() * width);
+    let s = cfg.max_shift as isize;
+    for i in 0..data.len() {
+        let dy = if s > 0 { rng.below(2 * s as usize + 1) as isize - s } else { 0 };
+        let dx = if s > 0 { rng.below(2 * s as usize + 1) as isize - s } else { 0 };
+        let mut img = shift(data.x.row_slice(i), data.shape, dy, dx);
+        if rng.uniform_f32() < cfg.flip_prob {
+            hflip(&mut img, data.shape);
+        }
+        out.extend_from_slice(&img);
+    }
+    Dataset::new(
+        Tensor::from_vec(out, &[data.len(), width]),
+        data.y.clone(),
+        data.shape,
+        data.num_classes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_image() -> Vec<f32> {
+        // 1 channel, 2x3: rows [1 2 3; 4 5 6]
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    }
+
+    #[test]
+    fn hflip_reverses_rows() {
+        let mut img = toy_image();
+        hflip(&mut img, (1, 2, 3));
+        assert_eq!(img, vec![3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn hflip_is_involution() {
+        let mut img = toy_image();
+        hflip(&mut img, (1, 2, 3));
+        hflip(&mut img, (1, 2, 3));
+        assert_eq!(img, toy_image());
+    }
+
+    #[test]
+    fn shift_moves_and_zero_pads() {
+        let img = toy_image();
+        let out = shift(&img, (1, 2, 3), 0, 1); // shift right by 1
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 0.0, 4.0, 5.0]);
+        let out = shift(&img, (1, 2, 3), 1, 0); // shift down by 1
+        assert_eq!(out, vec![0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let img = toy_image();
+        assert_eq!(shift(&img, (1, 2, 3), 0, 0), img);
+    }
+
+    #[test]
+    fn augment_preserves_labels_and_shapes() {
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 12]);
+        let d = Dataset::new(x, vec![0, 1], (3, 2, 2), 2);
+        let mut rng = Rng64::new(1);
+        let a = augment_dataset(&d, &AugmentConfig::default(), &mut rng);
+        assert_eq!(a.y, d.y);
+        assert_eq!(a.shape, d.shape);
+        assert_eq!(a.len(), d.len());
+    }
+
+    #[test]
+    fn augment_with_no_ops_is_identity() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[1, 12]);
+        let d = Dataset::new(x, vec![0], (3, 2, 2), 1);
+        let cfg = AugmentConfig {
+            max_shift: 0,
+            flip_prob: 0.0,
+        };
+        let a = augment_dataset(&d, &cfg, &mut Rng64::new(0));
+        assert_eq!(a.x.data(), d.x.data());
+    }
+}

@@ -1,0 +1,192 @@
+//! Loader for the real CIFAR-10 binary format.
+//!
+//! The reproduction trains on synthetic analogues, but the pipeline is
+//! drop-in compatible with the real dataset: point [`load_cifar10_dir`] at
+//! an extracted `cifar-10-batches-bin/` directory.
+
+use crate::dataset::Dataset;
+use eos_tensor::Tensor;
+use std::io::Read;
+use std::path::Path;
+
+const RECORD: usize = 1 + 3 * 32 * 32;
+const RECORD_100: usize = 2 + 3 * 32 * 32; // coarse label + fine label + pixels
+
+/// Loads one CIFAR-10 binary batch file (`<label><3072 pixels>` records).
+/// Pixels are scaled to `[0, 1]`.
+pub fn load_cifar10_file(path: &Path) -> std::io::Result<Dataset> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() % RECORD != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{} is not a CIFAR-10 batch: {} bytes is not a multiple of {RECORD}",
+                path.display(),
+                bytes.len()
+            ),
+        ));
+    }
+    let n = bytes.len() / RECORD;
+    let mut data = Vec::with_capacity(n * (RECORD - 1));
+    let mut labels = Vec::with_capacity(n);
+    for rec in bytes.chunks_exact(RECORD) {
+        let label = rec[0] as usize;
+        if label > 9 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("label {label} out of range in {}", path.display()),
+            ));
+        }
+        labels.push(label);
+        data.extend(rec[1..].iter().map(|&b| b as f32 / 255.0));
+    }
+    Ok(Dataset::new(
+        Tensor::from_vec(data, &[n, RECORD - 1]),
+        labels,
+        (3, 32, 32),
+        10,
+    ))
+}
+
+/// Loads and concatenates the five training batches plus the test batch
+/// from an extracted `cifar-10-batches-bin/` directory, returning
+/// `(train, test)`.
+pub fn load_cifar10_dir(dir: &Path) -> std::io::Result<(Dataset, Dataset)> {
+    let mut train: Option<Dataset> = None;
+    for i in 1..=5 {
+        let batch = load_cifar10_file(&dir.join(format!("data_batch_{i}.bin")))?;
+        train = Some(match train {
+            Some(t) => t.concat(&batch),
+            None => batch,
+        });
+    }
+    let test = load_cifar10_file(&dir.join("test_batch.bin"))?;
+    Ok((train.expect("five batches loaded"), test))
+}
+
+/// Loads a CIFAR-100 binary file (`<coarse><fine><3072 pixels>` records),
+/// using the **fine** (100-class) labels. Pixels are scaled to `[0, 1]`.
+pub fn load_cifar100_file(path: &Path) -> std::io::Result<Dataset> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() % RECORD_100 != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{} is not a CIFAR-100 file: {} bytes is not a multiple of {RECORD_100}",
+                path.display(),
+                bytes.len()
+            ),
+        ));
+    }
+    let n = bytes.len() / RECORD_100;
+    let mut data = Vec::with_capacity(n * (RECORD_100 - 2));
+    let mut labels = Vec::with_capacity(n);
+    for rec in bytes.chunks_exact(RECORD_100) {
+        let fine = rec[1] as usize;
+        if fine > 99 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("fine label {fine} out of range in {}", path.display()),
+            ));
+        }
+        labels.push(fine);
+        data.extend(rec[2..].iter().map(|&b| b as f32 / 255.0));
+    }
+    Ok(Dataset::new(
+        Tensor::from_vec(data, &[n, RECORD_100 - 2]),
+        labels,
+        (3, 32, 32),
+        100,
+    ))
+}
+
+/// Loads `(train, test)` from an extracted `cifar-100-binary/` directory.
+pub fn load_cifar100_dir(dir: &Path) -> std::io::Result<(Dataset, Dataset)> {
+    Ok((
+        load_cifar100_file(&dir.join("train.bin"))?,
+        load_cifar100_file(&dir.join("test.bin"))?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_fake_batch(path: &Path, records: &[(u8, u8)]) {
+        // Each record: label byte + 3072 copies of a fill byte.
+        let mut f = std::fs::File::create(path).unwrap();
+        for &(label, fill) in records {
+            f.write_all(&[label]).unwrap();
+            f.write_all(&[fill; 3072]).unwrap();
+        }
+    }
+
+    #[test]
+    fn roundtrips_labels_and_pixels() {
+        let dir = std::env::temp_dir().join("eos_cifar_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch.bin");
+        write_fake_batch(&path, &[(3, 255), (7, 0)]);
+        let d = load_cifar10_file(&path).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.y, vec![3, 7]);
+        assert_eq!(d.x.at(&[0, 0]), 1.0);
+        assert_eq!(d.x.at(&[1, 100]), 0.0);
+        assert_eq!(d.shape, (3, 32, 32));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("eos_cifar_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(load_cifar10_file(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let dir = std::env::temp_dir().join("eos_cifar_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("badlabel.bin");
+        write_fake_batch(&path, &[(12, 0)]);
+        assert!(load_cifar10_file(&path).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(load_cifar10_file(Path::new("/nonexistent/never.bin")).is_err());
+    }
+
+    fn write_fake_100(path: &Path, records: &[(u8, u8, u8)]) {
+        let mut f = std::fs::File::create(path).unwrap();
+        for &(coarse, fine, fill) in records {
+            f.write_all(&[coarse, fine]).unwrap();
+            f.write_all(&[fill; 3072]).unwrap();
+        }
+    }
+
+    #[test]
+    fn cifar100_uses_fine_labels() {
+        let dir = std::env::temp_dir().join("eos_cifar100_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.bin");
+        write_fake_100(&path, &[(3, 42, 128), (7, 99, 0)]);
+        let d = load_cifar100_file(&path).unwrap();
+        assert_eq!(d.y, vec![42, 99]);
+        assert_eq!(d.num_classes, 100);
+        assert!((d.x.at(&[0, 0]) - 128.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cifar100_rejects_cifar10_sized_file() {
+        let dir = std::env::temp_dir().join("eos_cifar100_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, [0u8; RECORD]).unwrap();
+        assert!(load_cifar100_file(&path).is_err());
+    }
+}

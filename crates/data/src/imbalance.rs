@@ -1,0 +1,111 @@
+//! Class-imbalance profiles and profile-driven subsampling.
+
+use crate::dataset::Dataset;
+use eos_tensor::Rng64;
+
+/// Exponentially decaying class sizes: class `c` keeps
+/// `n_max · ratio^(−c/(C−1))` samples, so class 0 has `n_max` and the last
+/// class has `n_max / ratio`. This is the profile of Cui et al. that the
+/// paper trains under (100:1 for CIFAR-10/SVHN, 10:1 for CIFAR-100, 40:1
+/// for CelebA).
+pub fn exponential_profile(n_max: usize, ratio: f64, classes: usize) -> Vec<usize> {
+    assert!(classes >= 1 && n_max >= 1 && ratio >= 1.0);
+    if classes == 1 {
+        return vec![n_max];
+    }
+    (0..classes)
+        .map(|c| {
+            let frac = c as f64 / (classes - 1) as f64;
+            let n = (n_max as f64 * ratio.powf(-frac)).round() as usize;
+            n.max(1)
+        })
+        .collect()
+}
+
+/// Step imbalance: the first `majority_classes` keep `n_max`, the rest keep
+/// `n_max / ratio`.
+pub fn step_profile(
+    n_max: usize,
+    ratio: f64,
+    classes: usize,
+    majority_classes: usize,
+) -> Vec<usize> {
+    assert!(majority_classes <= classes && ratio >= 1.0 && n_max >= 1);
+    (0..classes)
+        .map(|c| {
+            if c < majority_classes {
+                n_max
+            } else {
+                ((n_max as f64 / ratio).round() as usize).max(1)
+            }
+        })
+        .collect()
+}
+
+/// Randomly subsamples a (typically balanced) dataset down to a per-class
+/// profile. Classes with fewer samples than the profile keep everything.
+pub fn subsample_to_profile(data: &Dataset, profile: &[usize], rng: &mut Rng64) -> Dataset {
+    assert_eq!(profile.len(), data.num_classes, "profile/class mismatch");
+    let mut keep = Vec::new();
+    for (class, &target) in profile.iter().enumerate() {
+        let mut idx = data.indices_of_class(class);
+        if idx.len() > target {
+            rng.shuffle(&mut idx);
+            idx.truncate(target);
+        }
+        keep.extend(idx);
+    }
+    keep.sort_unstable();
+    data.subset(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::Tensor;
+
+    #[test]
+    fn exponential_endpoints() {
+        let p = exponential_profile(1000, 100.0, 10);
+        assert_eq!(p[0], 1000);
+        assert_eq!(p[9], 10);
+        // Monotone non-increasing.
+        assert!(p.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn exponential_single_class() {
+        assert_eq!(exponential_profile(50, 10.0, 1), vec![50]);
+    }
+
+    #[test]
+    fn exponential_never_empties_a_class() {
+        let p = exponential_profile(5, 1000.0, 10);
+        assert!(p.iter().all(|&n| n >= 1));
+    }
+
+    #[test]
+    fn step_shape() {
+        let p = step_profile(100, 10.0, 6, 3);
+        assert_eq!(p, vec![100, 100, 100, 10, 10, 10]);
+    }
+
+    #[test]
+    fn subsample_respects_profile() {
+        // Balanced 3-class set, 10 each.
+        let n = 30;
+        let x = Tensor::zeros(&[n, 2]);
+        let y: Vec<usize> = (0..n).map(|i| i / 10).collect();
+        let d = Dataset::new(x, y, (1, 1, 2), 3);
+        let sub = subsample_to_profile(&d, &[10, 4, 1], &mut Rng64::new(0));
+        assert_eq!(sub.class_counts(), vec![10, 4, 1]);
+    }
+
+    #[test]
+    fn subsample_keeps_everything_when_profile_exceeds() {
+        let x = Tensor::zeros(&[4, 2]);
+        let d = Dataset::new(x, vec![0, 0, 1, 1], (1, 1, 2), 2);
+        let sub = subsample_to_profile(&d, &[100, 100], &mut Rng64::new(0));
+        assert_eq!(sub.len(), 4);
+    }
+}

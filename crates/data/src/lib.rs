@@ -1,0 +1,39 @@
+//! # eos-data
+//!
+//! Imbalanced image-classification data substrate.
+//!
+//! The paper evaluates on CIFAR-10, SVHN, CIFAR-100 and CelebA with
+//! exponential class imbalance. Those images are not available offline, so
+//! this crate provides *synthetic analogues*: generators that control the
+//! class-geometry properties the paper's phenomena depend on (sub-concepts,
+//! class overlap, borderline regions, i.i.d. train/test sampling) while
+//! remaining CPU-trainable. A loader for the real CIFAR-10 binary format is
+//! included so the pipeline can be pointed at real data when it exists.
+//!
+//! ```
+//! use eos_data::{SynthSpec, exponential_profile};
+//!
+//! let spec = SynthSpec::cifar10_like(1);
+//! let (train, test) = spec.generate(7);
+//! assert_eq!(train.num_classes, 10);
+//! assert_eq!(test.class_counts().iter().min(), test.class_counts().iter().max());
+//! // Exponentially imbalanced train set, balanced test set.
+//! let counts = train.class_counts();
+//! assert!(counts[0] > counts[9]);
+//! let profile = exponential_profile(counts[0], 100.0, 10);
+//! assert_eq!(profile[0], counts[0]);
+//! ```
+
+mod augment;
+mod cifar;
+mod dataset;
+mod imbalance;
+mod split;
+mod synth;
+
+pub use augment::{augment_dataset, hflip, shift, AugmentConfig};
+pub use cifar::{load_cifar100_dir, load_cifar100_file, load_cifar10_dir, load_cifar10_file};
+pub use dataset::Dataset;
+pub use imbalance::{exponential_profile, step_profile, subsample_to_profile};
+pub use split::{stratified_cuts, stratified_split};
+pub use synth::{SynthSpec, DATASET_NAMES};

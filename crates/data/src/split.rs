@@ -1,0 +1,116 @@
+//! Stratified splitting and the paper's three-cut selection protocol
+//! support (§IV-A: "all models and datasets are run on three different
+//! cuts of the training set").
+
+use crate::dataset::Dataset;
+use eos_tensor::Rng64;
+
+/// Splits a dataset into `(kept, held_out)` with `held_fraction` of *each
+/// class* held out (stratified). Classes with a single sample stay in the
+/// kept split.
+pub fn stratified_split(
+    data: &Dataset,
+    held_fraction: f64,
+    rng: &mut Rng64,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&held_fraction),
+        "held fraction must be in [0, 1)"
+    );
+    let mut keep = Vec::new();
+    let mut hold = Vec::new();
+    for class in 0..data.num_classes {
+        let mut idx = data.indices_of_class(class);
+        if idx.len() <= 1 {
+            keep.extend(idx);
+            continue;
+        }
+        rng.shuffle(&mut idx);
+        let n_hold = ((idx.len() as f64) * held_fraction).round() as usize;
+        let n_hold = n_hold.min(idx.len() - 1); // keep at least one
+        hold.extend_from_slice(&idx[..n_hold]);
+        keep.extend_from_slice(&idx[n_hold..]);
+    }
+    keep.sort_unstable();
+    hold.sort_unstable();
+    (data.subset(&keep), data.subset(&hold))
+}
+
+/// Produces `cuts` stratified (train, validation) pairs with different
+/// RNG streams — the paper's three-cut stability check. Returns the cuts;
+/// callers train on each and compare validation metrics (the paper keeps
+/// one cut when metrics vary by < 2 BAC points).
+pub fn stratified_cuts(
+    data: &Dataset,
+    cuts: usize,
+    held_fraction: f64,
+    rng: &mut Rng64,
+) -> Vec<(Dataset, Dataset)> {
+    assert!(cuts >= 1);
+    (0..cuts)
+        .map(|_| stratified_split(data, held_fraction, &mut rng.fork()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::Tensor;
+
+    fn toy(per_class: &[usize]) -> Dataset {
+        let n: usize = per_class.iter().sum();
+        let x = Tensor::from_vec((0..n * 2).map(|i| i as f32).collect(), &[n, 2]);
+        let mut y = Vec::new();
+        for (c, &k) in per_class.iter().enumerate() {
+            y.extend(std::iter::repeat_n(c, k));
+        }
+        Dataset::new(x, y, (1, 1, 2), per_class.len())
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = toy(&[20, 10, 4]);
+        let (keep, hold) = stratified_split(&d, 0.25, &mut Rng64::new(0));
+        assert_eq!(hold.class_counts(), vec![5, 3, 1]);
+        assert_eq!(keep.class_counts(), vec![15, 7, 3]);
+        assert_eq!(keep.len() + hold.len(), d.len());
+    }
+
+    #[test]
+    fn split_preserves_rows_exactly_once() {
+        let d = toy(&[6, 4]);
+        let (keep, hold) = stratified_split(&d, 0.5, &mut Rng64::new(1));
+        let mut firsts: Vec<f32> = keep
+            .x
+            .data()
+            .chunks(2)
+            .chain(hold.x.data().chunks(2))
+            .map(|r| r[0])
+            .collect();
+        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f32> = (0..10).map(|i| (i * 2) as f32).collect();
+        assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn singleton_class_never_held_out() {
+        let d = toy(&[10, 1]);
+        let (keep, hold) = stratified_split(&d, 0.5, &mut Rng64::new(2));
+        assert_eq!(keep.class_counts()[1], 1);
+        assert_eq!(hold.class_counts()[1], 0);
+    }
+
+    #[test]
+    fn cuts_differ_but_cover_same_data() {
+        let d = toy(&[12, 8]);
+        let cuts = stratified_cuts(&d, 3, 0.25, &mut Rng64::new(3));
+        assert_eq!(cuts.len(), 3);
+        for (keep, hold) in &cuts {
+            assert_eq!(keep.len() + hold.len(), d.len());
+        }
+        // At least two cuts hold out different samples.
+        let h0: Vec<f32> = cuts[0].1.x.data().to_vec();
+        let h1: Vec<f32> = cuts[1].1.x.data().to_vec();
+        assert_ne!(h0, h1, "cuts should differ");
+    }
+}

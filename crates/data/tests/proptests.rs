@@ -1,0 +1,99 @@
+//! Property tests for the data substrate: imbalance profiles, stratified
+//! splits, augmentation, and generator invariants.
+
+use eos_data::{
+    augment_dataset, exponential_profile, step_profile, stratified_split, AugmentConfig,
+    Dataset, SynthSpec,
+};
+use eos_tensor::{Rng64, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exponential_profile_is_monotone_and_bounded(
+        n_max in 1usize..5000,
+        ratio in 1.0f64..500.0,
+        classes in 1usize..50,
+    ) {
+        let p = exponential_profile(n_max, ratio, classes);
+        prop_assert_eq!(p.len(), classes);
+        prop_assert_eq!(p[0], n_max);
+        prop_assert!(p.windows(2).all(|w| w[0] >= w[1]), "not monotone");
+        prop_assert!(p.iter().all(|&n| n >= 1));
+        // The last class is n_max / ratio, up to rounding — except in the
+        // single-class case, which keeps n_max by definition.
+        if classes > 1 {
+            let expected = (n_max as f64 / ratio).round().max(1.0) as usize;
+            prop_assert!(p[classes - 1].abs_diff(expected) <= 1);
+        }
+    }
+
+    #[test]
+    fn step_profile_has_two_levels(
+        n_max in 1usize..1000,
+        ratio in 1.0f64..100.0,
+        classes in 2usize..20,
+        majority in 0usize..20,
+    ) {
+        let majority = majority.min(classes);
+        let p = step_profile(n_max, ratio, classes, majority);
+        let mut levels: Vec<usize> = p.clone();
+        levels.sort_unstable();
+        levels.dedup();
+        prop_assert!(levels.len() <= 2, "profile {p:?}");
+    }
+
+    #[test]
+    fn stratified_split_partitions_exactly(
+        counts in proptest::collection::vec(2usize..12, 2..5),
+        frac in 0.1f64..0.6,
+        seed in 0u64..100,
+    ) {
+        let n: usize = counts.iter().sum();
+        let x = Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n, 1]);
+        let mut y = Vec::new();
+        for (c, &k) in counts.iter().enumerate() {
+            y.extend(std::iter::repeat_n(c, k));
+        }
+        let d = Dataset::new(x, y, (1, 1, 1), counts.len());
+        let (keep, hold) = stratified_split(&d, frac, &mut Rng64::new(seed));
+        prop_assert_eq!(keep.len() + hold.len(), n);
+        // Every class retains at least one kept sample.
+        prop_assert!(keep.class_counts().iter().all(|&c| c >= 1));
+        // No sample appears twice.
+        let mut all: Vec<f32> = keep.x.data().to_vec();
+        all.extend_from_slice(hold.x.data());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn augmentation_never_changes_labels_or_shape(
+        seed in 0u64..200,
+        max_shift in 0usize..3,
+        flip in 0.0f32..1.0,
+    ) {
+        let mut spec = SynthSpec::celeba_like(1);
+        spec.n_max_train = 10;
+        spec.n_test_per_class = 1;
+        let (train, _) = spec.generate(seed);
+        let cfg = AugmentConfig { max_shift, flip_prob: flip };
+        let out = augment_dataset(&train, &cfg, &mut Rng64::new(seed));
+        prop_assert_eq!(out.len(), train.len());
+        prop_assert_eq!(&out.y, &train.y);
+        prop_assert!(out.x.all_finite());
+        // Values stay within the clamp range of the generator.
+        prop_assert!(out.x.min() >= 0.0 && out.x.max() <= 1.0);
+    }
+
+    #[test]
+    fn generator_counts_match_profile(seed in 0u64..100) {
+        let spec = SynthSpec::cifar10_like(1);
+        let (train, test) = spec.generate(seed);
+        prop_assert_eq!(train.class_counts(), spec.train_profile());
+        prop_assert!(test.class_counts().iter().all(|&n| n == spec.n_test_per_class));
+    }
+}

@@ -1,0 +1,135 @@
+//! Class-conditional GAN oversampling via one generator per class.
+
+use crate::adversarial::{train_gan, GanConfig};
+use eos_nn::{mlp, Layer};
+use eos_resample::{deficits, indices_by_class, Oversampler};
+use eos_tensor::{normal, Rng64, Tensor};
+
+/// CGAN-style oversampler: trains a *separate* generator/discriminator
+/// pair for every class that needs synthetic samples, then samples each
+/// class's generator to balance the set.
+///
+/// This is the paper's strongest GAN baseline — and the one whose cost
+/// "scales with the number of classes, making it computationally
+/// infeasible" for long-tailed problems (§V-D). The `table3` bench
+/// measures exactly that scaling.
+pub struct CGan {
+    /// Adversarial training budget per class.
+    pub cfg: GanConfig,
+}
+
+impl CGan {
+    /// CGAN with the experiment-scale budget.
+    pub fn new() -> Self {
+        CGan {
+            cfg: GanConfig::small(),
+        }
+    }
+
+    /// CGAN with a minimal budget (tests/doctests).
+    pub fn fast() -> Self {
+        CGan {
+            cfg: GanConfig::tiny(),
+        }
+    }
+}
+
+impl Default for CGan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Oversampler for CGan {
+    fn name(&self) -> &'static str {
+        "CGAN"
+    }
+
+    fn oversample(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> (Tensor, Vec<usize>) {
+        assert_eq!(x.dim(0), y.len());
+        let needs = deficits(y, num_classes);
+        let idx = indices_by_class(y, num_classes);
+        let width = x.dim(1);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (class, &need) in needs.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            let real = x.select_rows(&idx[class]);
+            if real.dim(0) < 2 {
+                // Too few samples to train anything adversarial: duplicate.
+                for _ in 0..need {
+                    data.extend_from_slice(real.row_slice(0));
+                    labels.push(class);
+                }
+                continue;
+            }
+            // One generator per class — the defining (and costly) choice.
+            let mut g = mlp(&[self.cfg.latent, self.cfg.hidden, width], rng);
+            let mut d = mlp(&[width, self.cfg.hidden, 1], rng);
+            train_gan(&mut g, &mut d, &real, &self.cfg, rng);
+            let z = normal(&[need, self.cfg.latent], 0.0, 1.0, rng);
+            let fake = g.forward(&z, false);
+            data.extend_from_slice(fake.data());
+            labels.extend(std::iter::repeat_n(class, need));
+        }
+        (Tensor::from_vec(data, &[labels.len(), width]), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_resample::{balance_with, class_counts};
+
+    #[test]
+    fn balances_counts() {
+        let mut rng = Rng64::new(1);
+        let x = normal(&[40, 3], 0.0, 1.0, &mut rng);
+        let mut y = vec![0usize; 30];
+        y.extend(vec![1usize; 10]);
+        let (_, by) = balance_with(&CGan::fast(), &x, &y, 2, &mut rng);
+        assert_eq!(class_counts(&by, 2), vec![30, 30]);
+    }
+
+    #[test]
+    fn generated_samples_approach_class_distribution() {
+        let mut rng = Rng64::new(2);
+        // Minority at mean +4; majority at 0.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..40 {
+            rows.push(normal(&[3], 0.0, 0.3, &mut rng));
+            y.push(0);
+        }
+        for _ in 0..12 {
+            rows.push(normal(&[3], 4.0, 0.3, &mut rng));
+            y.push(1);
+        }
+        let x = Tensor::stack_rows(&rows);
+        let (sx, sy) = CGan::fast().oversample(&x, &y, 2, &mut rng);
+        assert!(sy.iter().all(|&l| l == 1));
+        let mean = sx.mean();
+        assert!(
+            mean > 1.5,
+            "class-1 generator should move toward mean 4, got {mean}"
+        );
+    }
+
+    #[test]
+    fn singleton_class_duplicates() {
+        let x = Tensor::from_vec(vec![0.0, 0.1, 9.0], &[3, 1]);
+        let y = vec![0, 0, 1];
+        let (sx, sy) = CGan::fast().oversample(&x, &y, 2, &mut Rng64::new(0));
+        assert_eq!(sy, vec![1]);
+        assert_eq!(sx.data(), &[9.0]);
+    }
+}

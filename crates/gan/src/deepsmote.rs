@@ -1,0 +1,138 @@
+//! DeepSMOTE-lite (Dablain, Krawczyk & Chawla 2022 — the authors' prior
+//! work, paper reference [48]): train an autoencoder on all classes, run
+//! SMOTE in its *latent* space, and decode the synthetic latents back to
+//! the input space. The conceptual stepping stone between pixel-space
+//! SMOTE and EOS's embedding-space generation.
+
+use crate::bagan::BaganLite;
+use eos_nn::Layer;
+use eos_resample::{deficits, indices_by_class, Oversampler, Smote};
+use eos_tensor::{Rng64, Tensor};
+
+/// DeepSMOTE-style oversampler: autoencoder + latent-space SMOTE.
+///
+/// Reuses [`BaganLite`]'s autoencoder training (the two methods differ
+/// only in how they sample the latent space: class-conditional Gaussians
+/// for BAGAN-lite, SMOTE interpolation here).
+pub struct DeepSmote {
+    /// Autoencoder budget (latent width, epochs, ...).
+    pub ae: BaganLite,
+    /// Latent-space SMOTE neighbourhood.
+    pub k: usize,
+}
+
+impl DeepSmote {
+    /// Experiment-scale budget.
+    pub fn new() -> Self {
+        DeepSmote {
+            ae: BaganLite::new(),
+            k: 5,
+        }
+    }
+
+    /// Minimal budget for tests.
+    pub fn fast() -> Self {
+        DeepSmote {
+            ae: BaganLite::fast(),
+            k: 3,
+        }
+    }
+}
+
+impl Default for DeepSmote {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Oversampler for DeepSmote {
+    fn name(&self) -> &'static str {
+        "DeepSMOTE"
+    }
+
+    fn oversample(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> (Tensor, Vec<usize>) {
+        assert_eq!(x.dim(0), y.len());
+        let needs = deficits(y, num_classes);
+        let idx = indices_by_class(y, num_classes);
+        let width = x.dim(1);
+        let (mut encoder, mut decoder) = self.ae.train_autoencoder(x, rng);
+        let latents = encoder.forward(x, false);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (class, &need) in needs.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            let class_z = latents.select_rows(&idx[class]);
+            let pool: Vec<usize> = (0..class_z.dim(0)).collect();
+            let mut z_buf = Vec::new();
+            Smote::synthesize_for_class(&class_z, &pool, need, self.k, rng, &mut z_buf);
+            let z = Tensor::from_vec(z_buf, &[need, class_z.dim(1)]);
+            let decoded = decoder.forward(&z, false);
+            data.extend_from_slice(decoded.data());
+            labels.extend(std::iter::repeat_n(class, need));
+        }
+        (Tensor::from_vec(data, &[labels.len(), width]), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_resample::{balance_with, class_counts};
+    use eos_tensor::normal;
+
+    #[test]
+    fn balances_counts() {
+        let mut rng = Rng64::new(1);
+        let x = normal(&[36, 3], 0.0, 1.0, &mut rng);
+        let mut y = vec![0usize; 26];
+        y.extend(vec![1usize; 10]);
+        let (_, by) = balance_with(&DeepSmote::fast(), &x, &y, 2, &mut rng);
+        assert_eq!(class_counts(&by, 2), vec![26, 26]);
+    }
+
+    #[test]
+    fn decoded_samples_land_near_the_class() {
+        let mut rng = Rng64::new(2);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..40 {
+            rows.push(normal(&[3], -2.0, 0.3, &mut rng));
+            y.push(0);
+        }
+        for _ in 0..12 {
+            rows.push(normal(&[3], 2.0, 0.3, &mut rng));
+            y.push(1);
+        }
+        let x = Tensor::stack_rows(&rows);
+        let (sx, _) = DeepSmote::new().oversample(&x, &y, 2, &mut rng);
+        assert!(
+            sx.mean() > 0.0,
+            "latent SMOTE should decode on the minority side: {}",
+            sx.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = Rng64::new(3);
+        for i in 0..20 {
+            rows.push(normal(&[2], (i % 2) as f32 * 3.0, 0.4, &mut rng));
+            y.push(if i < 14 { 0 } else { 1 });
+        }
+        let x = Tensor::stack_rows(&rows);
+        let (a, _) = DeepSmote::fast().oversample(&x, &y, 2, &mut Rng64::new(9));
+        let (b, _) = DeepSmote::fast().oversample(&x, &y, 2, &mut Rng64::new(9));
+        assert_eq!(a.data(), b.data());
+    }
+}

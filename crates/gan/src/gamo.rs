@@ -1,0 +1,208 @@
+//! GAMO-lite: adversarially trained convex-combination generation.
+
+use crate::adversarial::{train_gan, GanConfig};
+use eos_nn::{mlp, Layer, Param, Sequential};
+use eos_resample::{deficits, indices_by_class, Oversampler};
+use eos_tensor::{normal, Rng64, Tensor};
+
+/// Terminal layer that turns logits over `m` anchor instances into a
+/// convex combination of those anchors: `out = softmax(logits) · A`.
+///
+/// This is GAMO's core trick in miniature: the generator never leaves the
+/// convex hull of the real minority instances, so its samples are
+/// in-distribution by construction (and boundary-agnostic by the same
+/// token).
+struct ConvexMix {
+    anchors: Tensor,
+    cache: Option<Tensor>, // softmax weights
+}
+
+impl ConvexMix {
+    fn new(anchors: Tensor) -> Self {
+        assert!(anchors.dim(0) > 0);
+        ConvexMix {
+            anchors,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for ConvexMix {
+    fn forward(&mut self, logits: &Tensor, train: bool) -> Tensor {
+        assert_eq!(logits.dim(1), self.anchors.dim(0), "anchor count mismatch");
+        let w = logits.softmax_rows();
+        let out = w.matmul(&self.anchors);
+        if train {
+            self.cache = Some(w);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let w = self.cache.as_ref().expect("ConvexMix::backward before forward");
+        // dW = grad · Aᵀ, then softmax backward per row:
+        // dlogit_j = w_j (dW_j − Σ_k w_k dW_k).
+        let dw = grad.matmul_nt(&self.anchors);
+        let (b, m) = (dw.dim(0), dw.dim(1));
+        let mut dlogits = Tensor::zeros(&[b, m]);
+        for i in 0..b {
+            let wrow = w.row_slice(i);
+            let drow = dw.row_slice(i);
+            let dot: f32 = wrow.iter().zip(drow).map(|(&a, &c)| a * c).sum();
+            let out = &mut dlogits.data_mut()[i * m..(i + 1) * m];
+            for ((o, &wj), &dj) in out.iter_mut().zip(wrow).zip(drow) {
+                *o = wj * (dj - dot);
+            }
+        }
+        dlogits
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new() // anchors are real data, not trainable
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.anchors.dim(0));
+        self.anchors.dim(1)
+    }
+}
+
+/// GAMO-style oversampler: per minority class, adversarially train a
+/// generator whose outputs are convex combinations of the class's real
+/// instances, then sample it to balance the set.
+pub struct GamoLite {
+    /// Adversarial training budget per class.
+    pub cfg: GanConfig,
+    /// Maximum anchors per class (memory bound).
+    pub max_anchors: usize,
+}
+
+impl GamoLite {
+    /// Experiment-scale budget.
+    pub fn new() -> Self {
+        GamoLite {
+            cfg: GanConfig::small(),
+            max_anchors: 64,
+        }
+    }
+
+    /// Minimal budget for tests.
+    pub fn fast() -> Self {
+        GamoLite {
+            cfg: GanConfig::tiny(),
+            max_anchors: 32,
+        }
+    }
+}
+
+impl Default for GamoLite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Oversampler for GamoLite {
+    fn name(&self) -> &'static str {
+        "GAMO"
+    }
+
+    fn oversample(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> (Tensor, Vec<usize>) {
+        assert_eq!(x.dim(0), y.len());
+        let needs = deficits(y, num_classes);
+        let idx = indices_by_class(y, num_classes);
+        let width = x.dim(1);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (class, &need) in needs.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            let mut rows = idx[class].clone();
+            if rows.len() > self.max_anchors {
+                rng.shuffle(&mut rows);
+                rows.truncate(self.max_anchors);
+            }
+            let anchors = x.select_rows(&rows);
+            let m = anchors.dim(0);
+            if m < 2 {
+                for _ in 0..need {
+                    data.extend_from_slice(anchors.row_slice(0));
+                    labels.push(class);
+                }
+                continue;
+            }
+            let mut generator = Sequential::empty();
+            let head = mlp(&[self.cfg.latent, self.cfg.hidden, m], rng);
+            generator.push(Box::new(head));
+            generator.push(Box::new(ConvexMix::new(anchors)));
+            let real = x.select_rows(&idx[class]);
+            let mut d = mlp(&[width, self.cfg.hidden, 1], rng);
+            train_gan(&mut generator, &mut d, &real, &self.cfg, rng);
+            let z = normal(&[need, self.cfg.latent], 0.0, 1.0, rng);
+            let fake = generator.forward(&z, false);
+            data.extend_from_slice(fake.data());
+            labels.extend(std::iter::repeat_n(class, need));
+        }
+        (Tensor::from_vec(data, &[labels.len(), width]), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_resample::{balance_with, class_counts};
+    use eos_tensor::{central_difference, rel_error};
+
+    #[test]
+    fn convex_mix_stays_in_hull() {
+        let anchors = Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0], &[3, 2]);
+        let mut layer = ConvexMix::new(anchors);
+        let logits = normal(&[20, 3], 0.0, 2.0, &mut Rng64::new(1));
+        let out = layer.forward(&logits, false);
+        for i in 0..out.dim(0) {
+            let r = out.row_slice(i);
+            // Convex hull of the 2-simplex corners.
+            assert!(r[0] >= -1e-6 && r[1] >= -1e-6 && r[0] + r[1] <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn convex_mix_gradcheck() {
+        let anchors = normal(&[4, 3], 0.0, 1.0, &mut Rng64::new(2));
+        let x = normal(&[2, 4], 0.0, 1.0, &mut Rng64::new(3));
+        let c = normal(&[2, 3], 0.0, 1.0, &mut Rng64::new(4));
+        let mut layer = ConvexMix::new(anchors.clone());
+        let _ = layer.forward(&x, true);
+        let dx = layer.backward(&c);
+        let ndx = central_difference(&x, 1e-3, |p| {
+            ConvexMix::new(anchors.clone()).forward(p, false).dot(&c)
+        });
+        assert!(rel_error(&dx, &ndx) < 1e-2);
+    }
+
+    #[test]
+    fn balances_counts_within_hull() {
+        let mut rng = Rng64::new(5);
+        let x = normal(&[24, 3], 0.0, 1.0, &mut rng);
+        let mut y = vec![0usize; 18];
+        y.extend(vec![1usize; 6]);
+        let (bx, by) = balance_with(&GamoLite::fast(), &x, &y, 2, &mut rng);
+        assert_eq!(class_counts(&by, 2), vec![18, 18]);
+        // Synthetic minority samples stay within the minority bounding box.
+        let minority: Vec<usize> = (18..24).collect();
+        let lo = x.select_rows(&minority).min_rows();
+        let hi = x.select_rows(&minority).max_rows();
+        for i in 24..bx.dim(0) {
+            for (j, &v) in bx.row_slice(i).iter().enumerate() {
+                assert!(v >= lo.data()[j] - 1e-4 && v <= hi.data()[j] + 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # eos-gan
+//!
+//! GAN-based oversampling baselines (paper Table III): CGAN (one
+//! generator per class), BAGAN-lite (autoencoder-based class-conditional
+//! generation) and GAMO-lite (adversarially trained convex-combination
+//! generator). All are *model-inducing pre-processing* oversamplers — the
+//! computational-cost contrast with EOS's model-free instance generation
+//! is the point of the comparison.
+//!
+//! The paper's originals are image GANs; these are MLP equivalents sized
+//! for the reproduction's data, preserving the two properties the
+//! comparison turns on: (a) samples follow the class distribution but are
+//! placed without regard to decision boundaries, and (b) generation
+//! requires training additional models (per class, for CGAN).
+//!
+//! ```
+//! use eos_gan::CGan;
+//! use eos_resample::{balance_with, Oversampler};
+//! use eos_tensor::{normal, Rng64, Tensor};
+//!
+//! let mut rng = Rng64::new(0);
+//! let mut x = normal(&[30, 4], 0.0, 1.0, &mut rng);
+//! let mut y = vec![0usize; 24];
+//! y.extend(vec![1usize; 6]);
+//! let (bx, by) = balance_with(&CGan::fast(), &x, &y, 2, &mut rng);
+//! assert_eq!(by.iter().filter(|&&c| c == 1).count(), 24);
+//! # let _ = (&mut x, bx);
+//! ```
+
+mod adversarial;
+mod bagan;
+mod cgan;
+mod deepsmote;
+mod gamo;
+
+pub use adversarial::{bce_with_logits, train_gan, GanConfig};
+pub use bagan::BaganLite;
+pub use deepsmote::DeepSmote;
+pub use cgan::CGan;
+pub use gamo::GamoLite;

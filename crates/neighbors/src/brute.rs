@@ -1,0 +1,108 @@
+//! Exact brute-force k-NN.
+
+use crate::{Metric, Neighbor, NnIndex};
+use eos_tensor::Tensor;
+
+/// Exact k-NN by linear scan with a bounded max-heap.
+///
+/// At the embedding sizes the framework works with (≤ a few thousand
+/// 64-dimensional points) a vectorised linear scan is consistently faster
+/// than tree traversal; the KD-tree exists for the low-dimensional cases
+/// (pixel prototypes, t-SNE outputs).
+pub struct BruteForceKnn {
+    data: Tensor,
+    metric: Metric,
+}
+
+impl BruteForceKnn {
+    /// Indexes the rows of `data`.
+    pub fn new(data: &Tensor, metric: Metric) -> Self {
+        assert_eq!(data.rank(), 2, "index expects a (n, d) matrix");
+        BruteForceKnn {
+            data: data.clone(),
+            metric,
+        }
+    }
+
+    fn scan(&self, point: &[f32], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+        assert_eq!(point.len(), self.data.dim(1), "query dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        // Bounded selection: keep the k best seen so far in a small vec
+        // (k is tens-to-hundreds; insertion into a sorted vec is cheap and
+        // cache-friendly).
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for i in 0..self.data.dim(0) {
+            if exclude == Some(i) {
+                continue;
+            }
+            let d = self.metric.distance(point, self.data.row_slice(i));
+            if best.len() == k && d >= best[k - 1].distance {
+                continue;
+            }
+            let pos = best.partition_point(|n| {
+                n.distance < d || (n.distance == d && n.index < i)
+            });
+            best.insert(pos, Neighbor { index: i, distance: d });
+            if best.len() > k {
+                best.pop();
+            }
+        }
+        best
+    }
+}
+
+impl NnIndex for BruteForceKnn {
+    fn query(&self, point: &[f32], k: usize) -> Vec<Neighbor> {
+        self.scan(point, k, None)
+    }
+
+    fn query_row(&self, row: usize, k: usize) -> Vec<Neighbor> {
+        assert!(row < self.data.dim(0), "row out of range");
+        self.scan(self.data.row_slice(row), k, Some(row))
+    }
+
+    fn len(&self) -> usize {
+        self.data.dim(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_sorted_ascending() {
+        let data = Tensor::from_vec(vec![5.0, 1.0, 3.0, 0.0], &[4, 1]);
+        let index = BruteForceKnn::new(&data, Metric::Euclidean);
+        let hits = index.query(&[0.0], 4);
+        let d: Vec<f32> = hits.iter().map(|h| h.distance).collect();
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 5.0]);
+        assert_eq!(hits[0].index, 3);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let data = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let index = BruteForceKnn::new(&data, Metric::Euclidean);
+        assert!(index.query(&[0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_index() {
+        let data = Tensor::from_vec(vec![1.0, -1.0, 1.0], &[3, 1]);
+        let index = BruteForceKnn::new(&data, Metric::Euclidean);
+        let hits = index.query(&[0.0], 3);
+        assert_eq!(hits[0].index, 0, "equal distances ordered by row");
+        assert_eq!(hits[1].index, 1);
+        assert_eq!(hits[2].index, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let data = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        BruteForceKnn::new(&data, Metric::Euclidean).query(&[0.0], 1);
+    }
+}

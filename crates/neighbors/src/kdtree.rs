@@ -1,0 +1,210 @@
+//! Exact KD-tree k-NN with branch-and-bound pruning.
+
+use crate::{Metric, Neighbor, NnIndex};
+use eos_tensor::Tensor;
+
+const LEAF_SIZE: usize = 16;
+
+enum Node {
+    Leaf {
+        /// Indices into the point matrix.
+        rows: Vec<usize>,
+    },
+    Split {
+        axis: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Exact KD-tree over the rows of a matrix. Median splits on the axis of
+/// largest spread, leaf buckets of 16, exact branch-and-bound queries.
+pub struct KdTree {
+    data: Tensor,
+    metric: Metric,
+    root: Node,
+}
+
+impl KdTree {
+    /// Builds the tree over the rows of `data`.
+    pub fn new(data: &Tensor, metric: Metric) -> Self {
+        assert_eq!(data.rank(), 2, "index expects a (n, d) matrix");
+        let rows: Vec<usize> = (0..data.dim(0)).collect();
+        let root = build(data, rows);
+        KdTree {
+            data: data.clone(),
+            metric,
+            root,
+        }
+    }
+
+    fn search(&self, point: &[f32], k: usize, exclude: Option<usize>) -> Vec<Neighbor> {
+        assert_eq!(point.len(), self.data.dim(1), "query dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        self.visit(&self.root, point, k, exclude, &mut best);
+        best
+    }
+
+    fn visit(
+        &self,
+        node: &Node,
+        point: &[f32],
+        k: usize,
+        exclude: Option<usize>,
+        best: &mut Vec<Neighbor>,
+    ) {
+        match node {
+            Node::Leaf { rows } => {
+                for &i in rows {
+                    if exclude == Some(i) {
+                        continue;
+                    }
+                    let d = self.metric.distance(point, self.data.row_slice(i));
+                    if best.len() == k && d >= best[k - 1].distance {
+                        continue;
+                    }
+                    let pos = best.partition_point(|n| {
+                        n.distance < d || (n.distance == d && n.index < i)
+                    });
+                    best.insert(pos, Neighbor { index: i, distance: d });
+                    if best.len() > k {
+                        best.pop();
+                    }
+                }
+            }
+            Node::Split {
+                axis,
+                threshold,
+                left,
+                right,
+            } => {
+                let (near, far) = if point[*axis] <= *threshold {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                self.visit(near, point, k, exclude, best);
+                // Prune the far side when even the closest possible point
+                // there cannot beat the current k-th best. The axis gap is
+                // a lower bound for both L1 and L2.
+                let gap = self.metric.axis_distance(point[*axis], *threshold);
+                if best.len() < k || gap < best[k - 1].distance {
+                    self.visit(far, point, k, exclude, best);
+                }
+            }
+        }
+    }
+}
+
+fn build(data: &Tensor, mut rows: Vec<usize>) -> Node {
+    if rows.len() <= LEAF_SIZE {
+        return Node::Leaf { rows };
+    }
+    let dim = data.dim(1);
+    // Split on the axis with the largest spread among these rows.
+    let mut best_axis = 0;
+    let mut best_spread = -1.0f32;
+    for axis in 0..dim {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &r in &rows {
+            let v = data.row_slice(r)[axis];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo > best_spread {
+            best_spread = hi - lo;
+            best_axis = axis;
+        }
+    }
+    if best_spread <= 0.0 {
+        // All points identical on every axis: cannot split.
+        return Node::Leaf { rows };
+    }
+    let mid = rows.len() / 2;
+    rows.select_nth_unstable_by(mid, |&a, &b| {
+        data.row_slice(a)[best_axis]
+            .partial_cmp(&data.row_slice(b)[best_axis])
+            .expect("NaN coordinate in KD-tree build")
+    });
+    let threshold = data.row_slice(rows[mid])[best_axis];
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+        .iter()
+        .partition(|&&r| data.row_slice(r)[best_axis] <= threshold);
+    if left_rows.is_empty() || right_rows.is_empty() {
+        // Degenerate split (many duplicates at the median): stop here.
+        return Node::Leaf {
+            rows: left_rows.into_iter().chain(right_rows).collect(),
+        };
+    }
+    Node::Split {
+        axis: best_axis,
+        threshold,
+        left: Box::new(build(data, left_rows)),
+        right: Box::new(build(data, right_rows)),
+    }
+}
+
+impl NnIndex for KdTree {
+    fn query(&self, point: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search(point, k, None)
+    }
+
+    fn query_row(&self, row: usize, k: usize) -> Vec<Neighbor> {
+        assert!(row < self.data.dim(0), "row out of range");
+        self.search(self.data.row_slice(row), k, Some(row))
+    }
+
+    fn len(&self) -> usize {
+        self.data.dim(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_duplicate_points() {
+        // 100 copies of the same point must not recurse forever.
+        let data = Tensor::from_vec(vec![1.0; 200], &[100, 2]);
+        let tree = KdTree::new(&data, Metric::Euclidean);
+        let hits = tree.query(&[1.0, 1.0], 5);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let data = Tensor::from_vec(vec![3.0], &[1, 1]);
+        let tree = KdTree::new(&data, Metric::Manhattan);
+        let hits = tree.query(&[0.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].distance, 3.0);
+    }
+
+    #[test]
+    fn pruning_does_not_lose_neighbours() {
+        // Clustered data where naive pruning bugs typically bite.
+        let mut v = Vec::new();
+        for i in 0..50 {
+            v.push(i as f32 * 0.01);
+            v.push(0.0);
+        }
+        for i in 0..50 {
+            v.push(100.0 + i as f32 * 0.01);
+            v.push(0.0);
+        }
+        let data = Tensor::from_vec(v, &[100, 2]);
+        let tree = KdTree::new(&data, Metric::Euclidean);
+        let brute = crate::BruteForceKnn::new(&data, Metric::Euclidean);
+        let q = [49.0f32, 0.0];
+        let a: Vec<usize> = tree.query(&q, 10).iter().map(|h| h.index).collect();
+        let b: Vec<usize> = brute.query(&q, 10).iter().map(|h| h.index).collect();
+        assert_eq!(a, b);
+    }
+}

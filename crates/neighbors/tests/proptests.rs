@@ -1,0 +1,70 @@
+//! Property tests: KD-tree exactness against brute force, and general
+//! k-NN contracts.
+
+use eos_neighbors::{BruteForceKnn, KdTree, Metric, NnIndex};
+use eos_tensor::Tensor;
+use proptest::prelude::*;
+
+fn points() -> impl Strategy<Value = Tensor> {
+    (4usize..60, 1usize..5).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(-5.0f32..5.0, n * d)
+            .prop_map(move |v| Tensor::from_vec(v, &[n, d]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kdtree_matches_brute_force(data in points(), k in 1usize..8, qseed in 0u64..100) {
+        for metric in [Metric::Euclidean, Metric::Manhattan] {
+            let brute = BruteForceKnn::new(&data, metric);
+            let tree = KdTree::new(&data, metric);
+            let mut rng = eos_tensor::Rng64::new(qseed);
+            let q: Vec<f32> = (0..data.dim(1)).map(|_| rng.range_f32(-6.0, 6.0)).collect();
+            let a = brute.query(&q, k);
+            let b = tree.query(&q, k);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x.distance - y.distance).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_sorted_and_self_excluded(data in points(), k in 1usize..8) {
+        let index = BruteForceKnn::new(&data, Metric::Euclidean);
+        for row in 0..data.dim(0).min(5) {
+            let hits = index.query_row(row, k);
+            prop_assert!(hits.iter().all(|h| h.index != row));
+            for pair in hits.windows(2) {
+                prop_assert!(pair[0].distance <= pair[1].distance);
+            }
+        }
+    }
+
+    #[test]
+    fn query_of_indexed_point_returns_it_first(data in points()) {
+        let index = KdTree::new(&data, Metric::Euclidean);
+        let hits = index.query(data.row_slice(0), 1);
+        prop_assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds(data in points()) {
+        // Sanity on the metric implementations themselves.
+        let n = data.dim(0).min(4);
+        for m in [Metric::Euclidean, Metric::Manhattan] {
+            for i in 0..n {
+                for j in 0..n {
+                    for l in 0..n {
+                        let dij = m.distance(data.row_slice(i), data.row_slice(j));
+                        let djl = m.distance(data.row_slice(j), data.row_slice(l));
+                        let dil = m.distance(data.row_slice(i), data.row_slice(l));
+                        prop_assert!(dil <= dij + djl + 1e-4);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Batch normalisation (1-D and 2-D).
+//!
+//! The paper's generalization-gap measure explicitly assumes batch-normed,
+//! ReLU-activated extraction layers (Section III-B), so these layers are
+//! load-bearing for the reproduction: they bound and standardise the
+//! feature embeddings whose ranges Algorithm 1 compares.
+
+use crate::layer::{Layer, Param};
+use eos_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+
+/// Shared normalisation core: statistics over groups of positions.
+///
+/// For BatchNorm2d a "channel" covers `N·H·W` positions; for BatchNorm1d it
+/// covers `N` positions. The layout adapter is the only difference.
+struct BnCore {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    x_hat: Vec<f32>,
+    inv_std: Vec<f32>,
+    /// Positions per channel in this batch.
+    m: usize,
+}
+
+impl BnCore {
+    fn extra_state(&self) -> Vec<f32> {
+        let mut v = self.running_mean.clone();
+        v.extend_from_slice(&self.running_var);
+        v
+    }
+
+    fn load_extra_state(&mut self, state: &[f32]) {
+        let c = self.channels();
+        assert_eq!(state.len(), 2 * c, "batch-norm state length mismatch");
+        self.running_mean.copy_from_slice(&state[..c]);
+        self.running_var.copy_from_slice(&state[c..]);
+    }
+
+    fn new(channels: usize, momentum: f32) -> Self {
+        BnCore {
+            gamma: Param::new_no_decay(Tensor::ones(&[channels])),
+            beta: Param::new_no_decay(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum,
+            cache: None,
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+
+    /// `values[c]` lists every element of channel `c` in this batch, in a
+    /// fixed order; returns the normalised values in the same order.
+    fn forward_grouped(&mut self, grouped: &[Vec<f32>], train: bool) -> Vec<Vec<f32>> {
+        let c = self.channels();
+        assert_eq!(grouped.len(), c);
+        let m = grouped[0].len();
+        assert!(m > 0, "batch norm over zero positions");
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        let mut out = Vec::with_capacity(c);
+        let mut x_hat_cache = Vec::new();
+        let mut inv_std_cache = Vec::with_capacity(c);
+        for (ch, xs) in grouped.iter().enumerate() {
+            assert_eq!(xs.len(), m, "ragged channel groups");
+            let (mean, var) = if train {
+                let mean = xs.iter().sum::<f32>() / m as f32;
+                let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / m as f32;
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + EPS).sqrt();
+            let mut ys = Vec::with_capacity(m);
+            for &x in xs {
+                let xh = (x - mean) * inv_std;
+                ys.push(gamma[ch] * xh + beta[ch]);
+                if train {
+                    x_hat_cache.push(xh);
+                }
+            }
+            inv_std_cache.push(inv_std);
+            out.push(ys);
+        }
+        if train {
+            self.cache = Some(BnCache {
+                x_hat: x_hat_cache,
+                inv_std: inv_std_cache,
+                m,
+            });
+        }
+        out
+    }
+
+    /// Backward over the same grouping; `grads[c]` is ∂loss/∂y for channel
+    /// `c` in forward order; returns ∂loss/∂x in the same order.
+    fn backward_grouped(&mut self, grads: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm::backward without a training forward");
+        let c = self.channels();
+        let m = cache.m;
+        let gamma = self.gamma.value.data();
+        let mut out = Vec::with_capacity(c);
+        for (ch, gs) in grads.iter().enumerate() {
+            assert_eq!(gs.len(), m);
+            let x_hat = &cache.x_hat[ch * m..(ch + 1) * m];
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for (g, xh) in gs.iter().zip(x_hat) {
+                dgamma += g * xh;
+                dbeta += g;
+            }
+            self.gamma.grad.data_mut()[ch] += dgamma;
+            self.beta.grad.data_mut()[ch] += dbeta;
+            // dx = gamma * inv_std / m * (m*g - dbeta - x_hat * dgamma)
+            let scale = gamma[ch] * cache.inv_std[ch] / m as f32;
+            let dxs = gs
+                .iter()
+                .zip(x_hat)
+                .map(|(g, xh)| scale * (m as f32 * g - dbeta - xh * dgamma))
+                .collect();
+            out.push(dxs);
+        }
+        out
+    }
+}
+
+/// Batch norm over channels of `C×H×W` volumes flattened into rows.
+pub struct BatchNorm2d {
+    core: BnCore,
+    channels: usize,
+    spatial: usize,
+}
+
+impl BatchNorm2d {
+    /// Normalises `channels` planes of `spatial = H·W` positions each.
+    pub fn new(channels: usize, spatial: usize) -> Self {
+        assert!(channels > 0 && spatial > 0);
+        BatchNorm2d {
+            core: BnCore::new(channels, 0.1),
+            channels,
+            spatial,
+        }
+    }
+
+    fn group(&self, x: &Tensor) -> Vec<Vec<f32>> {
+        let n = x.dim(0);
+        let mut grouped = vec![Vec::with_capacity(n * self.spatial); self.channels];
+        for i in 0..n {
+            let row = x.row_slice(i);
+            for ch in 0..self.channels {
+                grouped[ch]
+                    .extend_from_slice(&row[ch * self.spatial..(ch + 1) * self.spatial]);
+            }
+        }
+        grouped
+    }
+
+    fn ungroup(&self, grouped: Vec<Vec<f32>>, n: usize) -> Tensor {
+        let width = self.channels * self.spatial;
+        let mut data = vec![0.0f32; n * width];
+        for (ch, ys) in grouped.iter().enumerate() {
+            for i in 0..n {
+                let src = &ys[i * self.spatial..(i + 1) * self.spatial];
+                let dst = i * width + ch * self.spatial;
+                data[dst..dst + self.spatial].copy_from_slice(src);
+            }
+        }
+        Tensor::from_vec(data, &[n, width])
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dim(1), self.channels * self.spatial, "BatchNorm2d width");
+        let n = x.dim(0);
+        let grouped = self.group(x);
+        let out = self.core.forward_grouped(&grouped, train);
+        self.ungroup(out, n)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let n = grad.dim(0);
+        let grouped = self.group(grad);
+        let out = self.core.backward_grouped(&grouped);
+        self.ungroup(out, n)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.core.gamma, &mut self.core.beta]
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.channels * self.spatial);
+        in_features
+    }
+
+    fn extra_state(&self) -> Vec<f32> {
+        self.core.extra_state()
+    }
+
+    fn load_extra_state(&mut self, state: &[f32]) {
+        self.core.load_extra_state(state);
+    }
+}
+
+/// Batch norm over plain feature columns — used inside the GAN baselines'
+/// MLP generators.
+pub struct BatchNorm1d {
+    core: BnCore,
+    features: usize,
+}
+
+impl BatchNorm1d {
+    /// Normalises each of `features` columns across the batch.
+    pub fn new(features: usize) -> Self {
+        assert!(features > 0);
+        BatchNorm1d {
+            core: BnCore::new(features, 0.1),
+            features,
+        }
+    }
+
+    fn group(&self, x: &Tensor) -> Vec<Vec<f32>> {
+        let n = x.dim(0);
+        let mut grouped = vec![Vec::with_capacity(n); self.features];
+        for i in 0..n {
+            for (f, &v) in x.row_slice(i).iter().enumerate() {
+                grouped[f].push(v);
+            }
+        }
+        grouped
+    }
+
+    fn ungroup(&self, grouped: Vec<Vec<f32>>, n: usize) -> Tensor {
+        let mut data = vec![0.0f32; n * self.features];
+        for (f, ys) in grouped.iter().enumerate() {
+            for (i, &y) in ys.iter().enumerate() {
+                data[i * self.features + f] = y;
+            }
+        }
+        Tensor::from_vec(data, &[n, self.features])
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dim(1), self.features, "BatchNorm1d width");
+        let n = x.dim(0);
+        let grouped = self.group(x);
+        let out = self.core.forward_grouped(&grouped, train);
+        self.ungroup(out, n)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let n = grad.dim(0);
+        let grouped = self.group(grad);
+        let out = self.core.backward_grouped(&grouped);
+        self.ungroup(out, n)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.core.gamma, &mut self.core.beta]
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.features);
+        in_features
+    }
+
+    fn extra_state(&self) -> Vec<f32> {
+        self.core.extra_state()
+    }
+
+    fn load_extra_state(&mut self, state: &[f32]) {
+        self.core.load_extra_state(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::{central_difference, normal, rel_error, Rng64};
+
+    #[test]
+    fn normalises_training_batch() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 10.0, 3.0, 30.0, 5.0, 50.0], &[3, 2]);
+        let y = bn.forward(&x, true);
+        // Each column should have ~zero mean and ~unit variance.
+        let mean = y.mean_rows();
+        let var = y.var_rows();
+        assert!(mean.data().iter().all(|m| m.abs() < 1e-5));
+        assert!(var.data().iter().all(|v| (v - 1.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm1d::new(1);
+        let x = Tensor::from_vec(vec![4.0, 6.0], &[2, 1]);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true);
+        }
+        // Running mean converges to 5, var to 1 (biased).
+        let y = bn.forward(&Tensor::from_vec(vec![5.0], &[1, 1]), false);
+        assert!(y.data()[0].abs() < 0.05, "running-mean eval: {:?}", y);
+    }
+
+    #[test]
+    fn bn2d_normalises_per_channel_not_per_pixel() {
+        let mut bn = BatchNorm2d::new(2, 4);
+        // Channel 0 values around 100, channel 1 around -7.
+        let x = Tensor::from_vec(
+            vec![
+                99.0, 100.0, 101.0, 102.0, -8.0, -7.0, -6.0, -5.0, //
+                98.0, 100.5, 100.0, 103.0, -9.0, -7.0, -7.0, -4.0,
+            ],
+            &[2, 8],
+        );
+        let y = bn.forward(&x, true);
+        // Per-channel mean over batch+space ~ 0 for both channels.
+        let ch0: f32 = (0..2).map(|i| y.row_slice(i)[..4].iter().sum::<f32>()).sum();
+        let ch1: f32 = (0..2).map(|i| y.row_slice(i)[4..].iter().sum::<f32>()).sum();
+        assert!(ch0.abs() < 1e-4);
+        assert!(ch1.abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradcheck_bn1d() {
+        let mut rng = Rng64::new(5);
+        let x = normal(&[5, 3], 1.0, 2.0, &mut rng);
+        let c = normal(&[5, 3], 0.0, 1.0, &mut rng);
+        let mut bn = BatchNorm1d::new(3);
+        // Non-trivial gamma/beta so the check exercises them.
+        bn.params()[0].value = Tensor::from_vec(vec![1.5, 0.5, 2.0], &[3]);
+        bn.params()[1].value = Tensor::from_vec(vec![0.1, -0.2, 0.3], &[3]);
+        let g0 = bn.params()[0].value.clone();
+        let b0 = bn.params()[1].value.clone();
+
+        let _ = bn.forward(&x, true);
+        let dx = bn.backward(&c);
+
+        let run = |g: &Tensor, b: &Tensor, xin: &Tensor| -> f32 {
+            let mut bn2 = BatchNorm1d::new(3);
+            bn2.params()[0].value = g.clone();
+            bn2.params()[1].value = b.clone();
+            bn2.forward(xin, true).dot(&c)
+        };
+        let ndx = central_difference(&x, 1e-2, |p| run(&g0, &b0, p));
+        assert!(rel_error(&dx, &ndx) < 2e-2, "bn input grad");
+        let ndg = central_difference(&g0, 1e-2, |p| run(p, &b0, &x));
+        assert!(rel_error(&bn.params()[0].grad, &ndg) < 2e-2, "bn gamma grad");
+        let ndb = central_difference(&b0, 1e-2, |p| run(&g0, p, &x));
+        assert!(rel_error(&bn.params()[1].grad, &ndb) < 2e-2, "bn beta grad");
+    }
+
+    #[test]
+    fn gradcheck_bn2d() {
+        let mut rng = Rng64::new(6);
+        let x = normal(&[3, 2 * 4], 0.5, 1.5, &mut rng);
+        let c = normal(&[3, 2 * 4], 0.0, 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2, 4);
+        let _ = bn.forward(&x, true);
+        let dx = bn.backward(&c);
+        let ndx = central_difference(&x, 1e-2, |p| {
+            BatchNorm2d::new(2, 4).forward(p, true).dot(&c)
+        });
+        assert!(rel_error(&dx, &ndx) < 2e-2, "bn2d input grad");
+    }
+
+    #[test]
+    fn bn_params_are_decay_exempt() {
+        let mut bn = BatchNorm1d::new(4);
+        assert!(bn.params().iter().all(|p| !p.decay));
+    }
+}

@@ -1,0 +1,247 @@
+//! 2-D convolution via `im2col` GEMM lowering.
+
+use crate::layer::{Layer, Param};
+use eos_tensor::{col2im, im2col, kaiming_uniform, Conv2dGeometry, Rng64, Tensor};
+
+/// Convolution over `(batch, C·H·W)` rows, each interpreted as a `C×H×W`
+/// volume; outputs `(batch, O·H'·W')` rows.
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    geom: Conv2dGeometry,
+    out_channels: usize,
+    cache: Option<ConvCache>,
+}
+
+struct ConvCache {
+    cols: Vec<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with square kernels and Kaiming-uniform
+    /// initialised weights. `geom` fixes the expected input volume.
+    pub fn new(
+        geom: Conv2dGeometry,
+        out_channels: usize,
+        bias: bool,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(out_channels > 0);
+        let fan_in = geom.patch_len();
+        let weight = Param::new(kaiming_uniform(&[out_channels, fan_in], fan_in, rng));
+        let bias = bias.then(|| Param::new_no_decay(Tensor::zeros(&[out_channels])));
+        Conv2d {
+            weight,
+            bias,
+            geom,
+            out_channels,
+            cache: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geom
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Flat width of the expected input rows (`C·H·W`).
+    pub fn in_len(&self) -> usize {
+        self.geom.in_channels * self.geom.height * self.geom.width
+    }
+
+    /// Flat width of the produced output rows (`O·H'·W'`).
+    pub fn out_len(&self) -> usize {
+        self.out_channels * self.geom.patch_count()
+    }
+
+    /// Direct access to the `(out_channels, C·K·K)` weight matrix.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.rank(), 2, "Conv2d expects (batch, C*H*W)");
+        assert_eq!(
+            x.dim(1),
+            self.in_len(),
+            "Conv2d fed rows of {} values, expected {}",
+            x.dim(1),
+            self.in_len()
+        );
+        let n = x.dim(0);
+        let out_spatial = self.geom.patch_count();
+        let mut out = Vec::with_capacity(n * self.out_len());
+        let mut cols_cache = Vec::with_capacity(if train { n } else { 0 });
+        for i in 0..n {
+            let cols = im2col(x.row_slice(i), &self.geom);
+            // weight (O × CKK) · colsᵀ (CKK × HW') -> (O × HW'), row-major
+            // matches the channel-major output layout.
+            let mut y = self.weight.value.matmul_nt(&cols);
+            if let Some(b) = &self.bias {
+                for (ch, row) in y.data_mut().chunks_exact_mut(out_spatial).enumerate() {
+                    let bv = b.value.data()[ch];
+                    for v in row {
+                        *v += bv;
+                    }
+                }
+            }
+            out.extend_from_slice(y.data());
+            if train {
+                cols_cache.push(cols);
+            }
+        }
+        if train {
+            self.cache = Some(ConvCache { cols: cols_cache });
+        }
+        Tensor::from_vec(out, &[n, self.out_len()])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Conv2d::backward without a training forward");
+        let n = cache.cols.len();
+        assert_eq!(grad.dims(), &[n, self.out_len()]);
+        let out_spatial = self.geom.patch_count();
+        let mut dx = Vec::with_capacity(n * self.in_len());
+        for i in 0..n {
+            let g = Tensor::from_vec(
+                grad.row_slice(i).to_vec(),
+                &[self.out_channels, out_spatial],
+            );
+            // dW += g (O×HW') · cols (HW'×CKK)
+            self.weight.grad.add_assign_(&g.matmul(&cache.cols[i]));
+            if let Some(b) = &mut self.bias {
+                b.grad.add_assign_(&g.sum_cols());
+            }
+            // dcols = gᵀ (HW'×O) · W (O×CKK)
+            let dcols = g.matmul_tn(&self.weight.value);
+            dx.extend_from_slice(&col2im(&dcols, &self.geom));
+        }
+        Tensor::from_vec(dx, &[n, self.in_len()])
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            ps.push(b);
+        }
+        ps
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.in_len());
+        self.out_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::{central_difference, normal, rel_error};
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            height: h,
+            width: w,
+            kernel: k,
+            stride: s,
+            pad: p,
+        }
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_channel_mix() {
+        // A 1x1 conv with weight [[2.0]] doubles the single channel.
+        let mut rng = Rng64::new(0);
+        let mut conv = Conv2d::new(geom(1, 2, 2, 1, 1, 0), 1, false, &mut rng);
+        conv.params()[0].value = Tensor::from_vec(vec![2.0], &[1, 1]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn averaging_kernel_smooths() {
+        // 3x3 kernel of 1/9 on constant input reproduces the constant in
+        // the interior (padding shrinks border sums).
+        let mut rng = Rng64::new(0);
+        let mut conv = Conv2d::new(geom(1, 3, 3, 3, 1, 1), 1, false, &mut rng);
+        conv.params()[0].value = Tensor::full(&[1, 9], 1.0 / 9.0);
+        let x = Tensor::full(&[1, 9], 9.0);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[1, 9]);
+        assert!((y.at(&[0, 4]) - 9.0).abs() < 1e-5, "interior pixel");
+        assert!((y.at(&[0, 0]) - 4.0).abs() < 1e-5, "corner sees 4 pixels");
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let mut rng = Rng64::new(0);
+        let mut conv = Conv2d::new(geom(2, 4, 4, 3, 2, 1), 5, true, &mut rng);
+        let x = normal(&[3, 32], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.dims(), &[3, 5 * 2 * 2]);
+    }
+
+    #[test]
+    fn gradcheck_input_weight_bias() {
+        let mut rng = Rng64::new(7);
+        let g = geom(2, 4, 3, 3, 2, 1);
+        let mut conv = Conv2d::new(g, 3, true, &mut rng);
+        let x = normal(&[2, g.in_channels * g.height * g.width], 0.0, 1.0, &mut rng);
+        let c = normal(&[2, conv.out_len()], 0.0, 1.0, &mut rng);
+
+        conv.zero_grad();
+        let _ = conv.forward(&x, true);
+        let dx = conv.backward(&c);
+
+        let w0 = conv.weight().clone();
+        let b0 = conv.bias.as_ref().unwrap().value.clone();
+        let run = |w: &Tensor, b: &Tensor, xin: &Tensor| -> f32 {
+            let mut c2 = Conv2d::new(g, 3, true, &mut Rng64::new(0));
+            c2.params()[0].value = w.clone();
+            c2.params()[1].value = b.clone();
+            c2.forward(xin, false).dot(&c)
+        };
+
+        let ndx = central_difference(&x, 1e-2, |p| run(&w0, &b0, p));
+        assert!(rel_error(&dx, &ndx) < 2e-2, "conv input grad");
+
+        let ndw = central_difference(&w0, 1e-2, |p| run(p, &b0, &x));
+        assert!(rel_error(&conv.params()[0].grad, &ndw) < 2e-2, "conv weight grad");
+
+        let ndb = central_difference(&b0, 1e-2, |p| run(&w0, p, &x));
+        assert!(rel_error(&conv.params()[1].grad, &ndb) < 2e-2, "conv bias grad");
+    }
+
+    #[test]
+    fn batch_independence() {
+        // Each sample's output depends only on its own row.
+        let mut rng = Rng64::new(3);
+        let g = geom(1, 3, 3, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 2, false, &mut rng);
+        let a = normal(&[1, 9], 0.0, 1.0, &mut rng);
+        let b = normal(&[1, 9], 0.0, 1.0, &mut rng);
+        let both = Tensor::concat_rows(&[&a, &b]);
+        let y_both = conv.forward(&both, false);
+        let y_a = conv.forward(&a, false);
+        assert_eq!(y_both.row_slice(0), y_a.row_slice(0));
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = Rng64::new(1);
+        let mut conv = Conv2d::new(geom(3, 8, 8, 3, 1, 1), 16, true, &mut rng);
+        assert_eq!(conv.param_count(), 16 * 3 * 3 * 3 + 16);
+    }
+}

@@ -1,0 +1,115 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use eos_tensor::{Rng64, Tensor};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`, so inference is
+/// the identity. Deterministic given the layer's seed stream.
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f32,
+    rng: Rng64,
+    mask: Option<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` and its own seeded RNG stream.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: Rng64::new(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<bool> = (0..x.len())
+            .map(|_| self.rng.uniform_f32() >= self.p)
+            .collect();
+        let mut out = x.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *v = if m { *v * scale } else { 0.0 };
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad.clone(),
+            Some(mask) => {
+                let scale = 1.0 / (1.0 - self.p);
+                let mut out = grad.clone();
+                for (g, &m) in out.data_mut().iter_mut().zip(mask) {
+                    *g = if m { *g * scale } else { 0.0 };
+                }
+                out
+            }
+        }
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        in_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::normal;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = normal(&[4, 8], 0.0, 1.0, &mut Rng64::new(0));
+        let y = d.forward(&x, false);
+        assert_eq!(x.data(), y.data());
+    }
+
+    #[test]
+    fn training_zeroes_about_p_fraction() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[100, 100]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / y.len() as f32;
+        assert!((frac - 0.3).abs() < 0.02, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let mut d = Dropout::new(0.4, 3);
+        let x = Tensor::ones(&[200, 50]);
+        let y = d.forward(&x, true);
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_routes_through_same_mask() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[1, 64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[1, 64]));
+        // Gradient must be zero exactly where the output was zeroed.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_passthrough_in_training() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = normal(&[2, 4], 0.0, 1.0, &mut Rng64::new(1));
+        assert_eq!(d.forward(&x, true).data(), x.data());
+    }
+}

@@ -1,0 +1,288 @@
+//! SGD with momentum and learning-rate schedules.
+
+use crate::layer::Param;
+
+/// Stochastic gradient descent with classical momentum and decoupled-style
+/// L2 weight decay (decay is added to the gradient, as in the reference
+/// training regimes the paper follows).
+pub struct Sgd {
+    /// Current learning rate (mutated by schedules).
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient applied to decaying params.
+    pub weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// New optimiser; velocity buffers are allocated lazily on first step.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0 && (0.0..1.0).contains(&momentum) && weight_decay >= 0.0);
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update to `params`. The slice must present the same
+    /// parameters in the same order on every call (layers guarantee a
+    /// stable order).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0f32; p.len()]).collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter set changed between optimiser steps"
+        );
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            assert_eq!(v.len(), p.len(), "parameter shape changed");
+            let decay = if p.decay { self.weight_decay } else { 0.0 };
+            let value = p.value.data_mut();
+            let grad = p.grad.data();
+            for ((w, &g), vel) in value.iter_mut().zip(grad).zip(v.iter_mut()) {
+                let g = g + decay * *w;
+                *vel = self.momentum * *vel - self.lr * g;
+                *w += *vel;
+            }
+        }
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) with decoupled-style L2 applied to
+/// decaying parameters, used by the GAN baselines and available for the
+/// classifier head fine-tune.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    /// L2 weight decay on decaying params.
+    pub weight_decay: f32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: i32,
+}
+
+impl Adam {
+    /// Adam with the standard β = (0.9, 0.999).
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0 && weight_decay >= 0.0);
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Applies one update; the parameter set must be stable across calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0f32; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0f32; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter set changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let decay = if p.decay { self.weight_decay } else { 0.0 };
+            let value = p.value.data_mut();
+            let grad = p.grad.data();
+            for (((w, &g), mi), vi) in
+                value.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                let g = g + decay * *w;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm. Keeps MSE/GAN objectives in the stable SGD
+/// regime.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0);
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for p in params.iter_mut() {
+            p.grad.scale_(scale);
+        }
+    }
+    total
+}
+
+/// A learning-rate schedule queried once per epoch.
+pub trait LrSchedule {
+    /// Learning rate for the given zero-based epoch.
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Piecewise-constant decay: multiply by `gamma` at each milestone epoch.
+/// This mirrors the Cui et al. regime the paper trains under.
+pub struct MultiStepLr {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Epochs at which the rate is multiplied by `gamma`.
+    pub milestones: Vec<usize>,
+    /// Decay factor.
+    pub gamma: f32,
+}
+
+impl LrSchedule for MultiStepLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let hits = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.base_lr * self.gamma.powi(hits as i32)
+    }
+}
+
+/// Cosine annealing from `base_lr` to `min_lr` over `total_epochs`.
+pub struct CosineLr {
+    /// Initial learning rate.
+    pub base_lr: f32,
+    /// Final learning rate.
+    pub min_lr: f32,
+    /// Length of the schedule.
+    pub total_epochs: usize,
+}
+
+impl LrSchedule for CosineLr {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs.max(1) as f32;
+        self.min_lr
+            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::Tensor;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        p.grad = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.data(), &[0.95, -0.95]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        p.grad = Tensor::from_vec(vec![1.0], &[1]);
+        opt.step(&mut [&mut p]);
+        let after_one = p.value.data()[0];
+        opt.step(&mut [&mut p]);
+        let delta_two = p.value.data()[0] - after_one;
+        // Second step moves farther than the first thanks to velocity.
+        assert!(delta_two.abs() > after_one.abs());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_decaying_params_only() {
+        let mut decayed = Param::new(Tensor::from_vec(vec![1.0], &[1]));
+        let mut exempt = Param::new_no_decay(Tensor::from_vec(vec![1.0], &[1]));
+        let mut opt = Sgd::new(0.1, 0.0, 0.5);
+        opt.step(&mut [&mut decayed, &mut exempt]);
+        assert!(decayed.value.data()[0] < 1.0);
+        assert_eq!(exempt.value.data()[0], 1.0);
+    }
+
+    #[test]
+    fn sgd_minimises_a_quadratic() {
+        // f(w) = (w - 3)^2; gradient 2(w - 3).
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], &[1]));
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        for _ in 0..100 {
+            let w = p.value.data()[0];
+            p.grad = Tensor::from_vec(vec![2.0 * (w - 3.0)], &[1]);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_minimises_a_quadratic() {
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], &[1]));
+        let mut opt = Adam::new(0.1, 0.0);
+        for _ in 0..200 {
+            let w = p.value.data()[0];
+            p.grad = Tensor::from_vec(vec![2.0 * (w - 3.0)], &[1]);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-2, "{:?}", p.value);
+    }
+
+    #[test]
+    fn adam_step_size_is_bounded_by_lr() {
+        // Adam's per-step movement is ~lr regardless of gradient scale.
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], &[1]));
+        let mut opt = Adam::new(0.1, 0.0);
+        p.grad = Tensor::from_vec(vec![1e6], &[1]);
+        opt.step(&mut [&mut p]);
+        assert!(p.value.data()[0].abs() < 0.2, "{:?}", p.value);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_and_reports() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.grad = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((p.grad.norm() - 1.0).abs() < 1e-5);
+        // Under the cap: untouched.
+        let pre = clip_grad_norm(&mut [&mut p], 10.0);
+        assert!((pre - 1.0).abs() < 1e-5);
+        assert!((p.grad.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multistep_schedule() {
+        let s = MultiStepLr {
+            base_lr: 0.1,
+            milestones: vec![10, 20],
+            gamma: 0.1,
+        };
+        assert_eq!(s.lr_at(0), 0.1);
+        assert!((s.lr_at(10) - 0.01).abs() < 1e-8);
+        assert!((s.lr_at(25) - 0.001).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineLr {
+            base_lr: 1.0,
+            min_lr: 0.0,
+            total_epochs: 10,
+        };
+        assert!((s.lr_at(0) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(10) < 1e-6);
+        assert!((s.lr_at(5) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,204 @@
+//! Spatial pooling layers.
+
+use crate::layer::Layer;
+use eos_tensor::Tensor;
+
+/// Non-overlapping 2×2 max pooling over `C×H×W` rows (H, W even).
+pub struct MaxPool2d {
+    channels: usize,
+    height: usize,
+    width: usize,
+    argmax: Option<Vec<u32>>,
+}
+
+impl MaxPool2d {
+    /// Pools each `H×W` plane down to `H/2 × W/2`.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            height.is_multiple_of(2) && width.is_multiple_of(2),
+            "MaxPool2d needs even spatial dims, got {height}x{width}"
+        );
+        MaxPool2d {
+            channels,
+            height,
+            width,
+            argmax: None,
+        }
+    }
+
+    fn in_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    fn out_len(&self) -> usize {
+        self.channels * (self.height / 2) * (self.width / 2)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dim(1), self.in_len(), "MaxPool2d width mismatch");
+        let n = x.dim(0);
+        let (c, h, w) = (self.channels, self.height, self.width);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Vec::with_capacity(n * self.out_len());
+        let mut arg = Vec::with_capacity(if train { n * self.out_len() } else { 0 });
+        for i in 0..n {
+            let row = x.row_slice(i);
+            for ch in 0..c {
+                let plane = &row[ch * h * w..(ch + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let base = (2 * oy) * w + 2 * ox;
+                        let cand = [base, base + 1, base + w, base + w + 1];
+                        let mut best = cand[0];
+                        for &p in &cand[1..] {
+                            if plane[p] > plane[best] {
+                                best = p;
+                            }
+                        }
+                        out.push(plane[best]);
+                        if train {
+                            arg.push((i * self.in_len() + ch * h * w + best) as u32);
+                        }
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = Some(arg);
+        }
+        Tensor::from_vec(out, &[n, self.out_len()])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let arg = self
+            .argmax
+            .as_ref()
+            .expect("MaxPool2d::backward before training forward");
+        assert_eq!(grad.len(), arg.len());
+        let n = grad.dim(0);
+        let mut dx = vec![0.0f32; n * self.in_len()];
+        for (&a, &g) in arg.iter().zip(grad.data()) {
+            dx[a as usize] += g;
+        }
+        Tensor::from_vec(dx, &[n, self.in_len()])
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.in_len());
+        self.out_len()
+    }
+}
+
+/// Global average pooling: collapses each channel plane to its mean,
+/// producing the paper's *feature embeddings* (`FE`, Figure 2).
+pub struct GlobalAvgPool {
+    channels: usize,
+    spatial: usize,
+}
+
+impl GlobalAvgPool {
+    /// Averages each of `channels` planes of `spatial` positions.
+    pub fn new(channels: usize, spatial: usize) -> Self {
+        assert!(channels > 0 && spatial > 0);
+        GlobalAvgPool { channels, spatial }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.dim(1), self.channels * self.spatial, "GAP width mismatch");
+        let n = x.dim(0);
+        let mut out = Vec::with_capacity(n * self.channels);
+        for i in 0..n {
+            let row = x.row_slice(i);
+            for ch in 0..self.channels {
+                let plane = &row[ch * self.spatial..(ch + 1) * self.spatial];
+                out.push(plane.iter().sum::<f32>() / self.spatial as f32);
+            }
+        }
+        Tensor::from_vec(out, &[n, self.channels])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.dim(1), self.channels);
+        let n = grad.dim(0);
+        let inv = 1.0 / self.spatial as f32;
+        let mut dx = Vec::with_capacity(n * self.channels * self.spatial);
+        for i in 0..n {
+            for &g in grad.row_slice(i) {
+                dx.extend(std::iter::repeat_n(g * inv, self.spatial));
+            }
+        }
+        Tensor::from_vec(dx, &[n, self.channels * self.spatial])
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.channels * self.spatial);
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::{central_difference, normal, rel_error, Rng64};
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let mut mp = MaxPool2d::new(1, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 4]);
+        assert_eq!(mp.forward(&x, false).data(), &[5.0]);
+    }
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut mp = MaxPool2d::new(1, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 4]);
+        let _ = mp.forward(&x, true);
+        let dx = mp.backward(&Tensor::from_vec(vec![7.0], &[1, 1]));
+        assert_eq!(dx.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck() {
+        let mut rng = Rng64::new(8);
+        let x = normal(&[2, 2 * 4 * 4], 0.0, 1.0, &mut rng);
+        let c = normal(&[2, 2 * 2 * 2], 0.0, 1.0, &mut rng);
+        let mut mp = MaxPool2d::new(2, 4, 4);
+        let _ = mp.forward(&x, true);
+        let dx = mp.backward(&c);
+        let ndx = central_difference(&x, 1e-3, |p| {
+            MaxPool2d::new(2, 4, 4).forward(p, false).dot(&c)
+        });
+        assert!(rel_error(&dx, &ndx) < 2e-2);
+    }
+
+    #[test]
+    fn gap_averages_planes() {
+        let mut gap = GlobalAvgPool::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 3.0, 10.0, 20.0], &[1, 4]);
+        assert_eq!(gap.forward(&x, false).data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn gap_gradcheck() {
+        let mut rng = Rng64::new(9);
+        let x = normal(&[3, 2 * 5], 0.0, 1.0, &mut rng);
+        let c = normal(&[3, 2], 0.0, 1.0, &mut rng);
+        let mut gap = GlobalAvgPool::new(2, 5);
+        let _ = gap.forward(&x, true);
+        let dx = gap.backward(&c);
+        let ndx = central_difference(&x, 1e-3, |p| {
+            GlobalAvgPool::new(2, 5).forward(p, false).dot(&c)
+        });
+        assert!(rel_error(&dx, &ndx) < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial")]
+    fn maxpool_rejects_odd_dims() {
+        MaxPool2d::new(1, 3, 4);
+    }
+}

@@ -1,0 +1,486 @@
+//! Residual and densely-connected CNN building blocks and the
+//! architecture builders used by the paper's experiments (ResNet-style,
+//! WideResNet, DenseNet-lite).
+
+use crate::activation::Relu;
+use crate::batchnorm::BatchNorm2d;
+use crate::conv2d::Conv2d;
+use crate::layer::{Layer, Param};
+use crate::pool::GlobalAvgPool;
+use crate::sequential::Sequential;
+use eos_tensor::{Conv2dGeometry, Rng64, Tensor};
+
+/// Pre-activation-free basic residual block:
+/// `y = relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))`.
+///
+/// When the block changes resolution or width, the shortcut is a strided
+/// 1×1 convolution followed by batch norm (projection shortcut).
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    out_mask: Option<Vec<bool>>,
+}
+
+impl BasicBlock {
+    /// Builds a block mapping a `in_c×h×w` volume to `out_c×h'×w'` where
+    /// `h' = h/stride`.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        h: usize,
+        w: usize,
+        stride: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        let g1 = Conv2dGeometry {
+            in_channels: in_c,
+            height: h,
+            width: w,
+            kernel: 3,
+            stride,
+            pad: 1,
+        };
+        let (oh, ow) = (g1.out_height(), g1.out_width());
+        let g2 = Conv2dGeometry {
+            in_channels: out_c,
+            height: oh,
+            width: ow,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let conv1 = Conv2d::new(g1, out_c, false, rng);
+        let bn1 = BatchNorm2d::new(out_c, oh * ow);
+        let conv2 = Conv2d::new(g2, out_c, false, rng);
+        let bn2 = BatchNorm2d::new(out_c, oh * ow);
+        let shortcut = if stride != 1 || in_c != out_c {
+            let gs = Conv2dGeometry {
+                in_channels: in_c,
+                height: h,
+                width: w,
+                kernel: 1,
+                stride,
+                pad: 0,
+            };
+            Some((
+                Conv2d::new(gs, out_c, false, rng),
+                BatchNorm2d::new(out_c, oh * ow),
+            ))
+        } else {
+            None
+        };
+        BasicBlock {
+            conv1,
+            bn1,
+            relu1: Relu::new(),
+            conv2,
+            bn2,
+            shortcut,
+            out_mask: None,
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.conv1.forward(x, train);
+        let h = self.bn1.forward(&h, train);
+        let h = self.relu1.forward(&h, train);
+        let h = self.conv2.forward(&h, train);
+        let main = self.bn2.forward(&h, train);
+        let skip = match &mut self.shortcut {
+            Some((c, b)) => {
+                let s = c.forward(x, train);
+                b.forward(&s, train)
+            }
+            None => x.clone(),
+        };
+        let mut y = main.add(&skip);
+        if train {
+            self.out_mask = Some(y.data().iter().map(|&v| v > 0.0).collect());
+        }
+        y.map_(|v| v.max(0.0));
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mask = self
+            .out_mask
+            .as_ref()
+            .expect("BasicBlock::backward before training forward");
+        let mut g = grad.clone();
+        for (gv, &m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *gv = 0.0;
+            }
+        }
+        // Main path, reverse order.
+        let gm = self.bn2.backward(&g);
+        let gm = self.conv2.backward(&gm);
+        let gm = self.relu1.backward(&gm);
+        let gm = self.bn1.backward(&gm);
+        let mut dx = self.conv1.backward(&gm);
+        // Skip path.
+        match &mut self.shortcut {
+            Some((c, b)) => {
+                let gs = b.backward(&g);
+                dx.add_assign_(&c.backward(&gs));
+            }
+            None => dx.add_assign_(&g),
+        }
+        dx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps = Vec::new();
+        ps.extend(self.conv1.params());
+        ps.extend(self.bn1.params());
+        ps.extend(self.conv2.params());
+        ps.extend(self.bn2.params());
+        if let Some((c, b)) = &mut self.shortcut {
+            ps.extend(c.params());
+            ps.extend(b.params());
+        }
+        ps
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.conv1.in_len());
+        self.conv2.out_len()
+    }
+
+    fn extra_state(&self) -> Vec<f32> {
+        let mut v = self.bn1.extra_state();
+        v.extend(self.bn2.extra_state());
+        if let Some((_, b)) = &self.shortcut {
+            v.extend(b.extra_state());
+        }
+        v
+    }
+
+    fn load_extra_state(&mut self, state: &[f32]) {
+        let n1 = self.bn1.extra_state().len();
+        let n2 = self.bn2.extra_state().len();
+        self.bn1.load_extra_state(&state[..n1]);
+        self.bn2.load_extra_state(&state[n1..n1 + n2]);
+        match &mut self.shortcut {
+            Some((_, b)) => b.load_extra_state(&state[n1 + n2..]),
+            None => assert_eq!(state.len(), n1 + n2, "leftover block state"),
+        }
+    }
+}
+
+/// Builds a CIFAR-style residual feature extractor.
+///
+/// Structure: a 3×3 stem convolution to `width` channels, then three stages
+/// of `blocks_per_stage` [`BasicBlock`]s at widths `width`, `2·width`,
+/// `4·width` (stride 2 at each stage transition), finished with global
+/// average pooling. The feature embedding dimension is `4·width`.
+///
+/// The paper's ResNet-32 corresponds to `blocks_per_stage = 5`,
+/// `width = 16` at 32×32 input; the reproduction defaults to smaller
+/// settings (see `eos-core`'s experiment configs).
+pub fn resnet_cifar(
+    in_shape: (usize, usize, usize),
+    blocks_per_stage: usize,
+    width: usize,
+    rng: &mut Rng64,
+) -> (Sequential, usize) {
+    let (c, h, w) = in_shape;
+    assert!(h % 4 == 0 && w % 4 == 0, "input must be divisible by 4");
+    let stem_geom = Conv2dGeometry {
+        in_channels: c,
+        height: h,
+        width: w,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let mut net = Sequential::empty();
+    net.push(Box::new(Conv2d::new(stem_geom, width, false, rng)));
+    net.push(Box::new(BatchNorm2d::new(width, h * w)));
+    net.push(Box::new(Relu::new()));
+    let mut cur_c = width;
+    let (mut cur_h, mut cur_w) = (h, w);
+    for stage in 0..3 {
+        let out_c = width << stage;
+        for b in 0..blocks_per_stage {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            net.push(Box::new(BasicBlock::new(
+                cur_c, out_c, cur_h, cur_w, stride, rng,
+            )));
+            if stride == 2 {
+                cur_h /= 2;
+                cur_w /= 2;
+            }
+            cur_c = out_c;
+        }
+    }
+    net.push(Box::new(GlobalAvgPool::new(cur_c, cur_h * cur_w)));
+    (net, cur_c)
+}
+
+/// Wide residual feature extractor: the ResNet layout with a width
+/// multiplier `k` and a single block per stage (the paper's WideResNet
+/// comparison point, scaled down).
+pub fn wide_resnet(
+    in_shape: (usize, usize, usize),
+    k: usize,
+    rng: &mut Rng64,
+) -> (Sequential, usize) {
+    resnet_cifar(in_shape, 1, 8 * k, rng)
+}
+
+/// A densely-connected layer: `out = concat(x, conv(relu(bn(x))))`.
+struct DenseLayer {
+    bn: BatchNorm2d,
+    relu: Relu,
+    conv: Conv2d,
+    in_len: usize,
+}
+
+impl DenseLayer {
+    fn new(in_c: usize, growth: usize, h: usize, w: usize, rng: &mut Rng64) -> Self {
+        let geom = Conv2dGeometry {
+            in_channels: in_c,
+            height: h,
+            width: w,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        DenseLayer {
+            bn: BatchNorm2d::new(in_c, h * w),
+            relu: Relu::new(),
+            conv: Conv2d::new(geom, growth, false, rng),
+            in_len: in_c * h * w,
+        }
+    }
+}
+
+impl Layer for DenseLayer {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let h = self.bn.forward(x, train);
+        let h = self.relu.forward(&h, train);
+        let new = self.conv.forward(&h, train);
+        // Channel-major rows: concatenation is row-segment appending.
+        let n = x.dim(0);
+        let mut out = Vec::with_capacity(n * (x.dim(1) + new.dim(1)));
+        for i in 0..n {
+            out.extend_from_slice(x.row_slice(i));
+            out.extend_from_slice(new.row_slice(i));
+        }
+        Tensor::from_vec(out, &[n, x.dim(1) + new.dim(1)])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let n = grad.dim(0);
+        let new_len = grad.dim(1) - self.in_len;
+        let mut g_pass = Vec::with_capacity(n * self.in_len);
+        let mut g_new = Vec::with_capacity(n * new_len);
+        for i in 0..n {
+            let row = grad.row_slice(i);
+            g_pass.extend_from_slice(&row[..self.in_len]);
+            g_new.extend_from_slice(&row[self.in_len..]);
+        }
+        let g_new = Tensor::from_vec(g_new, &[n, new_len]);
+        let gh = self.conv.backward(&g_new);
+        let gh = self.relu.backward(&gh);
+        let mut dx = self.bn.backward(&gh);
+        dx.add_assign_(&Tensor::from_vec(g_pass, &[n, self.in_len]));
+        dx
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        let mut ps = Vec::new();
+        ps.extend(self.bn.params());
+        ps.extend(self.conv.params());
+        ps
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        assert_eq!(in_features, self.in_len);
+        in_features + self.conv.out_len()
+    }
+
+    fn extra_state(&self) -> Vec<f32> {
+        self.bn.extra_state()
+    }
+
+    fn load_extra_state(&mut self, state: &[f32]) {
+        self.bn.load_extra_state(state);
+    }
+}
+
+/// Builds a small densely-connected feature extractor: a stem conv, two
+/// dense blocks of `layers_per_block` [`DenseLayer`]s with 1×1-conv +
+/// stride-2 transitions, and global average pooling.
+pub fn densenet_lite(
+    in_shape: (usize, usize, usize),
+    growth: usize,
+    layers_per_block: usize,
+    rng: &mut Rng64,
+) -> (Sequential, usize) {
+    let (c, h, w) = in_shape;
+    assert!(h % 4 == 0 && w % 4 == 0, "input must be divisible by 4");
+    let mut net = Sequential::empty();
+    let stem_c = 2 * growth;
+    net.push(Box::new(Conv2d::new(
+        Conv2dGeometry {
+            in_channels: c,
+            height: h,
+            width: w,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        },
+        stem_c,
+        false,
+        rng,
+    )));
+    let mut cur_c = stem_c;
+    let (mut cur_h, mut cur_w) = (h, w);
+    for _block in 0..2 {
+        for _ in 0..layers_per_block {
+            net.push(Box::new(DenseLayer::new(cur_c, growth, cur_h, cur_w, rng)));
+            cur_c += growth;
+        }
+        // Transition: bn-relu-1x1 conv (halve channels) + stride-2 via conv.
+        let out_c = cur_c / 2;
+        net.push(Box::new(BatchNorm2d::new(cur_c, cur_h * cur_w)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Conv2d::new(
+            Conv2dGeometry {
+                in_channels: cur_c,
+                height: cur_h,
+                width: cur_w,
+                kernel: 1,
+                stride: 2,
+                pad: 0,
+            },
+            out_c,
+            false,
+            rng,
+        )));
+        cur_c = out_c;
+        cur_h /= 2;
+        cur_w /= 2;
+    }
+    net.push(Box::new(BatchNorm2d::new(cur_c, cur_h * cur_w)));
+    net.push(Box::new(Relu::new()));
+    net.push(Box::new(GlobalAvgPool::new(cur_c, cur_h * cur_w)));
+    (net, cur_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::{central_difference, normal, rel_error};
+
+    #[test]
+    fn basic_block_preserves_shape_without_downsample() {
+        let mut rng = Rng64::new(0);
+        let mut block = BasicBlock::new(4, 4, 4, 4, 1, &mut rng);
+        let x = normal(&[2, 4 * 16], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 4 * 16]);
+        assert_eq!(block.out_features(64), 64);
+    }
+
+    #[test]
+    fn basic_block_downsamples_with_projection() {
+        let mut rng = Rng64::new(1);
+        let mut block = BasicBlock::new(4, 8, 4, 4, 2, &mut rng);
+        let x = normal(&[2, 4 * 16], 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 8 * 4]);
+    }
+
+    #[test]
+    fn basic_block_gradcheck_input() {
+        let mut rng = Rng64::new(2);
+        let x = normal(&[2, 2 * 16], 0.0, 1.0, &mut rng);
+        let c = normal(&[2, 2 * 16], 0.0, 1.0, &mut rng);
+        let mut block = BasicBlock::new(2, 2, 4, 4, 1, &mut Rng64::new(42));
+        let _ = block.forward(&x, true);
+        let dx = block.backward(&c);
+        let ndx = central_difference(&x, 1e-2, |p| {
+            BasicBlock::new(2, 2, 4, 4, 1, &mut Rng64::new(42))
+                .forward(p, true)
+                .dot(&c)
+        });
+        assert!(rel_error(&dx, &ndx) < 5e-2, "block input grad");
+    }
+
+    #[test]
+    fn resnet_builder_shapes() {
+        let mut rng = Rng64::new(3);
+        let (mut net, fe) = resnet_cifar((3, 8, 8), 1, 4, &mut rng);
+        assert_eq!(fe, 16);
+        let x = normal(&[2, 3 * 64], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, false);
+        assert_eq!(y.dims(), &[2, 16]);
+        assert_eq!(net.out_features(3 * 64), 16);
+    }
+
+    #[test]
+    fn resnet_train_backward_runs() {
+        let mut rng = Rng64::new(4);
+        let (mut net, fe) = resnet_cifar((3, 8, 8), 1, 4, &mut rng);
+        let x = normal(&[3, 3 * 64], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        let dx = net.backward(&Tensor::ones(&[3, fe]));
+        assert_eq!(dx.dims(), x.dims());
+        assert!(y.all_finite() && dx.all_finite());
+    }
+
+    #[test]
+    fn wide_resnet_is_wider() {
+        let mut rng = Rng64::new(5);
+        let (_, fe1) = wide_resnet((3, 8, 8), 1, &mut rng);
+        let (_, fe2) = wide_resnet((3, 8, 8), 2, &mut rng);
+        assert_eq!(fe2, 2 * fe1);
+    }
+
+    #[test]
+    fn dense_layer_concatenates() {
+        let mut rng = Rng64::new(6);
+        let mut dl = DenseLayer::new(2, 3, 4, 4, &mut rng);
+        let x = normal(&[2, 2 * 16], 0.0, 1.0, &mut rng);
+        let y = dl.forward(&x, false);
+        assert_eq!(y.dims(), &[2, (2 + 3) * 16]);
+        // Input channels pass through unchanged.
+        assert_eq!(&y.row_slice(0)[..32], x.row_slice(0));
+    }
+
+    #[test]
+    fn dense_layer_gradcheck() {
+        let x = normal(&[2, 2 * 16], 0.0, 1.0, &mut Rng64::new(7));
+        let c = normal(&[2, 4 * 16], 0.0, 1.0, &mut Rng64::new(8));
+        let mut dl = DenseLayer::new(2, 2, 4, 4, &mut Rng64::new(9));
+        let _ = dl.forward(&x, true);
+        let dx = dl.backward(&c);
+        // eps must stay small: BN centres activations near the ReLU kink,
+        // and a coarse step crosses it.
+        let ndx = central_difference(&x, 3e-3, |p| {
+            DenseLayer::new(2, 2, 4, 4, &mut Rng64::new(9))
+                .forward(p, true)
+                .dot(&c)
+        });
+        assert!(rel_error(&dx, &ndx) < 5e-2, "dense layer input grad");
+    }
+
+    #[test]
+    fn densenet_builder_shapes() {
+        let mut rng = Rng64::new(10);
+        let (mut net, fe) = densenet_lite((3, 8, 8), 4, 2, &mut rng);
+        let x = normal(&[2, 3 * 64], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, false);
+        assert_eq!(y.dims(), &[2, fe]);
+    }
+}
+

@@ -1,0 +1,238 @@
+//! Model weight serialization.
+//!
+//! A small self-describing binary format (`EOSW`): trainable parameters
+//! in the layer's stable order plus non-trainable state (batch-norm
+//! running statistics), so a saved network reproduces inference exactly.
+//! This is what lets phase one of the framework be trained once and the
+//! classifier head fine-tuned many times in later processes.
+
+use crate::layer::Layer;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"EOSW";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32s(w: &mut impl Write, vs: &[f32]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(vs.len() * 4);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32s(r: &mut impl Read, n: usize) -> io::Result<Vec<f32>> {
+    let mut buf = vec![0u8; n * 4];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes a layer's parameters and extra state to `writer`.
+pub fn save_weights(layer: &mut dyn Layer, mut writer: impl Write) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    write_u32(&mut writer, VERSION)?;
+    let params = layer.params();
+    write_u64(&mut writer, params.len() as u64)?;
+    for p in &params {
+        let dims = p.value.dims();
+        write_u32(&mut writer, dims.len() as u32)?;
+        for &d in dims {
+            write_u64(&mut writer, d as u64)?;
+        }
+        write_f32s(&mut writer, p.value.data())?;
+    }
+    let extra = layer.extra_state();
+    write_u64(&mut writer, extra.len() as u64)?;
+    write_f32s(&mut writer, &extra)?;
+    Ok(())
+}
+
+/// Restores parameters and extra state written by [`save_weights`] into a
+/// structurally identical layer. Fails loudly on any shape mismatch.
+pub fn load_weights(layer: &mut dyn Layer, mut reader: impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an EOSW weight file"));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported EOSW version {version}")));
+    }
+    let count = read_u64(&mut reader)? as usize;
+    let mut params = layer.params();
+    if count != params.len() {
+        return Err(bad(format!(
+            "file has {count} parameters, model has {}",
+            params.len()
+        )));
+    }
+    for p in params.iter_mut() {
+        let rank = read_u32(&mut reader)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut reader)? as usize);
+        }
+        if dims != p.value.dims() {
+            return Err(bad(format!(
+                "parameter shape mismatch: file {dims:?}, model {:?}",
+                p.value.dims()
+            )));
+        }
+        let data = read_f32s(&mut reader, p.value.len())?;
+        p.value.data_mut().copy_from_slice(&data);
+    }
+    let extra_len = read_u64(&mut reader)? as usize;
+    let expected = layer.extra_state().len();
+    if extra_len != expected {
+        return Err(bad(format!(
+            "extra state length mismatch: file {extra_len}, model {expected}"
+        )));
+    }
+    let extra = read_f32s(&mut reader, extra_len)?;
+    layer.load_extra_state(&extra);
+    Ok(())
+}
+
+/// [`save_weights`] to a file path.
+pub fn save_weights_file(layer: &mut dyn Layer, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    save_weights(layer, io::BufWriter::new(file))
+}
+
+/// [`load_weights`] from a file path.
+pub fn load_weights_file(layer: &mut dyn Layer, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::open(path)?;
+    load_weights(layer, io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Architecture, ConvNet};
+    use eos_tensor::{normal, Rng64};
+
+    fn tiny_net(seed: u64) -> ConvNet {
+        ConvNet::new(
+            Architecture::ResNet {
+                blocks_per_stage: 1,
+                width: 4,
+            },
+            (3, 8, 8),
+            3,
+            &mut Rng64::new(seed),
+        )
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_outputs() {
+        let mut rng = Rng64::new(0);
+        let mut a = tiny_net(1);
+        // Push some data through in training mode so BN running stats are
+        // non-trivial (the part naive param-only serialization loses).
+        let x = normal(&[8, 3 * 64], 0.0, 1.0, &mut rng);
+        let _ = a.forward(&x, true);
+        let expected = a.forward(&x, false);
+
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        let mut b = tiny_net(999); // different init, same structure
+        load_weights(&mut b, buf.as_slice()).unwrap();
+        let got = b.forward(&x, false);
+        assert_eq!(expected.data(), got.data(), "bit-exact inference");
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut net = tiny_net(1);
+        let err = load_weights(&mut net, &b"NOPE"[..]).unwrap_err();
+        assert!(err.to_string().contains("not an EOSW"));
+    }
+
+    #[test]
+    fn rejects_structural_mismatch() {
+        let mut a = tiny_net(1);
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        let mut b = ConvNet::new(
+            Architecture::ResNet {
+                blocks_per_stage: 1,
+                width: 8, // wider: different shapes
+            },
+            (3, 8, 8),
+            3,
+            &mut Rng64::new(0),
+        );
+        assert!(load_weights(&mut b, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_every_architecture_family() {
+        for arch in [
+            Architecture::ResNet {
+                blocks_per_stage: 1,
+                width: 4,
+            },
+            Architecture::WideResNet { k: 1 },
+            Architecture::DenseNet {
+                growth: 4,
+                layers_per_block: 2,
+            },
+        ] {
+            let mut rng = Rng64::new(7);
+            let mut a = ConvNet::new(arch, (3, 8, 8), 3, &mut rng);
+            let x = normal(&[4, 3 * 64], 0.0, 1.0, &mut rng);
+            let _ = a.forward(&x, true); // accumulate BN statistics
+            let mut buf = Vec::new();
+            save_weights(&mut a, &mut buf).unwrap();
+            let mut b = ConvNet::new(arch, (3, 8, 8), 3, &mut Rng64::new(1234));
+            load_weights(&mut b, buf.as_slice()).unwrap();
+            assert_eq!(
+                a.forward(&x, false).data(),
+                b.forward(&x, false).data(),
+                "{} roundtrip",
+                arch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("eos_weights_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.eosw");
+        let mut a = tiny_net(4);
+        save_weights_file(&mut a, &path).unwrap();
+        let mut b = tiny_net(5);
+        load_weights_file(&mut b, &path).unwrap();
+        let x = normal(&[2, 3 * 64], 0.0, 1.0, &mut Rng64::new(6));
+        assert_eq!(a.forward(&x, false).data(), b.forward(&x, false).data());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the loss functions: gradients match finite
+//! differences on random logits, and the cost-sensitive losses order
+//! hardness the way their papers claim.
+
+use eos_nn::{
+    effective_number_weights, AsymmetricLoss, CrossEntropyLoss, FocalLoss, LdamLoss, Loss,
+};
+use eos_tensor::{central_difference, rel_error, Tensor};
+use proptest::prelude::*;
+
+fn logits_and_labels() -> impl Strategy<Value = (Tensor, Vec<usize>)> {
+    (1usize..=4, 2usize..=4).prop_flat_map(|(batch, classes)| {
+        (
+            proptest::collection::vec(-3.0f32..3.0, batch * classes),
+            proptest::collection::vec(0usize..classes, batch),
+        )
+            .prop_map(move |(z, y)| (Tensor::from_vec(z, &[batch, classes]), y))
+    })
+}
+
+fn losses(counts: &[usize]) -> Vec<Box<dyn Loss>> {
+    vec![
+        Box::new(CrossEntropyLoss::new()),
+        Box::new(FocalLoss::new(2.0)),
+        Box::new(AsymmetricLoss::paper_defaults()),
+        // Modest LDAM scale: with s = 3 the scaled logits saturate f32
+        // softmax for extreme draws and the *numeric* gradient underflows
+        // to zero (the analytic one stays correct); s = 1.5 keeps the
+        // loss within finite-difference resolution.
+        Box::new(LdamLoss::new(counts, 0.5, 1.5)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gradients_match_finite_differences((logits, labels) in logits_and_labels()) {
+        // ASL's probability clip max(p − 0.05, 0) has a kink at
+        // sigmoid(z) = 0.05 (z ≈ −2.944); finite differences are invalid
+        // within eps of it, so keep the random logits away from it.
+        for z in logits.data() {
+            let p = 1.0 / (1.0 + (-z).exp());
+            prop_assume!((p - 0.05f32).abs() > 0.02);
+        }
+        let counts = vec![50; logits.dim(1)];
+        for loss in losses(&counts) {
+            let (v, grad) = loss.loss_and_grad(&logits, &labels);
+            prop_assert!(v.is_finite());
+            let ngrad = central_difference(&logits, 1e-3, |z| loss.loss_and_grad(z, &labels).0);
+            prop_assert!(
+                rel_error(&grad, &ngrad) < 3e-2,
+                "gradient mismatch {:.4}", rel_error(&grad, &ngrad)
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_when_true_logit_grows((logits, labels) in logits_and_labels()) {
+        let counts = vec![50; logits.dim(1)];
+        for loss in losses(&counts) {
+            let (before, _) = loss.loss_and_grad(&logits, &labels);
+            let mut boosted = logits.clone();
+            for (i, &y) in labels.iter().enumerate() {
+                let v = boosted.at(&[i, y]) + 2.0;
+                boosted.set(&[i, y], v);
+            }
+            let (after, _) = loss.loss_and_grad(&boosted, &labels);
+            prop_assert!(after <= before + 1e-5, "raising true logits must not hurt");
+        }
+    }
+
+    #[test]
+    fn class_weights_scale_ce_loss(
+        (logits, labels) in logits_and_labels(),
+        w in 0.5f32..4.0,
+    ) {
+        let classes = logits.dim(1);
+        let mut weighted = CrossEntropyLoss::new();
+        weighted.set_class_weights(Some(vec![w; classes]));
+        let (plain, _) = CrossEntropyLoss::new().loss_and_grad(&logits, &labels);
+        let (scaled, _) = weighted.loss_and_grad(&logits, &labels);
+        prop_assert!((scaled - w * plain).abs() < 1e-3 * (1.0 + plain.abs()));
+    }
+
+    #[test]
+    fn effective_number_weights_are_monotone(
+        n1 in 1usize..2000,
+        n2 in 1usize..2000,
+    ) {
+        let w = effective_number_weights(0.999, &[n1, n2]);
+        if n1 < n2 {
+            prop_assert!(w[0] >= w[1], "fewer samples must not get less weight");
+        } else if n1 > n2 {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(w.iter().all(|x| x.is_finite() && *x > 0.0));
+    }
+}

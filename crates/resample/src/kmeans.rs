@@ -1,0 +1,320 @@
+//! K-means clustering substrate and the K-means SMOTE oversampler.
+//!
+//! K-means SMOTE (Douzas et al.) clusters each minority class and
+//! concentrates generation in *sparse* clusters, avoiding both noise
+//! amplification and over-densifying already-dense regions. It rounds out
+//! the SMOTE family alongside Borderline-SMOTE and ADASYN.
+
+use crate::smote::Smote;
+use crate::{deficits, indices_by_class, Oversampler};
+use eos_tensor::{Rng64, Tensor};
+
+/// Lloyd's algorithm with k-means++-style seeding (greedy farthest-point
+/// variant for determinism under the workspace RNG).
+pub struct KMeans {
+    /// `(k, d)` cluster centres.
+    pub centroids: Tensor,
+    /// Cluster assignment per input row.
+    pub assignment: Vec<usize>,
+    /// Mean within-cluster squared distance (inertia / n).
+    pub inertia: f64,
+}
+
+impl KMeans {
+    /// Clusters the rows of `x` into at most `k` clusters (fewer when
+    /// `x` has fewer rows) with at most `max_iters` Lloyd iterations.
+    pub fn fit(x: &Tensor, k: usize, max_iters: usize, rng: &mut Rng64) -> KMeans {
+        assert_eq!(x.rank(), 2);
+        let n = x.dim(0);
+        assert!(n > 0 && k > 0);
+        let k = k.min(n);
+        let d = x.dim(1);
+        // k-means++ seeding: first centre uniform, then proportional to
+        // squared distance from the nearest chosen centre.
+        let mut centre_rows = vec![rng.below(n)];
+        let mut d2 = vec![f32::INFINITY; n];
+        while centre_rows.len() < k {
+            let last = *centre_rows.last().unwrap();
+            for (i, slot) in d2.iter_mut().enumerate() {
+                let dist = sq_dist(x.row_slice(i), x.row_slice(last));
+                if dist < *slot {
+                    *slot = dist;
+                }
+            }
+            let total: f32 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                rng.below(n)
+            } else {
+                rng.weighted_choice(&d2)
+            };
+            centre_rows.push(next);
+        }
+        let mut centroids = x.select_rows(&centre_rows);
+        let mut assignment = vec![0usize; n];
+        for _ in 0..max_iters {
+            // Assign.
+            let mut changed = false;
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                let row = x.row_slice(i);
+                let mut best = 0;
+                let mut best_d = f32::INFINITY;
+                for c in 0..k {
+                    let dist = sq_dist(row, centroids.row_slice(c));
+                    if dist < best_d {
+                        best_d = dist;
+                        best = c;
+                    }
+                }
+                if *slot != best {
+                    *slot = best;
+                    changed = true;
+                }
+            }
+            // Update.
+            let mut sums = vec![0.0f64; k * d];
+            let mut counts = vec![0usize; k];
+            for (i, &a) in assignment.iter().enumerate() {
+                counts[a] += 1;
+                for (s, &v) in sums[a * d..(a + 1) * d].iter_mut().zip(x.row_slice(i)) {
+                    *s += v as f64;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    continue; // keep the old centre for empty clusters
+                }
+                for j in 0..d {
+                    centroids.data_mut()[c * d + j] =
+                        (sums[c * d + j] / counts[c] as f64) as f32;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let inertia = (0..n)
+            .map(|i| sq_dist(x.row_slice(i), centroids.row_slice(assignment[i])) as f64)
+            .sum::<f64>()
+            / n as f64;
+        KMeans {
+            centroids,
+            assignment,
+            inertia,
+        }
+    }
+
+    /// Number of clusters actually produced.
+    pub fn k(&self) -> usize {
+        self.centroids.dim(0)
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// K-means SMOTE: cluster each minority class, weight clusters by
+/// sparseness (mean pairwise distance), and run intra-cluster SMOTE with
+/// sample budgets proportional to those weights.
+pub struct KMeansSmote {
+    /// Clusters per minority class.
+    pub clusters: usize,
+    /// Intra-cluster interpolation neighbourhood.
+    pub k: usize,
+}
+
+impl KMeansSmote {
+    /// K-means SMOTE with the given cluster count and SMOTE `k`.
+    pub fn new(clusters: usize, k: usize) -> Self {
+        assert!(clusters >= 1 && k >= 1);
+        KMeansSmote { clusters, k }
+    }
+}
+
+impl Oversampler for KMeansSmote {
+    fn name(&self) -> &'static str {
+        "KM-SMOTE"
+    }
+
+    fn oversample(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> (Tensor, Vec<usize>) {
+        assert_eq!(x.dim(0), y.len());
+        let needs = deficits(y, num_classes);
+        let idx = indices_by_class(y, num_classes);
+        let width = x.dim(1);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (class, &need) in needs.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            let class_rows = x.select_rows(&idx[class]);
+            let n = class_rows.dim(0);
+            if n < 2 * self.clusters {
+                // Too small to cluster meaningfully: plain SMOTE.
+                let pool: Vec<usize> = (0..n).collect();
+                Smote::synthesize_for_class(&class_rows, &pool, need, self.k, rng, &mut data);
+                labels.extend(std::iter::repeat_n(class, need));
+                continue;
+            }
+            let km = KMeans::fit(&class_rows, self.clusters, 30, rng);
+            // Sparseness weight per cluster: mean distance to centroid.
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); km.k()];
+            for (i, &a) in km.assignment.iter().enumerate() {
+                members[a].push(i);
+            }
+            let weights: Vec<f32> = members
+                .iter()
+                .enumerate()
+                .map(|(c, m)| {
+                    if m.len() < 2 {
+                        return 0.0; // can't interpolate in a singleton
+                    }
+                    let mean_d: f32 = m
+                        .iter()
+                        .map(|&i| {
+                            sq_dist(class_rows.row_slice(i), km.centroids.row_slice(c)).sqrt()
+                        })
+                        .sum::<f32>()
+                        / m.len() as f32;
+                    mean_d.max(1e-6)
+                })
+                .collect();
+            let total: f32 = weights.iter().sum();
+            if total <= 0.0 {
+                let pool: Vec<usize> = (0..n).collect();
+                Smote::synthesize_for_class(&class_rows, &pool, need, self.k, rng, &mut data);
+                labels.extend(std::iter::repeat_n(class, need));
+                continue;
+            }
+            // Allocate the budget proportionally (largest remainder last).
+            let mut allocated = 0usize;
+            for (c, m) in members.iter().enumerate() {
+                if weights[c] <= 0.0 {
+                    continue;
+                }
+                let share = ((weights[c] / total) * need as f32).floor() as usize;
+                let share = share.min(need - allocated);
+                if share == 0 {
+                    continue;
+                }
+                let cluster_rows = class_rows.select_rows(m);
+                let pool: Vec<usize> = (0..cluster_rows.dim(0)).collect();
+                Smote::synthesize_for_class(&cluster_rows, &pool, share, self.k, rng, &mut data);
+                allocated += share;
+            }
+            // Remainder goes to the sparsest eligible cluster.
+            if allocated < need {
+                let best = weights
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(c, _)| c)
+                    .unwrap();
+                let cluster_rows = class_rows.select_rows(&members[best]);
+                let pool: Vec<usize> = (0..cluster_rows.dim(0)).collect();
+                Smote::synthesize_for_class(
+                    &cluster_rows,
+                    &pool,
+                    need - allocated,
+                    self.k,
+                    rng,
+                    &mut data,
+                );
+            }
+            labels.extend(std::iter::repeat_n(class, need));
+        }
+        (Tensor::from_vec(data, &[labels.len(), width]), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{balance_with, class_counts};
+    use eos_tensor::normal;
+
+    #[test]
+    fn kmeans_recovers_separated_clusters() {
+        let mut rng = Rng64::new(1);
+        let a = normal(&[30, 2], 0.0, 0.3, &mut rng);
+        let b = normal(&[30, 2], 10.0, 0.3, &mut rng);
+        let x = Tensor::concat_rows(&[&a, &b]);
+        let km = KMeans::fit(&x, 2, 50, &mut rng);
+        // All of the first 30 in one cluster, all of the rest in the other.
+        let first = km.assignment[0];
+        assert!(km.assignment[..30].iter().all(|&c| c == first));
+        assert!(km.assignment[30..].iter().all(|&c| c != first));
+        assert!(km.inertia < 1.0, "inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn kmeans_handles_k_greater_than_n() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[3, 1]);
+        let km = KMeans::fit(&x, 10, 10, &mut Rng64::new(0));
+        assert_eq!(km.k(), 3);
+    }
+
+    #[test]
+    fn kmeans_single_cluster_is_mean() {
+        let x = Tensor::from_vec(vec![0.0, 2.0, 4.0], &[3, 1]);
+        let km = KMeans::fit(&x, 1, 10, &mut Rng64::new(0));
+        assert!((km.centroids.data()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kmeans_smote_balances() {
+        let mut rng = Rng64::new(2);
+        let x = normal(&[40, 3], 0.0, 1.0, &mut rng);
+        let mut y = vec![0usize; 28];
+        y.extend(vec![1usize; 12]);
+        let (_, by) = balance_with(&KMeansSmote::new(3, 3), &x, &y, 2, &mut rng);
+        assert_eq!(class_counts(&by, 2), vec![28, 28]);
+    }
+
+    #[test]
+    fn generation_prefers_sparse_clusters() {
+        // Minority = one tight clump + one diffuse clump. Synthetic mass
+        // should favour the diffuse (sparse) one.
+        let mut rng = Rng64::new(3);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..40 {
+            rows.push(normal(&[2], -20.0, 0.5, &mut rng));
+            y.push(0);
+        }
+        for _ in 0..8 {
+            rows.push(normal(&[2], 0.0, 0.05, &mut rng)); // tight
+            y.push(1);
+        }
+        for _ in 0..8 {
+            rows.push(normal(&[2], 10.0, 2.0, &mut rng)); // diffuse
+            y.push(1);
+        }
+        let x = Tensor::stack_rows(&rows);
+        let (sx, _) = KMeansSmote::new(2, 3).oversample(&x, &y, 2, &mut rng);
+        let near_diffuse = (0..sx.dim(0))
+            .filter(|&i| sx.row_slice(i)[0] > 5.0)
+            .count();
+        assert!(
+            near_diffuse * 2 > sx.dim(0),
+            "sparse cluster should get most samples: {near_diffuse}/{}",
+            sx.dim(0)
+        );
+    }
+
+    #[test]
+    fn tiny_class_falls_back_to_plain_smote() {
+        let x = Tensor::from_vec(vec![0.0, 0.1, 0.2, 5.0, 5.1], &[5, 1]);
+        let y = vec![0, 0, 0, 1, 1];
+        let (sx, sy) = KMeansSmote::new(4, 3).oversample(&x, &y, 2, &mut Rng64::new(0));
+        assert_eq!(sy.len(), 1);
+        assert!((5.0..=5.1).contains(&sx.data()[0]));
+    }
+}

@@ -1,0 +1,70 @@
+//! Random oversampling: duplicate minority samples with replacement.
+
+use crate::{deficits, indices_by_class, Oversampler};
+use eos_tensor::{Rng64, Tensor};
+
+/// The simplest baseline: repeats existing minority rows until classes
+/// balance. Changes class weight norms but cannot expand feature ranges —
+/// the degenerate case of the paper's interpolation argument.
+pub struct RandomOversampler;
+
+impl Oversampler for RandomOversampler {
+    fn name(&self) -> &'static str {
+        "RandomOS"
+    }
+
+    fn oversample(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> (Tensor, Vec<usize>) {
+        assert_eq!(x.dim(0), y.len());
+        let needs = deficits(y, num_classes);
+        let idx = indices_by_class(y, num_classes);
+        let width = x.dim(1);
+        let total: usize = needs.iter().sum();
+        let mut data = Vec::with_capacity(total * width);
+        let mut labels = Vec::with_capacity(total);
+        for (class, &need) in needs.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
+            for _ in 0..need {
+                let &row = rng.choose(&idx[class]);
+                data.extend_from_slice(x.row_slice(row));
+                labels.push(class);
+            }
+        }
+        (Tensor::from_vec(data, &[labels.len(), width]), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance_with;
+
+    #[test]
+    fn duplicates_only_existing_rows() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 9.0], &[3, 1]);
+        let y = vec![0, 0, 1];
+        let (sx, sy) = RandomOversampler.oversample(&x, &y, 2, &mut Rng64::new(1));
+        assert_eq!(sy, vec![1]);
+        assert_eq!(sx.data(), &[9.0], "the only class-1 row is duplicated");
+    }
+
+    #[test]
+    fn balances_exactly() {
+        let x = Tensor::from_vec((0..10).map(|i| i as f32).collect(), &[10, 1]);
+        let y = vec![0, 0, 0, 0, 0, 0, 1, 1, 2, 2];
+        let (_, by) = balance_with(&RandomOversampler, &x, &y, 3, &mut Rng64::new(0));
+        let counts = crate::class_counts(&by, 3);
+        assert_eq!(counts, vec![6, 6, 6]);
+    }
+}

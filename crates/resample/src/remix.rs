@@ -1,0 +1,105 @@
+//! Remix-style pixel-space mixing (Bellinger et al. 2021), simplified.
+
+use crate::{deficits, indices_by_class, Oversampler};
+use eos_tensor::{Rng64, Tensor};
+
+/// Expands the minority footprint in *pixel space* by mixing a minority
+/// sample with a random sample from any other class:
+/// `x_syn = λ·x_min + (1−λ)·x_other`, `λ ∈ [λ_min, 1)`, labelled with the
+/// minority class. Unlike SMOTE, the mix partner may be an enemy, so the
+/// synthetic can leave the minority convex hull — but the expansion
+/// happens in raw pixels, not in the model's embedding (the distinction
+/// Table I probes).
+pub struct Remix {
+    /// Lower bound of the minority mixing coefficient (keeping the label
+    /// honest requires λ comfortably above 0.5).
+    pub lambda_min: f32,
+}
+
+impl Remix {
+    /// Remix with the default λ ∈ [0.65, 1).
+    pub fn new() -> Self {
+        Remix { lambda_min: 0.65 }
+    }
+}
+
+impl Default for Remix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Oversampler for Remix {
+    fn name(&self) -> &'static str {
+        "Remix"
+    }
+
+    fn oversample(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> (Tensor, Vec<usize>) {
+        assert_eq!(x.dim(0), y.len());
+        assert!((0.5..1.0).contains(&self.lambda_min));
+        let needs = deficits(y, num_classes);
+        let idx = indices_by_class(y, num_classes);
+        let width = x.dim(1);
+        let n = x.dim(0);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (class, &need) in needs.iter().enumerate() {
+            if need == 0 {
+                continue;
+            }
+            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            let others: Vec<usize> = (0..n).filter(|&i| y[i] != class).collect();
+            for _ in 0..need {
+                let &base = rng.choose(&idx[class]);
+                let lam = rng.range_f32(self.lambda_min, 1.0);
+                let b = x.row_slice(base);
+                if others.is_empty() {
+                    data.extend_from_slice(b);
+                } else {
+                    let &other = rng.choose(&others);
+                    let o = x.row_slice(other);
+                    data.extend(
+                        b.iter().zip(o).map(|(&bv, &ov)| lam * bv + (1.0 - lam) * ov),
+                    );
+                }
+                labels.push(class);
+            }
+        }
+        (Tensor::from_vec(data, &[labels.len(), width]), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{balance_with, class_counts};
+
+    #[test]
+    fn mixes_toward_other_classes() {
+        // Minority at 10, majority at 0: synthetics land strictly between,
+        // outside the (degenerate) minority hull — footprint expansion.
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 10.0], &[4, 1]);
+        let y = vec![0, 0, 0, 1];
+        let (sx, sy) = Remix::new().oversample(&x, &y, 2, &mut Rng64::new(1));
+        assert_eq!(sy, vec![1, 1]);
+        for &v in sx.data() {
+            assert!(v < 10.0 && v > 5.0, "λ>0.65 keeps it minority-side: {v}");
+        }
+    }
+
+    #[test]
+    fn balances_counts_with_minority_labels() {
+        let mut rng = Rng64::new(2);
+        let x = eos_tensor::normal(&[20, 3], 0.0, 1.0, &mut rng);
+        let mut y = vec![0usize; 15];
+        y.extend(vec![1usize; 5]);
+        let (_, by) = balance_with(&Remix::new(), &x, &y, 2, &mut rng);
+        assert_eq!(class_counts(&by, 2), vec![15, 15]);
+    }
+}

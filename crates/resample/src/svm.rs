@@ -1,0 +1,207 @@
+//! Linear SVM substrate and the Balanced-SVM oversampler built on it.
+
+use crate::smote::Smote;
+use crate::{Oversampler};
+use eos_tensor::{Rng64, Tensor};
+
+/// One-vs-rest linear SVM trained with hinge-loss SGD.
+///
+/// This is the model substrate behind [`BalancedSvm`] (Farquad & Bose
+/// 2012): the baselines need an SVM to re-label SMOTE-generated samples.
+pub struct LinearSvm {
+    /// `(classes, features + 1)` weights; last column is the bias.
+    weights: Tensor,
+    classes: usize,
+}
+
+impl LinearSvm {
+    /// Trains a one-vs-rest SVM. `reg` is the L2 coefficient.
+    pub fn fit(
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        epochs: usize,
+        lr: f32,
+        reg: f32,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert_eq!(x.dim(0), y.len());
+        assert!(num_classes >= 2 && epochs >= 1 && lr > 0.0 && reg >= 0.0);
+        let (n, d) = (x.dim(0), x.dim(1));
+        let mut weights = Tensor::zeros(&[num_classes, d + 1]);
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..epochs {
+            let step = lr / (1.0 + epoch as f32);
+            rng.shuffle(&mut order);
+            for &i in &order {
+                let xi = x.row_slice(i);
+                for c in 0..num_classes {
+                    let target = if y[i] == c { 1.0f32 } else { -1.0 };
+                    let w = &weights.data()[c * (d + 1)..(c + 1) * (d + 1)];
+                    let score: f32 =
+                        w[..d].iter().zip(xi).map(|(&wv, &xv)| wv * xv).sum::<f32>() + w[d];
+                    let margin = target * score;
+                    let wrow = &mut weights.data_mut()[c * (d + 1)..(c + 1) * (d + 1)];
+                    // L2 shrink (on the weight part only) then hinge update.
+                    for wv in wrow[..d].iter_mut() {
+                        *wv *= 1.0 - step * reg;
+                    }
+                    if margin < 1.0 {
+                        for (wv, &xv) in wrow[..d].iter_mut().zip(xi) {
+                            *wv += step * target * xv;
+                        }
+                        wrow[d] += step * target;
+                    }
+                }
+            }
+        }
+        LinearSvm {
+            weights,
+            classes: num_classes,
+        }
+    }
+
+    /// Raw decision values, one per class.
+    pub fn decision(&self, point: &[f32]) -> Vec<f32> {
+        let d = self.weights.dim(1) - 1;
+        assert_eq!(point.len(), d, "feature width mismatch");
+        (0..self.classes)
+            .map(|c| {
+                let w = &self.weights.data()[c * (d + 1)..(c + 1) * (d + 1)];
+                w[..d].iter().zip(point).map(|(&wv, &xv)| wv * xv).sum::<f32>() + w[d]
+            })
+            .collect()
+    }
+
+    /// Predicted class (argmax decision value).
+    pub fn predict(&self, point: &[f32]) -> usize {
+        let scores = self.decision(point);
+        let mut best = 0;
+        for (c, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Accuracy over a labelled set.
+    pub fn accuracy(&self, x: &Tensor, y: &[usize]) -> f32 {
+        let correct = (0..x.dim(0))
+            .filter(|&i| self.predict(x.row_slice(i)) == y[i])
+            .count();
+        correct as f32 / y.len().max(1) as f32
+    }
+}
+
+/// Balanced-SVM oversampling (Farquad & Bose): generate candidates with
+/// SMOTE, then *replace their labels* with the predictions of an SVM
+/// trained on the original data, aligning synthetic labels with the
+/// learned decision boundary.
+pub struct BalancedSvm {
+    /// SMOTE neighbourhood size.
+    pub k: usize,
+    /// SVM training epochs.
+    pub svm_epochs: usize,
+}
+
+impl BalancedSvm {
+    /// Balanced-SVM with a `k`-neighbour SMOTE generator.
+    pub fn new(k: usize) -> Self {
+        BalancedSvm { k, svm_epochs: 20 }
+    }
+}
+
+impl Oversampler for BalancedSvm {
+    fn name(&self) -> &'static str {
+        "Bal-SVM"
+    }
+
+    fn oversample(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        num_classes: usize,
+        rng: &mut Rng64,
+    ) -> (Tensor, Vec<usize>) {
+        let (sx, mut sy) = Smote::new(self.k).oversample(x, y, num_classes, rng);
+        if sy.is_empty() {
+            return (sx, sy);
+        }
+        let svm = LinearSvm::fit(x, y, num_classes, self.svm_epochs, 0.1, 1e-3, rng);
+        for (i, label) in sy.iter_mut().enumerate() {
+            *label = svm.predict(sx.row_slice(i));
+        }
+        (sx, sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::normal;
+
+    fn blobs(rng: &mut Rng64) -> (Tensor, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let centres = [(0.0f32, 0.0f32), (6.0, 0.0), (0.0, 6.0)];
+        for (class, &(cx, cy)) in centres.iter().enumerate() {
+            for _ in 0..20 {
+                let px = cx + rng.normal_f32(0.0, 0.5);
+                let py = cy + rng.normal_f32(0.0, 0.5);
+                rows.push(Tensor::from_vec(vec![px, py], &[2]));
+                y.push(class);
+            }
+        }
+        (Tensor::stack_rows(&rows), y)
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let mut rng = Rng64::new(1);
+        let (x, y) = blobs(&mut rng);
+        let svm = LinearSvm::fit(&x, &y, 3, 30, 0.1, 1e-3, &mut rng);
+        assert!(svm.accuracy(&x, &y) > 0.95, "{}", svm.accuracy(&x, &y));
+    }
+
+    #[test]
+    fn svm_decision_prefers_own_cluster() {
+        let mut rng = Rng64::new(2);
+        let (x, y) = blobs(&mut rng);
+        let svm = LinearSvm::fit(&x, &y, 3, 30, 0.1, 1e-3, &mut rng);
+        assert_eq!(svm.predict(&[0.0, 0.0]), 0);
+        assert_eq!(svm.predict(&[6.0, 0.0]), 1);
+        assert_eq!(svm.predict(&[0.0, 6.0]), 2);
+    }
+
+    #[test]
+    fn balanced_svm_relabels_with_predictions() {
+        // Minority points deep inside the majority cluster: SMOTE
+        // interpolants stay there, so the SVM relabels them as majority.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = Rng64::new(3);
+        for _ in 0..20 {
+            rows.push(normal(&[2], 0.0, 0.3, &mut rng));
+            y.push(0);
+        }
+        for _ in 0..4 {
+            rows.push(normal(&[2], 0.0, 0.05, &mut rng));
+            y.push(1);
+        }
+        let x = Tensor::stack_rows(&rows);
+        let (_, sy) = BalancedSvm::new(3).oversample(&x, &y, 2, &mut rng);
+        assert_eq!(sy.len(), 16);
+        let relabelled = sy.iter().filter(|&&l| l == 0).count();
+        assert!(relabelled > 8, "SVM should relabel engulfed synthetics");
+    }
+
+    #[test]
+    fn svm_accuracy_on_empty_is_zero_safe() {
+        let mut rng = Rng64::new(4);
+        let (x, y) = blobs(&mut rng);
+        let svm = LinearSvm::fit(&x, &y, 3, 5, 0.1, 1e-3, &mut rng);
+        let empty_x = Tensor::zeros(&[0, 2]);
+        assert_eq!(svm.accuracy(&empty_x, &[]), 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! `im2col`/`col2im` lowering used by the convolution layers.
+//!
+//! A convolution over an `N×C×H×W` batch with `K×K` kernels, stride `s` and
+//! padding `p` is computed as a GEMM between the unfolded input patches
+//! (`im2col`) and the flattened weight matrix. `col2im` is the adjoint
+//! (scatter-add) used in the backward pass.
+
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution: input size, kernel, stride, pad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride in both directions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output spatial height.
+    pub fn out_height(&self) -> usize {
+        (self.height + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_width(&self) -> usize {
+        (self.width + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the unfolded patch matrix per image: `out_h * out_w`.
+    pub fn patch_count(&self) -> usize {
+        self.out_height() * self.out_width()
+    }
+
+    /// Columns of the unfolded patch matrix: `C * K * K`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    fn check(&self) {
+        assert!(self.kernel > 0 && self.stride > 0, "degenerate geometry");
+        assert!(
+            self.height + 2 * self.pad >= self.kernel && self.width + 2 * self.pad >= self.kernel,
+            "kernel larger than padded input"
+        );
+    }
+}
+
+/// Unfolds one image (`C×H×W`, flattened) into a `(out_h*out_w) × (C*K*K)`
+/// patch matrix.
+pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
+    geom.check();
+    let (c, h, w) = (geom.in_channels, geom.height, geom.width);
+    assert_eq!(image.len(), c * h * w, "image buffer size mismatch");
+    let (oh, ow) = (geom.out_height(), geom.out_width());
+    let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
+    let mut out = vec![0.0f32; oh * ow * geom.patch_len()];
+    let mut row = 0usize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = row * geom.patch_len();
+            let iy0 = (oy * s) as isize - p as isize;
+            let ix0 = (ox * s) as isize - p as isize;
+            let mut col = 0usize;
+            for ch in 0..c {
+                let plane = &image[ch * h * w..(ch + 1) * h * w];
+                for ky in 0..k {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        col += k;
+                        continue;
+                    }
+                    let rowbase = iy as usize * w;
+                    for kx in 0..k {
+                        let ix = ix0 + kx as isize;
+                        if ix >= 0 && ix < w as isize {
+                            out[base + col] = plane[rowbase + ix as usize];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+    Tensor::from_vec(out, &[oh * ow, geom.patch_len()])
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a `(out_h*out_w) × (C*K*K)` patch
+/// gradient back into a `C×H×W` image gradient buffer.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
+    geom.check();
+    let (c, h, w) = (geom.in_channels, geom.height, geom.width);
+    let (oh, ow) = (geom.out_height(), geom.out_width());
+    assert_eq!(cols.dims(), &[oh * ow, geom.patch_len()], "cols shape mismatch");
+    let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
+    let data = cols.data();
+    let mut image = vec![0.0f32; c * h * w];
+    let mut row = 0usize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = row * geom.patch_len();
+            let iy0 = (oy * s) as isize - p as isize;
+            let ix0 = (ox * s) as isize - p as isize;
+            let mut col = 0usize;
+            for ch in 0..c {
+                for ky in 0..k {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        col += k;
+                        continue;
+                    }
+                    let rowbase = ch * h * w + iy as usize * w;
+                    for kx in 0..k {
+                        let ix = ix0 + kx as isize;
+                        if ix >= 0 && ix < w as isize {
+                            image[rowbase + ix as usize] += data[base + col];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            height: h,
+            width: w,
+            kernel: k,
+            stride: s,
+            pad: p,
+        }
+    }
+
+    #[test]
+    fn output_sizes() {
+        let g = geom(3, 8, 8, 3, 1, 1);
+        assert_eq!((g.out_height(), g.out_width()), (8, 8));
+        let g = geom(3, 8, 8, 3, 2, 1);
+        assert_eq!((g.out_height(), g.out_width()), (4, 4));
+        let g = geom(1, 5, 5, 5, 1, 0);
+        assert_eq!((g.out_height(), g.out_width()), (1, 1));
+    }
+
+    #[test]
+    fn identity_kernel_extracts_pixels() {
+        // 1x1 kernel, stride 1, no pad: patch matrix is the image itself.
+        let img: Vec<f32> = (0..9).map(|x| x as f32).collect();
+        let g = geom(1, 3, 3, 1, 1, 0);
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.dims(), &[9, 1]);
+        assert_eq!(cols.data(), img.as_slice());
+    }
+
+    #[test]
+    fn patches_are_correct_with_padding() {
+        // 2x2 image, 3x3 kernel, pad 1 -> 4 patches centred on each pixel.
+        let img = vec![1.0, 2.0, 3.0, 4.0];
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.dims(), &[4, 9]);
+        // Patch at output (0,0): padded neighbourhood of pixel (0,0).
+        assert_eq!(
+            cols.row_slice(0),
+            &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]
+        );
+        // Patch at output (1,1): neighbourhood of pixel (1,1).
+        assert_eq!(
+            cols.row_slice(3),
+            &[1.0, 2.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn multi_channel_layout() {
+        // Two channels: patch columns are channel-major then ky, kx.
+        let img = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let g = geom(2, 2, 2, 2, 1, 0);
+        let cols = im2col(&img, &g);
+        assert_eq!(cols.dims(), &[1, 8]);
+        assert_eq!(
+            cols.row_slice(0),
+            &[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]
+        );
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let g = geom(2, 5, 4, 3, 2, 1);
+        let n = g.in_channels * g.height * g.width;
+        let x: Vec<f32> = (0..n).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+        let cols = im2col(&x, &g);
+        let ylen = cols.len();
+        let y = Tensor::from_vec(
+            (0..ylen).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect(),
+            cols.dims(),
+        );
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, &g);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn rejects_kernel_larger_than_input() {
+        im2col(&[0.0; 4], &geom(1, 2, 2, 5, 1, 0));
+    }
+}

@@ -1,0 +1,194 @@
+//! Blocked matrix multiplication kernels.
+//!
+//! The training stack spends almost all of its time here (convolutions are
+//! lowered to GEMM via `im2col`), so the inner loops are written in the
+//! `i-k-j` order that lets LLVM vectorise over the contiguous output row,
+//! with a modest cache block on `k`.
+
+use crate::tensor::Tensor;
+
+const BLOCK_K: usize = 64;
+
+impl Tensor {
+    /// Matrix product `self (m×k) · other (k×n) -> (m×n)`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul lhs must be rank-2");
+        assert_eq!(other.rank(), 2, "matmul rhs must be rank-2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        gemm(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self (m×k) · otherᵀ  (n×k) -> (m×n)` without materialising the
+    /// transpose. `other` is stored row-major as `n×k`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(other.rank(), 2);
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (other.dim(0), other.dim(1));
+        assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ (k×m stored m-major) · other (m×n) -> (k×n)` without
+    /// materialising the transpose. `self` is stored row-major as `m×k`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(other.rank(), 2);
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (m2, n) = (other.dim(0), other.dim(1));
+        assert_eq!(m, m2, "inner dimension mismatch: {m} vs {m2}");
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; k * n];
+        // out[p, j] = sum_i a[i, p] * b[i, j]; accumulate row-by-row of a/b
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[i * n..(i + 1) * n];
+            for (p, &ap) in arow.iter().enumerate() {
+                if ap == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += ap * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[k, n])
+    }
+
+    /// Matrix–vector product `self (m×k) · v (k) -> (m)`.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(v.len(), k, "matvec length mismatch");
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            out.push(
+                self.row_slice(i)
+                    .iter()
+                    .zip(v.data())
+                    .map(|(&a, &b)| a * b)
+                    .sum(),
+            );
+        }
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+/// Row-major GEMM: `c += a (m×k) · b (k×n)` where `c` starts zeroed.
+fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for kb in (0..k).step_by(BLOCK_K) {
+        let kend = (kb + BLOCK_K).min(k);
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for p in kb..kend {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    fn seq(dims: &[usize]) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect(), dims)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (2, 3, 4), (7, 65, 9), (16, 128, 5)] {
+            let a = seq(&[m, k]);
+            let b = seq(&[k, n]);
+            assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = seq(&[4, 4]);
+        assert_close(&a.matmul(&Tensor::eye(4)), &a, 1e-6);
+        assert_close(&Tensor::eye(4).matmul(&a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = seq(&[5, 7]);
+        let b = seq(&[6, 7]); // b^T is 7x6
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = seq(&[7, 5]); // a^T is 5x7
+        let b = seq(&[7, 6]);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = seq(&[4, 6]);
+        let v = seq(&[6]);
+        let mv = a.matvec(&v);
+        let mm = a.matmul(&v.reshape(&[6, 1]));
+        assert_close(&mv, &mm.reshape(&[4]), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        seq(&[2, 3]).matmul(&seq(&[4, 2]));
+    }
+}

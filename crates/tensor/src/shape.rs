@@ -1,0 +1,132 @@
+//! Shape bookkeeping for dense row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a tensor, outermost axis first.
+///
+/// A `Shape` is immutable once constructed; reshaping a tensor produces a
+/// new `Shape` with the same element count.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Box<[usize]>);
+
+impl Shape {
+    /// Builds a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec().into_boxed_slice())
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of axis `i`. Panics if `i >= rank`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of dims; 1 for a rank-0 shape).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// True when the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides in elements, one per axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flat offset of a multi-dimensional index. Panics on out-of-range
+    /// coordinates or rank mismatch.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.rank(),
+            "index rank {} != shape rank {}",
+            index.len(),
+            self.rank()
+        );
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for i in (0..self.rank()).rev() {
+            assert!(
+                index[i] < self.0[i],
+                "index {} out of range for axis {i} of size {}",
+                index[i],
+                self.0[i]
+            );
+            off += index[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[]).len(), 1);
+        assert_eq!(Shape::new(&[5, 0, 2]).len(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+        assert_eq!(s.offset(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_rejects_out_of_range() {
+        Shape::new(&[2, 2]).offset(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rejects_rank_mismatch() {
+        Shape::new(&[2, 2]).offset(&[0]);
+    }
+}

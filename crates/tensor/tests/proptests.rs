@@ -1,0 +1,119 @@
+//! Property-based tests for the tensor algebra.
+
+use eos_tensor::{central_difference, im2col, rel_error, Conv2dGeometry, Rng64, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, &[r, c]))
+    })
+}
+
+fn pair_same_shape(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        (
+            proptest::collection::vec(-10.0f32..10.0, r * c),
+            proptest::collection::vec(-10.0f32..10.0, r * c),
+        )
+            .prop_map(move |(a, b)| {
+                (Tensor::from_vec(a, &[r, c]), Tensor::from_vec(b, &[r, c]))
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in pair_same_shape(6)) {
+        let ab = a.add(&b);
+        let ba = b.add(&a);
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips((a, b) in pair_same_shape(6)) {
+        let back = a.sub(&b).add(&b);
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(tt.data(), m.data());
+    }
+
+    #[test]
+    fn matmul_identity_right(m in small_matrix(8)) {
+        let i = Tensor::eye(m.dim(1));
+        let out = m.matmul(&i);
+        for (x, y) in out.data().iter().zip(m.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in small_matrix(6)) {
+        // (A B)^T == B^T A^T
+        let b = Tensor::eye(m.dim(1)).scale(2.0);
+        let lhs = m.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&m.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix(6)) {
+        let s = m.softmax_rows();
+        for i in 0..s.dim(0) {
+            let sum: f32 = s.row_slice(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row_slice(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn min_max_rows_bound_every_element(m in small_matrix(8)) {
+        let lo = m.min_rows();
+        let hi = m.max_rows();
+        for i in 0..m.dim(0) {
+            for (j, &x) in m.row_slice(i).iter().enumerate() {
+                prop_assert!(lo.data()[j] <= x && x <= hi.data()[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_preserves_content(m in small_matrix(8), seed in 0u64..1000) {
+        let mut rng = Rng64::new(seed);
+        let idx: Vec<usize> = (0..m.dim(0)).map(|_| rng.below(m.dim(0))).collect();
+        let sel = m.select_rows(&idx);
+        for (out_row, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.row_slice(out_row), m.row_slice(src));
+        }
+    }
+
+    #[test]
+    fn im2col_patch_values_come_from_image(
+        h in 3usize..7, w in 3usize..7, k in 1usize..4, s in 1usize..3,
+    ) {
+        let geom = Conv2dGeometry { in_channels: 1, height: h, width: w, kernel: k, stride: s, pad: 0 };
+        prop_assume!(h >= k && w >= k);
+        let img: Vec<f32> = (0..h * w).map(|i| i as f32 + 1.0).collect();
+        let cols = im2col(&img, &geom);
+        // With no padding every patch element is a real pixel (> 0 here).
+        prop_assert!(cols.data().iter().all(|&x| x >= 1.0));
+        // And the top-left patch starts at pixel (0,0).
+        prop_assert_eq!(cols.at(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn gradcheck_quadratic_any_point(v in proptest::collection::vec(-3.0f32..3.0, 1..6)) {
+        let n = v.len();
+        let x = Tensor::from_vec(v, &[n]);
+        let g = central_difference(&x, 1e-3, |p| p.data().iter().map(|a| a * a).sum());
+        prop_assert!(rel_error(&x.scale(2.0), &g) < 5e-3);
+    }
+}

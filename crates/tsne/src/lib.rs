@@ -1,0 +1,368 @@
+//! # eos-tsne
+//!
+//! Exact t-SNE (van der Maaten & Hinton 2008) used to reproduce the
+//! paper's Figure 6 decision-boundary visualisation: perplexity-calibrated
+//! Gaussian affinities in the input space, Student-t affinities in the
+//! 2-D embedding, KL-divergence gradient descent with early exaggeration
+//! and momentum.
+//!
+//! Exact (O(n²)) rather than Barnes–Hut: the figure embeds a few hundred
+//! feature embeddings, where the quadratic algorithm is both simpler and
+//! fast enough.
+//!
+//! ```
+//! use eos_tensor::{normal, Rng64, Tensor};
+//! use eos_tsne::{tsne, TsneConfig};
+//!
+//! let mut rng = Rng64::new(0);
+//! let a = normal(&[20, 8], 0.0, 0.3, &mut rng);
+//! let b = normal(&[20, 8], 5.0, 0.3, &mut rng);
+//! let x = Tensor::concat_rows(&[&a, &b]);
+//! let y = tsne(&x, &TsneConfig { iterations: 150, ..TsneConfig::default() }, &mut rng);
+//! assert_eq!(y.dims(), &[40, 2]);
+//! ```
+
+use eos_tensor::{normal, Rng64, Tensor};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity of the input-space conditional distributions.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate (η).
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 15.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 6.0,
+        }
+    }
+}
+
+/// Embeds the rows of `x` into 2-D.
+pub fn tsne(x: &Tensor, cfg: &TsneConfig, rng: &mut Rng64) -> Tensor {
+    assert_eq!(x.rank(), 2, "tsne expects (n, d)");
+    let n = x.dim(0);
+    assert!(n >= 4, "tsne needs at least 4 points");
+    let p = joint_affinities(x, cfg.perplexity.min((n as f64 - 1.0) / 3.0));
+    let mut y: Vec<[f64; 2]> = {
+        let init = normal(&[n, 2], 0.0, 1e-2, rng);
+        (0..n)
+            .map(|i| [init.at(&[i, 0]) as f64, init.at(&[i, 1]) as f64])
+            .collect()
+    };
+    let mut velocity = vec![[0.0f64; 2]; n];
+    let exag_until = cfg.iterations / 4;
+    let mut q = vec![0.0f64; n * n];
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities in the embedding.
+        let mut zsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                zsum += 2.0 * w;
+            }
+        }
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qij = (w / zsum).max(1e-12);
+                let coeff = 4.0 * (exag * p[i * n + j] - qij) * w;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                velocity[i][d] = momentum * velocity[i][d] - cfg.learning_rate * grad[d];
+            }
+        }
+        for (yi, vi) in y.iter_mut().zip(&velocity) {
+            yi[0] += vi[0];
+            yi[1] += vi[1];
+        }
+    }
+    let mut out = Vec::with_capacity(n * 2);
+    for point in y {
+        out.push(point[0] as f32);
+        out.push(point[1] as f32);
+    }
+    Tensor::from_vec(out, &[n, 2])
+}
+
+/// Symmetrised joint affinities `p_ij` with per-point bandwidths found by
+/// binary search to match the target perplexity.
+fn joint_affinities(x: &Tensor, perplexity: f64) -> Vec<f64> {
+    let n = x.dim(0);
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist: f64 = x
+                .row_slice(i)
+                .iter()
+                .zip(x.row_slice(j))
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+    let target_entropy = perplexity.max(1.01).ln();
+    let mut p = vec![0.0f64; n * n];
+    let mut row = vec![0.0f64; n];
+    for i in 0..n {
+        // Binary search beta = 1/(2σ²) for the target entropy.
+        let (mut lo, mut hi) = (1e-10f64, 1e10f64);
+        let mut beta = 1.0f64;
+        for _ in 0..64 {
+            let mut sum = 0.0f64;
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = if i == j { 0.0 } else { (-beta * d2[i * n + j]).exp() };
+                sum += *r;
+            }
+            if sum <= 0.0 {
+                hi = beta;
+                beta = (lo + hi) / 2.0;
+                continue;
+            }
+            let mut entropy = 0.0f64;
+            for &v in row.iter() {
+                if v > 0.0 {
+                    let pv = v / sum;
+                    entropy -= pv * pv.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+            } else {
+                hi = beta;
+            }
+            beta = if hi >= 1e10 { beta * 2.0 } else { (lo + hi) / 2.0 };
+        }
+        let mut sum = 0.0f64;
+        for (j, r) in row.iter_mut().enumerate() {
+            *r = if i == j { 0.0 } else { (-beta * d2[i * n + j]).exp() };
+            sum += *r;
+        }
+        for j in 0..n {
+            p[i * n + j] = if sum > 0.0 { row[j] / sum } else { 0.0 };
+        }
+    }
+    // Symmetrise and normalise to a joint distribution.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// Mean separation of labelled 2-D points: mean inter-label centroid
+/// distance divided by mean intra-label spread. Used by the Figure 6
+/// bench to score embeddings quantitatively.
+pub fn separation_score(y2d: &Tensor, labels: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(y2d.dim(0), labels.len());
+    assert_eq!(y2d.dim(1), 2);
+    let mut centroids = vec![[0.0f64; 2]; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        centroids[l][0] += y2d.at(&[i, 0]) as f64;
+        centroids[l][1] += y2d.at(&[i, 1]) as f64;
+        counts[l] += 1;
+    }
+    for (c, count) in counts.iter().enumerate() {
+        if *count > 0 {
+            centroids[c][0] /= *count as f64;
+            centroids[c][1] /= *count as f64;
+        }
+    }
+    let mut intra = 0.0f64;
+    for (i, &l) in labels.iter().enumerate() {
+        let dx = y2d.at(&[i, 0]) as f64 - centroids[l][0];
+        let dy = y2d.at(&[i, 1]) as f64 - centroids[l][1];
+        intra += (dx * dx + dy * dy).sqrt();
+    }
+    intra /= labels.len() as f64;
+    let mut inter = 0.0f64;
+    let mut pairs = 0usize;
+    for a in 0..num_classes {
+        for b in (a + 1)..num_classes {
+            if counts[a] == 0 || counts[b] == 0 {
+                continue;
+            }
+            let dx = centroids[a][0] - centroids[b][0];
+            let dy = centroids[a][1] - centroids[b][1];
+            inter += (dx * dx + dy * dy).sqrt();
+            pairs += 1;
+        }
+    }
+    if pairs == 0 || intra <= 0.0 {
+        return 0.0;
+    }
+    (inter / pairs as f64) / intra
+}
+
+/// Uniformity of a labelled point set's local structure in 2-D: the
+/// coefficient of variation (std/mean) of each point's nearest-same-label
+/// -neighbour distance. Lower values mean denser, more uniform class
+/// manifolds — the quality Figure 6 attributes to EOS embeddings.
+pub fn density_uniformity(y2d: &Tensor, labels: &[usize], class: usize) -> f64 {
+    assert_eq!(y2d.dim(0), labels.len());
+    let pts: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &l)| (l == class).then_some(i))
+        .collect();
+    if pts.len() < 3 {
+        return f64::NAN;
+    }
+    let mut nn = Vec::with_capacity(pts.len());
+    for &i in &pts {
+        let mut best = f64::INFINITY;
+        for &j in &pts {
+            if i == j {
+                continue;
+            }
+            let dx = (y2d.at(&[i, 0]) - y2d.at(&[j, 0])) as f64;
+            let dy = (y2d.at(&[i, 1]) - y2d.at(&[j, 1])) as f64;
+            best = best.min((dx * dx + dy * dy).sqrt());
+        }
+        nn.push(best);
+    }
+    let mean = nn.iter().sum::<f64>() / nn.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = nn.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / nn.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters(rng: &mut Rng64) -> (Tensor, Vec<usize>) {
+        let a = normal(&[25, 6], 0.0, 0.3, rng);
+        let b = normal(&[25, 6], 6.0, 0.3, rng);
+        let mut labels = vec![0usize; 25];
+        labels.extend(vec![1usize; 25]);
+        (Tensor::concat_rows(&[&a, &b]), labels)
+    }
+
+    #[test]
+    fn affinities_are_a_distribution() {
+        let mut rng = Rng64::new(1);
+        let x = normal(&[20, 4], 0.0, 1.0, &mut rng);
+        let p = joint_affinities(&x, 5.0);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "joint sums to 1: {total}");
+        for i in 0..20 {
+            for j in 0..20 {
+                assert!((p[i * 20 + j] - p[j * 20 + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_points_get_highest_affinity() {
+        let x = Tensor::from_vec(vec![0.0, 0.1, 5.0, 9.0], &[4, 1]);
+        let p = joint_affinities(&x, 1.5);
+        assert!(p[1] > p[2] && p[1] > p[3]);
+    }
+
+    #[test]
+    fn separates_two_well_separated_clusters() {
+        let mut rng = Rng64::new(2);
+        let (x, labels) = two_clusters(&mut rng);
+        let cfg = TsneConfig {
+            iterations: 250,
+            ..TsneConfig::default()
+        };
+        let y = tsne(&x, &cfg, &mut rng);
+        assert!(y.all_finite(), "embedding must stay finite");
+        let score = separation_score(&y, &labels, 2);
+        assert!(score > 2.0, "clusters should separate in 2-D: score {score}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng_a = Rng64::new(3);
+        let (x, _) = two_clusters(&mut rng_a);
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        let y1 = tsne(&x, &cfg, &mut Rng64::new(9));
+        let y2 = tsne(&x, &cfg, &mut Rng64::new(9));
+        assert_eq!(y1.data(), y2.data());
+    }
+
+    #[test]
+    fn separation_score_prefers_separated_layouts() {
+        let tight = Tensor::from_vec(
+            vec![0.0, 0.0, 0.1, 0.0, 10.0, 0.0, 10.1, 0.0],
+            &[4, 2],
+        );
+        let mixed = Tensor::from_vec(
+            vec![0.0, 0.0, 10.0, 0.0, 0.1, 0.0, 10.1, 0.0],
+            &[4, 2],
+        );
+        let labels = vec![0, 0, 1, 1];
+        assert!(
+            separation_score(&tight, &labels, 2) > separation_score(&mixed, &labels, 2)
+        );
+    }
+
+    #[test]
+    fn uniform_grid_has_zero_density_cv() {
+        // A perfect grid: every nearest-neighbour distance is equal.
+        let mut v = Vec::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                v.push(x as f32);
+                v.push(y as f32);
+            }
+        }
+        let pts = Tensor::from_vec(v, &[9, 2]);
+        let labels = vec![0usize; 9];
+        assert!(density_uniformity(&pts, &labels, 0) < 1e-6);
+    }
+
+    #[test]
+    fn ragged_cluster_has_positive_density_cv() {
+        let pts = Tensor::from_vec(
+            vec![0.0, 0.0, 0.05, 0.0, 5.0, 0.0, 5.1, 0.0, 20.0, 0.0],
+            &[5, 2],
+        );
+        let labels = vec![0usize; 5];
+        assert!(density_uniformity(&pts, &labels, 0) > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn rejects_tiny_inputs() {
+        let x = Tensor::zeros(&[2, 2]);
+        let _ = tsne(&x, &TsneConfig::default(), &mut Rng64::new(0));
+    }
+}

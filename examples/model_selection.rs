@@ -1,0 +1,67 @@
+//! The paper's model-selection protocol (§IV-A) as a library workflow:
+//! check training-cut stability, train one pipeline per loss, pick the
+//! best on a validation split, then fine-tune the winner with EOS.
+//!
+//! ```sh
+//! cargo run --release --example model_selection
+//! ```
+
+use eos_repro::core::{select_best, three_cut_check, Eos, PipelineConfig, ThreePhase};
+use eos_repro::data::{stratified_split, SynthSpec};
+use eos_repro::nn::LossKind;
+use eos_repro::tensor::Rng64;
+
+fn main() {
+    let spec = SynthSpec::cifar10_like(1);
+    let (mut train, mut test) = spec.generate(13);
+    let (mean, std) = train.feature_stats();
+    train.standardize(&mean, &std);
+    test.standardize(&mean, &std);
+
+    let cfg = PipelineConfig::small();
+    let mut rng = Rng64::new(3);
+
+    // §IV-A step 1: "run on three different cuts of the training set";
+    // keep one cut when the BAC spread is under 2 points.
+    println!("checking cut stability (3 stratified cuts) ...");
+    let report = three_cut_check(&train, LossKind::Ce, &cfg, 3, 0.2, &mut rng);
+    println!(
+        "cut BACs: {:?}  spread {:.2} points  ({})",
+        report
+            .cut_bacs
+            .iter()
+            .map(|b| (b * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>(),
+        report.spread_points,
+        if report.stable { "stable — single cut is fine" } else { "unstable" }
+    );
+
+    // §IV-A step 2: train one model per loss, select the best.
+    let (fit, validation) = stratified_split(&train, 0.2, &mut rng);
+    println!("\ntraining one backbone per loss ...");
+    let mut pipelines: Vec<ThreePhase> = LossKind::ALL
+        .iter()
+        .map(|&loss| {
+            println!("  {} ...", loss.name());
+            ThreePhase::train(&fit, loss, &cfg, &mut rng)
+        })
+        .collect();
+    let winner = select_best(&mut pipelines, &validation);
+    println!("selected backbone: {}", LossKind::ALL[winner].name());
+
+    // Final: fine-tune the winner's head with EOS, evaluate on test.
+    let mut best = pipelines.remove(winner);
+    let base = best.baseline_eval(&test);
+    let eos = best.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
+    println!(
+        "\ntest BAC: baseline {:.4} -> EOS {:.4} ({:+.2} points)",
+        base.bac,
+        eos.bac,
+        (eos.bac - base.bac) * 100.0
+    );
+    let (gaps, split) = best.gap_report(&test);
+    println!(
+        "final generalization gap {:.2} (mean over classes); TP gap {:.2} vs FP gap {:.2}",
+        gaps.mean, split.tp_gap, split.fp_gap
+    );
+}

@@ -1,0 +1,18 @@
+//! # eos-repro
+//!
+//! Facade crate for the Rust reproduction of *Efficient Augmentation for
+//! Imbalanced Deep Learning* (Dablain, Krawczyk, Bellinger, Chawla — ICDE
+//! 2023). Re-exports the workspace crates under one roof so examples and
+//! integration tests can use a single dependency.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+pub use eos_core as core;
+pub use eos_data as data;
+pub use eos_gan as gan;
+pub use eos_neighbors as neighbors;
+pub use eos_nn as nn;
+pub use eos_resample as resample;
+pub use eos_tensor as tensor;
+pub use eos_tsne as tsne;

@@ -1,0 +1,143 @@
+//! End-to-end integration tests: the full three-phase pipeline, all four
+//! losses, the pixel-space comparison pipeline, and reproducibility.
+
+use eos_repro::core::{
+    evaluate, preprocess_and_train, Eos, PipelineConfig, ThreePhase,
+};
+use eos_repro::data::SynthSpec;
+use eos_repro::nn::{Architecture, LossKind};
+use eos_repro::resample::Smote;
+use eos_repro::tensor::Rng64;
+
+fn tiny_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small();
+    cfg.arch = Architecture::ResNet {
+        blocks_per_stage: 1,
+        width: 4,
+    };
+    cfg.backbone_epochs = 6;
+    cfg.head_epochs = 5;
+    cfg
+}
+
+fn tiny_data(seed: u64) -> (eos_repro::data::Dataset, eos_repro::data::Dataset) {
+    let mut spec = SynthSpec::celeba_like(1);
+    spec.n_max_train = 80;
+    spec.imbalance_ratio = 10.0;
+    spec.n_test_per_class = 20;
+    let (mut train, mut test) = spec.generate(seed);
+    let (mean, std) = train.feature_stats();
+    train.standardize(&mean, &std);
+    test.standardize(&mean, &std);
+    (train, test)
+}
+
+#[test]
+fn three_phase_eos_beats_chance_and_runs_every_loss() {
+    let (train, test) = tiny_data(1);
+    let cfg = tiny_cfg();
+    for loss in LossKind::ALL {
+        let mut rng = Rng64::new(5);
+        let mut tp = ThreePhase::train(&train, loss, &cfg, &mut rng);
+        let r = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
+        assert!(
+            r.bac > 0.25,
+            "{} three-phase should beat 5-class chance: {}",
+            loss.name(),
+            r.bac
+        );
+        assert!(r.gm >= 0.0 && r.f1 > 0.0);
+        assert_eq!(r.predictions.len(), test.len());
+    }
+}
+
+#[test]
+fn pipeline_is_bit_reproducible() {
+    let (train, test) = tiny_data(2);
+    let cfg = tiny_cfg();
+    let run = || {
+        let mut rng = Rng64::new(9);
+        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
+        tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.predictions, b.predictions, "same seed, same predictions");
+    assert_eq!(a.bac, b.bac);
+}
+
+#[test]
+fn preprocessing_pipeline_matches_three_phase_interface() {
+    let (train, test) = tiny_data(3);
+    let cfg = tiny_cfg();
+    let mut rng = Rng64::new(1);
+    let r = preprocess_and_train(
+        &train,
+        &test,
+        LossKind::Ce,
+        Some(&Smote::new(5)),
+        &cfg,
+        &mut rng,
+    );
+    assert!(r.bac > 0.25, "pre-processing BAC {}", r.bac);
+    assert!(r.seconds > 0.0);
+}
+
+#[test]
+fn head_finetune_does_not_change_feature_extractor() {
+    let (train, test) = tiny_data(4);
+    let cfg = tiny_cfg();
+    let mut rng = Rng64::new(2);
+    let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
+    let fe_before = tp.embed(&test);
+    let _ = tp.finetune_head(Some(&Eos::new(10)), &cfg, &mut rng);
+    let fe_after = tp.embed(&test);
+    assert_eq!(
+        fe_before.data(),
+        fe_after.data(),
+        "phase three must only touch the head"
+    );
+}
+
+#[test]
+fn backbone_reuse_across_methods_is_independent() {
+    // Fine-tuning with method A then method B must give B the same result
+    // as fine-tuning with B directly (fresh head each time).
+    let (train, test) = tiny_data(5);
+    let cfg = tiny_cfg();
+    let mut tp = {
+        let mut rng = Rng64::new(3);
+        ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng)
+    };
+    // Direct: B only.
+    let direct = {
+        let mut rng = Rng64::new(77);
+        let mut tp2 = {
+            let mut r0 = Rng64::new(3);
+            ThreePhase::train(&train, LossKind::Ce, &cfg, &mut r0)
+        };
+        tp2.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng)
+    };
+    // Sequential: A (consumes some rng), then B with a fresh stream.
+    let _ = {
+        let mut rng_a = Rng64::new(55);
+        tp.finetune_and_eval(&Smote::new(5), &test, &cfg, &mut rng_a)
+    };
+    let seq = {
+        let mut rng = Rng64::new(77);
+        tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng)
+    };
+    assert_eq!(direct.predictions, seq.predictions);
+}
+
+#[test]
+fn evaluate_is_deterministic_and_complete() {
+    let (train, test) = tiny_data(6);
+    let cfg = tiny_cfg();
+    let mut rng = Rng64::new(4);
+    let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
+    let a = evaluate(&mut tp.net, &test);
+    let b = evaluate(&mut tp.net, &test);
+    assert_eq!(a.predictions, b.predictions);
+    assert!(a.predictions.iter().all(|&p| p < test.num_classes));
+}

@@ -1,0 +1,136 @@
+//! Integration tests pinning the paper's qualitative claims at miniature
+//! scale. Each test is a shrunken version of one of the evaluation's
+//! findings; the benches reproduce the same shapes at experiment scale.
+
+use eos_repro::core::{
+    evaluate, generalization_gap, tp_fp_gap, Eos, PipelineConfig, ThreePhase,
+};
+use eos_repro::data::SynthSpec;
+use eos_repro::nn::LossKind;
+use eos_repro::resample::{balance_with, Oversampler, Smote};
+use eos_repro::tensor::Rng64;
+
+fn trained_pipeline(seed: u64) -> (ThreePhase, eos_repro::data::Dataset) {
+    let mut spec = SynthSpec::cifar10_like(1);
+    spec.n_max_train = 200;
+    spec.n_test_per_class = 40;
+    let (mut train, mut test) = spec.generate(seed);
+    let (mean, std) = train.feature_stats();
+    train.standardize(&mean, &std);
+    test.standardize(&mean, &std);
+    let mut cfg = PipelineConfig::small();
+    cfg.backbone_epochs = 8;
+    let mut rng = Rng64::new(seed);
+    let tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
+    (tp, test)
+}
+
+/// RQ1 / Figure 3: the gap grows toward the minority classes.
+#[test]
+fn minority_classes_have_wider_generalization_gap() {
+    let (mut tp, test) = trained_pipeline(1);
+    let test_fe = tp.embed(&test);
+    let gap = generalization_gap(&tp.train_fe, &tp.train_y, &test_fe, &test.y, 10);
+    let majority: f64 = gap.per_class[..3].iter().sum::<f64>() / 3.0;
+    let minority: f64 = gap.per_class[7..].iter().sum::<f64>() / 3.0;
+    assert!(
+        minority > 1.5 * majority,
+        "minority gap {minority:.2} should dwarf majority gap {majority:.2}"
+    );
+}
+
+/// Figure 3's overlapping curves: SMOTE cannot change the gap at all
+/// (interpolation stays inside per-feature ranges), EOS reduces it.
+#[test]
+fn smote_leaves_gap_unchanged_eos_reduces_it() {
+    let (mut tp, test) = trained_pipeline(2);
+    let test_fe = tp.embed(&test);
+    let mut rng = Rng64::new(0);
+    let base = generalization_gap(&tp.train_fe, &tp.train_y, &test_fe, &test.y, 10);
+    let (sx, sy) = balance_with(&Smote::new(5), &tp.train_fe, &tp.train_y, 10, &mut rng);
+    let smote = generalization_gap(&sx, &sy, &test_fe, &test.y, 10);
+    let (ex, ey) = balance_with(&Eos::new(10), &tp.train_fe, &tp.train_y, 10, &mut rng);
+    let eos = generalization_gap(&ex, &ey, &test_fe, &test.y, 10);
+    assert!(
+        (smote.mean - base.mean).abs() < 1e-6,
+        "SMOTE gap {} must equal baseline {}",
+        smote.mean,
+        base.mean
+    );
+    assert!(
+        eos.mean < base.mean * 0.95,
+        "EOS gap {} should be below baseline {}",
+        eos.mean,
+        base.mean
+    );
+}
+
+/// RQ1 / Figure 4: misclassified test samples sit outside their class's
+/// training footprint far more than correct ones.
+#[test]
+fn false_positives_have_larger_gap_than_true_positives() {
+    let (mut tp, test) = trained_pipeline(3);
+    let test_fe = tp.embed(&test);
+    let preds = evaluate(&mut tp.net, &test).predictions;
+    let r = tp_fp_gap(&tp.train_fe, &tp.train_y, &test_fe, &test.y, &preds, 10);
+    assert!(
+        r.fp_gap > 2.0 * r.tp_gap,
+        "FP gap {:.3} should be ≥2x TP gap {:.3}",
+        r.fp_gap,
+        r.tp_gap
+    );
+}
+
+/// §V-C: EOS expands per-class embedding ranges; interpolative methods do
+/// not — measured on the actual trained embeddings.
+#[test]
+fn eos_expands_embedding_ranges_smote_does_not() {
+    let (tp, _test) = trained_pipeline(4);
+    let mut rng = Rng64::new(1);
+    let minority: Vec<usize> = tp
+        .train_y
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &y)| (y == 9).then_some(i))
+        .collect();
+    let before = tp.train_fe.select_rows(&minority);
+    let span_before: f32 = before.max_rows().sub(&before.min_rows()).sum();
+
+    let span_after = |sampler: &dyn Oversampler, rng: &mut Rng64| -> f32 {
+        let (bx, by) = balance_with(sampler, &tp.train_fe, &tp.train_y, 10, rng);
+        let rows: Vec<usize> = by
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &y)| (y == 9).then_some(i))
+            .collect();
+        let m = bx.select_rows(&rows);
+        m.max_rows().sub(&m.min_rows()).sum()
+    };
+    let smote_span = span_after(&Smote::new(5), &mut rng);
+    let eos_span = span_after(&Eos::new(10), &mut rng);
+    assert!(
+        (smote_span - span_before).abs() < 1e-3,
+        "SMOTE span {smote_span} vs before {span_before}"
+    );
+    assert!(
+        eos_span > span_before * 1.05,
+        "EOS span {eos_span} should exceed {span_before}"
+    );
+}
+
+/// RQ2 (Table II direction): oversampling the embeddings then fine-tuning
+/// the head beats the end-to-end baseline.
+#[test]
+fn embedding_oversampling_beats_baseline() {
+    let (mut tp, test) = trained_pipeline(5);
+    let cfg = PipelineConfig::small();
+    let base = tp.baseline_eval(&test);
+    let mut rng = Rng64::new(2);
+    let eos = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
+    assert!(
+        eos.bac > base.bac,
+        "EOS {:.4} should beat baseline {:.4}",
+        eos.bac,
+        base.bac
+    );
+}

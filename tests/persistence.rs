@@ -1,0 +1,58 @@
+//! Cross-crate persistence test: train phase one, serialize the backbone,
+//! reload it in a "fresh process" (new network object), and verify that
+//! embeddings — and therefore every downstream phase — are bit-identical.
+
+use eos_repro::core::{Eos, PipelineConfig, ThreePhase};
+use eos_repro::data::SynthSpec;
+use eos_repro::nn::{load_weights, save_weights, Architecture, ConvNet, LossKind};
+use eos_repro::tensor::Rng64;
+
+#[test]
+fn saved_backbone_reproduces_embeddings_and_finetune() {
+    let mut spec = SynthSpec::celeba_like(1);
+    spec.n_max_train = 60;
+    spec.imbalance_ratio = 8.0;
+    spec.n_test_per_class = 15;
+    let (mut train, mut test) = spec.generate(31);
+    let (mean, std) = train.feature_stats();
+    train.standardize(&mean, &std);
+    test.standardize(&mean, &std);
+
+    let mut cfg = PipelineConfig::small();
+    cfg.arch = Architecture::ResNet {
+        blocks_per_stage: 1,
+        width: 4,
+    };
+    cfg.backbone_epochs = 5;
+    let mut rng = Rng64::new(8);
+    let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
+
+    // Serialize the trained backbone.
+    let mut buf = Vec::new();
+    save_weights(&mut tp.net, &mut buf).unwrap();
+
+    // "Fresh process": a structurally identical, differently initialised
+    // network, restored from the bytes.
+    let mut restored = ConvNet::new(cfg.arch, train.shape, train.num_classes, &mut Rng64::new(777));
+    load_weights(&mut restored, buf.as_slice()).unwrap();
+
+    // Embeddings must be bit-identical — batch-norm running statistics
+    // are part of the serialized state.
+    let original_fe = tp.embed(&test);
+    let restored_fe = eos_repro::core::extract_embeddings(&mut restored, &test.x);
+    assert_eq!(original_fe.data(), restored_fe.data());
+
+    // And a head fine-tune from the restored backbone must agree with one
+    // from the original, given the same RNG stream.
+    let mut tp_restored = ThreePhase {
+        net: restored,
+        train_fe: eos_repro::core::extract_embeddings(&mut tp.net, &train.x),
+        train_y: train.y.clone(),
+        num_classes: train.num_classes,
+        history: Vec::new(),
+        backbone_seconds: 0.0,
+    };
+    let a = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut Rng64::new(5));
+    let b = tp_restored.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut Rng64::new(5));
+    assert_eq!(a.predictions, b.predictions);
+}

@@ -1,0 +1,56 @@
+//! Reproducibility pins: exact metric values for fixed seeds.
+//!
+//! The workspace owns its RNG (`Rng64`), so every pipeline is a pure
+//! function of its seeds. These tests pin the quickstart scenario's
+//! numbers — the same ones quoted in README.md — so that any change to
+//! the algorithms, the generator, or the training loop that would alter
+//! published results fails loudly here. Update the constants (and the
+//! README) deliberately when the change is intentional.
+
+use eos_repro::core::{Eos, PipelineConfig, ThreePhase};
+use eos_repro::data::SynthSpec;
+use eos_repro::nn::LossKind;
+use eos_repro::tensor::Rng64;
+
+#[test]
+fn quickstart_scenario_reproduces_readme_numbers() {
+    let spec = SynthSpec::celeba_like(1);
+    let (mut train, mut test) = spec.generate(7);
+    let (mean, std) = train.feature_stats();
+    train.standardize(&mean, &std);
+    test.standardize(&mean, &std);
+    assert_eq!(train.len(), 657);
+    assert_eq!(train.class_counts(), vec![400, 159, 63, 25, 10]);
+
+    let cfg = PipelineConfig::small();
+    let mut rng = Rng64::new(0);
+    let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
+    let base = tp.baseline_eval(&test);
+    let eos = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
+    assert!(
+        (base.bac - 0.688).abs() < 1e-9,
+        "baseline BAC drifted: {} (README quotes 0.6880)",
+        base.bac
+    );
+    assert!(
+        (eos.bac - 0.7626666666666667).abs() < 1e-9,
+        "EOS BAC drifted: {} (README quotes 0.7627)",
+        eos.bac
+    );
+}
+
+#[test]
+fn dataset_generation_is_pinned() {
+    // The first pixel of the cifar10 analogue at seed 42 — a canary for
+    // any change in the generator's RNG consumption order.
+    let (train, _) = SynthSpec::cifar10_like(1).generate(42);
+    let first = train.x.at(&[0, 0]);
+    let expected = first; // self-consistency within this run
+    let (train2, _) = SynthSpec::cifar10_like(1).generate(42);
+    assert_eq!(train2.x.at(&[0, 0]), expected);
+    // Cross-run stability: value pinned at authorship time.
+    assert!(
+        (first - 0.308_886_05).abs() < 1e-4,
+        "generator output drifted: first pixel {first}"
+    );
+}
