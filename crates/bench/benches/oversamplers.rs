@@ -2,8 +2,11 @@
 //! workload: instance generation cost (the §V-E2 / Table III efficiency
 //! axis). EOS and the SMOTE family are model-free; the GAN methods pay
 //! model induction, with CGAN paying it per class.
+//!
+//! Plain `fn main()` timing (harness = false): the offline build has no
+//! criterion, so timing goes through `eos_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eos_bench::bench;
 use eos_core::Eos;
 use eos_gan::{BaganLite, CGan, GamoLite, GanConfig};
 use eos_resample::{Adasyn, BorderlineSmote, Oversampler, RandomOversampler, Smote};
@@ -24,10 +27,8 @@ fn workload(classes: usize, n_max: usize) -> (Tensor, Vec<usize>) {
     (Tensor::stack_rows(&rows), labels)
 }
 
-fn bench_model_free(c: &mut Criterion) {
+fn bench_model_free() {
     let (x, y) = workload(10, 200);
-    let mut group = c.benchmark_group("oversample/model-free");
-    group.sample_size(20);
     let samplers: Vec<Box<dyn Oversampler>> = vec![
         Box::new(RandomOversampler),
         Box::new(Smote::new(5)),
@@ -36,20 +37,19 @@ fn bench_model_free(c: &mut Criterion) {
         Box::new(Eos::new(10)),
     ];
     for sampler in &samplers {
-        group.bench_function(sampler.name(), |b| {
-            b.iter(|| {
+        bench(
+            &format!("oversample/model-free/{}", sampler.name()),
+            20,
+            || {
                 let mut rng = Rng64::new(1);
-                std::hint::black_box(sampler.oversample(&x, &y, 10, &mut rng))
-            })
-        });
+                sampler.oversample(&x, &y, 10, &mut rng)
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_model_inducing(c: &mut Criterion) {
+fn bench_model_inducing() {
     let (x, y) = workload(10, 120);
-    let mut group = c.benchmark_group("oversample/model-inducing");
-    group.sample_size(10);
     let fast = GanConfig::tiny();
     let samplers: Vec<Box<dyn Oversampler>> = vec![
         Box::new(GamoLite {
@@ -60,47 +60,47 @@ fn bench_model_inducing(c: &mut Criterion) {
         Box::new(CGan { cfg: fast }),
     ];
     for sampler in &samplers {
-        group.bench_function(sampler.name(), |b| {
-            b.iter(|| {
+        bench(
+            &format!("oversample/model-inducing/{}", sampler.name()),
+            10,
+            || {
                 let mut rng = Rng64::new(1);
-                std::hint::black_box(sampler.oversample(&x, &y, 10, &mut rng))
-            })
-        });
+                sampler.oversample(&x, &y, 10, &mut rng)
+            },
+        );
     }
-    group.finish();
 }
 
 /// CGAN's cost scales with class count (the paper's long-tail
 /// infeasibility argument); EOS's does not.
-fn bench_class_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oversample/class-scaling");
-    group.sample_size(10);
+fn bench_class_scaling() {
     for classes in [5usize, 10, 20] {
         let (x, y) = workload(classes, 60);
-        group.bench_with_input(BenchmarkId::new("CGAN", classes), &classes, |b, _| {
-            let sampler = CGan {
-                cfg: GanConfig::tiny(),
-            };
-            b.iter(|| {
+        let cgan = CGan {
+            cfg: GanConfig::tiny(),
+        };
+        bench(
+            &format!("oversample/class-scaling/CGAN/{classes}"),
+            10,
+            || {
                 let mut rng = Rng64::new(1);
-                std::hint::black_box(sampler.oversample(&x, &y, classes, &mut rng))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("EOS", classes), &classes, |b, _| {
-            let sampler = Eos::new(10);
-            b.iter(|| {
+                cgan.oversample(&x, &y, classes, &mut rng)
+            },
+        );
+        let eos = Eos::new(10);
+        bench(
+            &format!("oversample/class-scaling/EOS/{classes}"),
+            10,
+            || {
                 let mut rng = Rng64::new(1);
-                std::hint::black_box(sampler.oversample(&x, &y, classes, &mut rng))
-            })
-        });
+                eos.oversample(&x, &y, classes, &mut rng)
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_model_free,
-    bench_model_inducing,
-    bench_class_scaling
-);
-criterion_main!(benches);
+fn main() {
+    bench_model_free();
+    bench_model_inducing();
+    bench_class_scaling();
+}

@@ -1,27 +1,25 @@
 //! Microbenchmarks of the substrate layers: GEMM, im2col, k-NN queries,
 //! the generalization-gap computation, and t-SNE iterations.
+//!
+//! Plain `fn main()` timing (harness = false): the offline build has no
+//! criterion, so timing goes through `eos_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eos_bench::bench;
 use eos_core::generalization_gap;
 use eos_neighbors::{BruteForceKnn, KdTree, Metric, NnIndex};
 use eos_tensor::{im2col, normal, Conv2dGeometry, Rng64};
 use eos_tsne::{tsne, TsneConfig};
 
-fn bench_matmul(c: &mut Criterion) {
+fn bench_matmul() {
     let mut rng = Rng64::new(0);
-    let mut group = c.benchmark_group("tensor/matmul");
-    group.sample_size(30);
     for n in [32usize, 64, 128] {
         let a = normal(&[n, n], 0.0, 1.0, &mut rng);
         let b = normal(&[n, n], 0.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
-            bencher.iter(|| std::hint::black_box(a.matmul(&b)))
-        });
+        bench(&format!("tensor/matmul/{n}"), 30, || a.matmul(&b));
     }
-    group.finish();
 }
 
-fn bench_im2col(c: &mut Criterion) {
+fn bench_im2col() {
     let mut rng = Rng64::new(1);
     let geom = Conv2dGeometry {
         in_channels: 16,
@@ -32,65 +30,53 @@ fn bench_im2col(c: &mut Criterion) {
         pad: 1,
     };
     let img = normal(&[16 * 64], 0.0, 1.0, &mut rng);
-    c.bench_function("tensor/im2col-16x8x8-k3", |b| {
-        b.iter(|| std::hint::black_box(im2col(img.data(), &geom)))
-    });
+    bench("tensor/im2col-16x8x8-k3", 50, || im2col(img.data(), &geom));
 }
 
-fn bench_knn(c: &mut Criterion) {
+fn bench_knn() {
     let mut rng = Rng64::new(2);
-    let mut group = c.benchmark_group("neighbors/query-k10");
-    group.sample_size(30);
     // High-dimensional (embedding-like) and low-dimensional workloads.
     for (name, d) in [("d64", 64usize), ("d4", 4)] {
         let data = normal(&[1000, d], 0.0, 1.0, &mut rng);
         let q: Vec<f32> = (0..d).map(|_| rng.normal_f32(0.0, 1.0)).collect();
         let brute = BruteForceKnn::new(&data, Metric::Euclidean);
         let tree = KdTree::new(&data, Metric::Euclidean);
-        group.bench_function(format!("brute/{name}"), |b| {
-            b.iter(|| std::hint::black_box(brute.query(&q, 10)))
+        bench(&format!("neighbors/query-k10/brute/{name}"), 30, || {
+            brute.query(&q, 10)
         });
-        group.bench_function(format!("kdtree/{name}"), |b| {
-            b.iter(|| std::hint::black_box(tree.query(&q, 10)))
+        bench(&format!("neighbors/query-k10/kdtree/{name}"), 30, || {
+            tree.query(&q, 10)
         });
     }
-    group.finish();
 }
 
-fn bench_gap(c: &mut Criterion) {
+fn bench_gap() {
     let mut rng = Rng64::new(3);
     let train = normal(&[2000, 64], 0.0, 1.0, &mut rng);
     let test = normal(&[1000, 64], 0.0, 1.0, &mut rng);
     let train_y: Vec<usize> = (0..2000).map(|i| i % 10).collect();
     let test_y: Vec<usize> = (0..1000).map(|i| i % 10).collect();
-    c.bench_function("core/generalization-gap-2k-train", |b| {
-        b.iter(|| {
-            std::hint::black_box(generalization_gap(&train, &train_y, &test, &test_y, 10))
-        })
+    bench("core/generalization-gap-2k-train", 10, || {
+        generalization_gap(&train, &train_y, &test, &test_y, 10)
     });
 }
 
-fn bench_tsne(c: &mut Criterion) {
+fn bench_tsne() {
     let mut rng = Rng64::new(4);
     let x = normal(&[100, 32], 0.0, 1.0, &mut rng);
     let cfg = TsneConfig {
         iterations: 50,
         ..TsneConfig::default()
     };
-    let mut group = c.benchmark_group("tsne");
-    group.sample_size(10);
-    group.bench_function("100pts-50iters", |b| {
-        b.iter(|| std::hint::black_box(tsne(&x, &cfg, &mut Rng64::new(0))))
+    bench("tsne/100pts-50iters", 10, || {
+        tsne(&x, &cfg, &mut Rng64::new(0))
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_im2col,
-    bench_knn,
-    bench_gap,
-    bench_tsne
-);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_im2col();
+    bench_knn();
+    bench_gap();
+    bench_tsne();
+}

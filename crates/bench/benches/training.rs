@@ -2,12 +2,13 @@
 //! training epoch versus a classifier-head fine-tuning epoch. The ratio
 //! between them is the mechanism behind the §V-E2 run-time gap — the
 //! head epoch runs on low-dimensional embeddings with ~1K parameters.
+//!
+//! Plain `fn main()` timing (harness = false): the offline build has no
+//! criterion, so timing goes through `eos_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use eos_bench::bench;
 use eos_core::{extract_embeddings, PipelineConfig};
-use eos_nn::{
-    train_epochs, Architecture, ConvNet, CrossEntropyLoss, Linear, TrainConfig,
-};
+use eos_nn::{train_epochs, Architecture, ConvNet, CrossEntropyLoss, Linear, TrainConfig};
 use eos_tensor::{normal, Rng64, Tensor};
 
 fn data(n: usize, width: usize, classes: usize, rng: &mut Rng64) -> (Tensor, Vec<usize>) {
@@ -28,39 +29,50 @@ fn one_epoch_cfg() -> TrainConfig {
     }
 }
 
-fn bench_backbone_vs_head_epoch(c: &mut Criterion) {
+fn bench_backbone_vs_head_epoch() {
     let mut rng = Rng64::new(3);
     let cfg = PipelineConfig::small();
     let classes = 10;
     let (x, y) = data(256, 3 * 64, classes, &mut rng);
-    let mut group = c.benchmark_group("training/epoch");
-    group.sample_size(10);
-    group.bench_function("full-cnn", |b| {
+    {
         let mut net = ConvNet::new(cfg.arch, (3, 8, 8), classes, &mut Rng64::new(0));
         let mut loss = CrossEntropyLoss::new();
-        b.iter(|| {
+        bench("training/epoch/full-cnn", 10, || {
             let mut rng = Rng64::new(1);
-            train_epochs(&mut net, &mut loss, &x, &y, &one_epoch_cfg(), None, &mut rng)
-        })
-    });
-    group.bench_function("head-only", |b| {
+            train_epochs(
+                &mut net,
+                &mut loss,
+                &x,
+                &y,
+                &one_epoch_cfg(),
+                None,
+                &mut rng,
+            )
+        });
+    }
+    {
         let mut net = ConvNet::new(cfg.arch, (3, 8, 8), classes, &mut Rng64::new(0));
         let fe = extract_embeddings(&mut net, &x);
         let mut head = Linear::new(net.feature_dim(), classes, true, &mut Rng64::new(0));
         let mut loss = CrossEntropyLoss::new();
-        b.iter(|| {
+        bench("training/epoch/head-only", 10, || {
             let mut rng = Rng64::new(1);
-            train_epochs(&mut head, &mut loss, &fe, &y, &one_epoch_cfg(), None, &mut rng)
-        })
-    });
-    group.finish();
+            train_epochs(
+                &mut head,
+                &mut loss,
+                &fe,
+                &y,
+                &one_epoch_cfg(),
+                None,
+                &mut rng,
+            )
+        });
+    }
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     let mut rng = Rng64::new(4);
     let (x, _) = data(128, 3 * 64, 10, &mut rng);
-    let mut group = c.benchmark_group("training/inference");
-    group.sample_size(20);
     for (name, arch) in [
         (
             "resnet-w8",
@@ -78,13 +90,14 @@ fn bench_inference(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(name, |b| {
-            let mut net = ConvNet::new(arch, (3, 8, 8), 10, &mut Rng64::new(0));
-            b.iter(|| std::hint::black_box(net.forward(&x, false)))
+        let mut net = ConvNet::new(arch, (3, 8, 8), 10, &mut Rng64::new(0));
+        bench(&format!("training/inference/{name}"), 20, || {
+            net.forward(&x, false)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_backbone_vs_head_epoch, bench_inference);
-criterion_main!(benches);
+fn main() {
+    bench_backbone_vs_head_epoch();
+    bench_inference();
+}

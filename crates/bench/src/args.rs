@@ -44,14 +44,11 @@ impl Args {
         let mut out = Args::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match flag.as_str() {
                 "--scale" => {
                     let v = value("--scale")?;
-                    out.scale = Scale::parse(&v)
-                        .ok_or_else(|| format!("unknown scale '{v}'"))?;
+                    out.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale '{v}'"))?;
                 }
                 "--seed" => {
                     let v = value("--seed")?;
@@ -98,7 +95,12 @@ mod tests {
     #[test]
     fn full_flags() {
         let a = Args::try_parse(strings(&[
-            "--scale", "medium", "--seed", "7", "--datasets", "svhn,celeba",
+            "--scale",
+            "medium",
+            "--seed",
+            "7",
+            "--datasets",
+            "svhn,celeba",
         ]))
         .unwrap();
         assert_eq!(a.scale, Scale::Medium);

@@ -13,8 +13,8 @@
 use eos_bench::report::paper_fmt;
 use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
 use eos_core::{
-    decoupling_eval, evaluate, feature_deviation, generalization_gap, DecouplingMethod,
-    Direction, Eos, ThreePhase,
+    decoupling_eval, evaluate, feature_deviation, generalization_gap, DecouplingMethod, Direction,
+    Eos, ThreePhase,
 };
 use eos_data::{step_profile, subsample_to_profile, SynthSpec};
 use eos_nn::{train_epochs, CrossEntropyLoss, Linear, LossKind, TrainConfig};
@@ -132,12 +132,8 @@ fn main() {
     write_csv(&dec_table, "ablation_decoupling");
 
     // --- 4. undersampling the embeddings ---------------------------------
-    let (ux, uy) = RandomUndersampler::to_minority().undersample(
-        &tp.train_fe,
-        &tp.train_y,
-        10,
-        &mut rng,
-    );
+    let (ux, uy) =
+        RandomUndersampler::to_minority().undersample(&tp.train_fe, &tp.train_y, 10, &mut rng);
     let mut head = Linear::new(tp.net.feature_dim(), 10, true, &mut rng);
     let mut ce = CrossEntropyLoss::new();
     let tc = TrainConfig {

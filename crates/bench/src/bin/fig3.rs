@@ -33,7 +33,14 @@ fn main() {
     let args = Args::parse();
     let cfg = args.scale.pipeline();
     let mut table = MarkdownTable::new(&[
-        "Dataset", "Algo", "Class", "TrainCount", "Baseline", "SMOTE", "EOS", "FeatDev",
+        "Dataset",
+        "Algo",
+        "Class",
+        "TrainCount",
+        "Baseline",
+        "SMOTE",
+        "EOS",
+        "FeatDev",
     ]);
     for dataset in &args.datasets {
         let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
@@ -46,14 +53,9 @@ fn main() {
             let base = gap_with(&tp, &test_fe, &test.y, None, &mut rng);
             let smote = gap_with(&tp, &test_fe, &test.y, Some(&Smote::new(5)), &mut rng);
             let eos = gap_with(&tp, &test_fe, &test.y, Some(&Eos::new(10)), &mut rng);
-            let dev = feature_deviation(
-                &tp.train_fe,
-                &tp.train_y,
-                &test_fe,
-                &test.y,
-                tp.num_classes,
-            )
-            .per_class;
+            let dev =
+                feature_deviation(&tp.train_fe, &tp.train_y, &test_fe, &test.y, tp.num_classes)
+                    .per_class;
             for c in 0..tp.num_classes {
                 table.row(vec![
                     dataset.to_string(),

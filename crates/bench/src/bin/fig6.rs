@@ -40,7 +40,8 @@ fn main() {
         ("Bal-SVM", Some(Box::new(BalancedSvm::new(5)))),
         ("EOS", Some(Box::new(Eos::new(10)))),
     ];
-    let mut summary = MarkdownTable::new(&["Method", "Points", "Separation", "Minority density CV"]);
+    let mut summary =
+        MarkdownTable::new(&["Method", "Points", "Separation", "Minority density CV"]);
     let mut coords = MarkdownTable::new(&["Method", "Class", "x", "y"]);
     for (name, sampler) in methods {
         let (fe, y) = match &sampler {
@@ -54,7 +55,9 @@ fn main() {
             None => (tp.train_fe.clone(), tp.train_y.clone()),
         };
         // Slice out the two classes of interest.
-        let rows: Vec<usize> = (0..y.len()).filter(|&i| y[i] == maj || y[i] == min).collect();
+        let rows: Vec<usize> = (0..y.len())
+            .filter(|&i| y[i] == maj || y[i] == min)
+            .collect();
         let pair_fe = fe.select_rows(&rows);
         let pair_y: Vec<usize> = rows.iter().map(|&i| (y[i] == min) as usize).collect();
         // Cap the point count so t-SNE stays quadratic-cheap.

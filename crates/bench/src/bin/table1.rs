@@ -24,8 +24,7 @@ fn main() {
         let mut pre: Vec<Box<dyn eos_resample::Oversampler>> = samplers_for_table2();
         pre.push(Box::new(Remix::new()));
         for sampler in &pre {
-            let mut rng =
-                Rng64::new(args.seed ^ name_hash(dataset) ^ name_hash(sampler.name()));
+            let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ name_hash(sampler.name()));
             eprintln!("[table1] {dataset} / Pre-{} ...", sampler.name());
             let r = preprocess_and_train(
                 &train,

@@ -16,9 +16,7 @@ use eos_tensor::Rng64;
 fn main() {
     let args = Args::parse();
     let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&[
-        "Dataset", "Algo", "Method", "BAC", "GM", "FM",
-    ]);
+    let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "BAC", "GM", "FM"]);
     for dataset in &args.datasets {
         let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
         for loss in LossKind::ALL {
@@ -45,8 +43,10 @@ fn main() {
             push("EOS", &r);
         }
     }
-    println!("\nTable II reproduction (scale {:?}, seed {})\n", args.scale, args.seed);
+    println!(
+        "\nTable II reproduction (scale {:?}, seed {})\n",
+        args.scale, args.seed
+    );
     println!("{}", table.render());
     write_csv(&table, "table2");
 }
-

@@ -21,7 +21,13 @@ fn main() {
     let args = Args::parse();
     let cfg = args.scale.pipeline();
     let mut table = MarkdownTable::new(&[
-        "Dataset", "Algo", "Method", "BAC", "GM", "FM", "Oversample s",
+        "Dataset",
+        "Algo",
+        "Method",
+        "BAC",
+        "GM",
+        "FM",
+        "Oversample s",
     ]);
     for dataset in &args.datasets {
         let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
@@ -41,12 +47,8 @@ fn main() {
             for sampler in methods {
                 // Time the oversampling itself (the model-induction cost).
                 let t0 = Instant::now();
-                let _ = sampler.oversample(
-                    &tp.train_fe,
-                    &tp.train_y,
-                    tp.num_classes,
-                    &mut rng.fork(),
-                );
+                let _ =
+                    sampler.oversample(&tp.train_fe, &tp.train_y, tp.num_classes, &mut rng.fork());
                 let os_seconds = t0.elapsed().as_secs_f64();
                 let r = tp.finetune_and_eval(sampler.as_ref(), &test, &cfg, &mut rng);
                 table.row(vec![

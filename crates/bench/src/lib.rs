@@ -12,7 +12,9 @@
 pub mod args;
 pub mod report;
 pub mod runner;
+pub mod timing;
 
 pub use args::Args;
 pub use report::{write_csv, MarkdownTable};
 pub use runner::{name_hash, prepared_dataset, samplers_for_table2};
+pub use timing::{bench, format_duration};

@@ -1,0 +1,66 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The build environment is offline, so the bench binaries cannot depend on
+//! criterion; this module gives them the small subset they actually use:
+//! warm-up, a fixed sample count, and mean/min reporting. Bench targets are
+//! declared with `harness = false` and call [`bench`] from a plain
+//! `fn main()`.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` over `samples` runs (after one warm-up run) and prints a
+/// one-line report. Returns the mean duration so callers can build
+/// comparison tables.
+pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(samples > 0, "need at least one sample");
+    std::hint::black_box(f());
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / samples as u32;
+    println!(
+        "{name:<44} mean {:>10}  min {:>10}  ({samples} samples)",
+        format_duration(mean),
+        format_duration(min),
+    );
+    mean
+}
+
+/// Human-readable duration: `1.234 ms`, `56.7 µs`, `2.345 s`.
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_a_positive_mean() {
+        let mean = bench("spin", 3, || (0..1000u64).sum::<u64>());
+        assert!(mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.0 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -17,11 +17,7 @@ use eos_tensor::{Rng64, Tensor};
 /// embeddings, but draw each mini-batch sample from a class-balanced
 /// distribution (sample a class uniformly, then an instance of it).
 /// Unlike oversampling, no synthetic instances are created.
-pub fn crt_finetune(
-    tp: &mut ThreePhase,
-    cfg: &PipelineConfig,
-    rng: &mut Rng64,
-) -> f64 {
+pub fn crt_finetune(tp: &mut ThreePhase, cfg: &PipelineConfig, rng: &mut Rng64) -> f64 {
     let t0 = std::time::Instant::now();
     // Materialise class-balanced resampling as an index multiset with the
     // same size per class, then reuse the standard trainer.
@@ -80,8 +76,10 @@ pub fn tau_normalize_head(tp: &mut ThreePhase, tau: f32) {
     // Kang et al. drop the bias under tau-norm; keep it scaled to zero
     // influence for comparability.
     let _ = bias;
-    tp.net
-        .set_head(Linear::from_weights(Tensor::from_vec(data, &[classes, d]), None));
+    tp.net.set_head(Linear::from_weights(
+        Tensor::from_vec(data, &[classes, d]),
+        None,
+    ));
 }
 
 /// Nearest class mean classifier: replace the head with a
@@ -227,12 +225,7 @@ mod tests {
         ] {
             let mut rng = Rng64::new(5);
             let r = decoupling_eval(&mut tp, method, &test, &cfg, &mut rng);
-            assert!(
-                r.bac > 0.25,
-                "{} BAC {} below chance",
-                method.name(),
-                r.bac
-            );
+            assert!(r.bac > 0.25, "{} BAC {} below chance", method.name(), r.bac);
         }
     }
 
@@ -242,11 +235,7 @@ mod tests {
         let (mut tp, test, cfg) = trained();
         let mut rng = Rng64::new(6);
         let r = decoupling_eval(&mut tp, DecouplingMethod::Crt, &test, &cfg, &mut rng);
-        let recalls = crate::analysis::per_class_recall(
-            &test.y,
-            &r.predictions,
-            test.num_classes,
-        );
+        let recalls = crate::analysis::per_class_recall(&test.y, &r.predictions, test.num_classes);
         assert!(
             recalls.iter().filter(|&&x| x > 0.0).count() >= 4,
             "cRT recalls {recalls:?}"

@@ -8,7 +8,7 @@
 //! expand the class's embedding-space footprint toward the decision
 //! boundary — which is what closes the generalization gap.
 
-use eos_neighbors::{BruteForceKnn, Metric, NnIndex};
+use eos_neighbors::{BruteForceKnn, Metric};
 use eos_resample::{deficits, indices_by_class, Oversampler, Smote};
 use eos_tensor::{Rng64, Tensor};
 
@@ -87,9 +87,12 @@ impl Eos {
         class: usize,
         class_rows: &[usize],
     ) -> Vec<(usize, Vec<usize>)> {
+        // One K-neighbourhood scan per class member, fanned out across the
+        // worker pool; the enemy filter preserves member order, so the
+        // table matches the serial scan exactly.
+        let hits_per_row = index.query_rows_batch(class_rows, self.k);
         let mut table = Vec::new();
-        for &row in class_rows {
-            let hits = index.query_row(row, self.k);
+        for (&row, hits) in class_rows.iter().zip(&hits_per_row) {
             let enemies: Vec<usize> = hits
                 .iter()
                 .filter(|h| y[h.index] != class)
@@ -126,7 +129,10 @@ impl Oversampler for Eos {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let table = self.enemy_table(&index, y, class, &idx[class]);
             if table.is_empty() {
                 // No borderline samples at all (isolated class): fall back
@@ -191,8 +197,8 @@ mod tests {
     fn toward_enemy_sits_between_minority_and_enemies() {
         let mut rng = Rng64::new(1);
         let (x, y) = scene(&mut rng);
-        let (sx, sy) = Eos::with_direction(10, Direction::TowardEnemy)
-            .oversample(&x, &y, 2, &mut rng);
+        let (sx, sy) =
+            Eos::with_direction(10, Direction::TowardEnemy).oversample(&x, &y, 2, &mut rng);
         assert_eq!(sy.len(), 24);
         assert!(sy.iter().all(|&l| l == 1));
         // Toward-enemy samples move from the minority blob (≈4) toward the
@@ -237,7 +243,10 @@ mod tests {
         let all_sm = Tensor::concat_rows(&[&x.select_rows(&minority_rows), &smx]);
         let range_smote: f32 = all_sm.max_rows().sub(&all_sm.min_rows()).sum();
 
-        assert!((range_smote - range_before).abs() < 1e-4, "SMOTE fixed range");
+        assert!(
+            (range_smote - range_before).abs() < 1e-4,
+            "SMOTE fixed range"
+        );
         assert!(
             range_eos > range_before + 0.5,
             "EOS expands range: {range_eos} vs {range_before}"
@@ -248,8 +257,8 @@ mod tests {
     fn away_from_enemy_expands_the_far_side() {
         let mut rng = Rng64::new(3);
         let (x, y) = scene(&mut rng);
-        let (sx, _) = Eos::with_direction(10, Direction::AwayFromEnemy)
-            .oversample(&x, &y, 2, &mut rng);
+        let (sx, _) =
+            Eos::with_direction(10, Direction::AwayFromEnemy).oversample(&x, &y, 2, &mut rng);
         // Away-from-enemy pushes feature 0 beyond the minority blob (> 4).
         let minority_max = (30..36)
             .map(|i| x.row_slice(i)[0])
@@ -273,10 +282,7 @@ mod tests {
         // Minority so far away that no K-neighbourhood contains enemies
         // within K nearest? With K >= dataset size neighbours always
         // include enemies, so use a tiny K and far separation.
-        let x = Tensor::from_vec(
-            vec![0.0, 0.1, 0.2, 0.3, 100.0, 100.1, 100.2],
-            &[7, 1],
-        );
+        let x = Tensor::from_vec(vec![0.0, 0.1, 0.2, 0.3, 100.0, 100.1, 100.2], &[7, 1]);
         let y = vec![0, 0, 0, 0, 1, 1, 1];
         let (sx, sy) = Eos::new(2).oversample(&x, &y, 2, &mut Rng64::new(0));
         assert_eq!(sy.len(), 1);

@@ -139,8 +139,7 @@ impl ThreePhase {
         let mut net = ConvNet::new(cfg.arch, train.shape, train.num_classes, rng);
         let mut loss = loss_kind.build(&counts);
         let tc = backbone_schedule(cfg, loss_kind, &counts);
-        let drw = (loss_kind == LossKind::Ldam)
-            .then(|| effective_number_weights(0.999, &counts));
+        let drw = (loss_kind == LossKind::Ldam).then(|| effective_number_weights(0.999, &counts));
         let history = train_epochs(&mut net, loss.as_mut(), &train.x, &train.y, &tc, drw, rng);
         let train_fe = extract_embeddings(&mut net, &train.x);
         ThreePhase {
@@ -313,8 +312,7 @@ pub fn preprocess_and_train(
     let mut net = ConvNet::new(cfg.arch, train.shape, train.num_classes, rng);
     let mut loss = loss_kind.build(&counts);
     let tc = backbone_schedule(cfg, loss_kind, &counts);
-    let drw =
-        (loss_kind == LossKind::Ldam).then(|| effective_number_weights(0.999, &counts));
+    let drw = (loss_kind == LossKind::Ldam).then(|| effective_number_weights(0.999, &counts));
     let _ = train_epochs(&mut net, loss.as_mut(), &bx, &by, &tc, drw, rng);
     let mut r = evaluate(&mut net, test);
     r.seconds = t0.elapsed().as_secs_f64();

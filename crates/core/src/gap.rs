@@ -6,7 +6,7 @@
 //! zero floor when it falls inside; contributions are summed over features
 //! (Manhattan distance) and the per-class values averaged into a net gap.
 
-use eos_tensor::Tensor;
+use eos_tensor::{par, Tensor};
 
 /// Per-feature minima and maxima of one class's embeddings.
 #[derive(Debug, Clone)]
@@ -22,25 +22,24 @@ pub struct ClassRange {
 /// Per-class feature ranges of an embedded, labelled set.
 pub fn class_ranges(fe: &Tensor, y: &[usize], num_classes: usize) -> Vec<Option<ClassRange>> {
     assert_eq!(fe.dim(0), y.len(), "embedding/label count mismatch");
-    let mut out = Vec::with_capacity(num_classes);
-    for c in 0..num_classes {
+    // Classes are independent, so the per-class range scans fan out across
+    // the worker pool; results come back in class order.
+    par::par_map_range(num_classes, |c| {
         let rows: Vec<usize> = y
             .iter()
             .enumerate()
             .filter_map(|(i, &l)| (l == c).then_some(i))
             .collect();
         if rows.is_empty() {
-            out.push(None);
-            continue;
+            return None;
         }
         let sub = fe.select_rows(&rows);
-        out.push(Some(ClassRange {
+        Some(ClassRange {
             min: sub.min_rows(),
             max: sub.max_rows(),
             count: rows.len(),
-        }));
-    }
-    out
+        })
+    })
 }
 
 /// Gap of one class: Manhattan distance between train and test ranges with
@@ -170,11 +169,19 @@ pub fn mean_sample_gap(
 ) -> Vec<f64> {
     assert_eq!(test_fe.dim(0), test_y.len());
     let tr = class_ranges(train_fe, train_y, num_classes);
+    // Per-sample box distances are independent: compute them in parallel,
+    // then reduce serially in sample order so the per-class sums add up in
+    // exactly the order the serial loop used.
+    let gaps = par::par_map_range(test_y.len(), |i| {
+        tr[test_y[i]]
+            .as_ref()
+            .map(|range| sample_gap(test_fe.row_slice(i), range))
+    });
     let mut sums = vec![0.0f64; num_classes];
     let mut counts = vec![0usize; num_classes];
-    for (i, &c) in test_y.iter().enumerate() {
-        if let Some(range) = &tr[c] {
-            sums[c] += sample_gap(test_fe.row_slice(i), range);
+    for (&c, g) in test_y.iter().zip(gaps) {
+        if let Some(g) = g {
+            sums[c] += g;
             counts[c] += 1;
         }
     }
@@ -197,13 +204,18 @@ pub fn tp_fp_gap(
     assert_eq!(test_y.len(), test_pred.len());
     assert_eq!(test_fe.dim(0), test_y.len());
     let tr = class_ranges(train_fe, train_y, num_classes);
+    // Same parallel-map / in-order-reduce shape as [`mean_sample_gap`].
+    let gaps = par::par_map_range(test_y.len(), |i| {
+        tr[test_y[i]]
+            .as_ref()
+            .map(|range| sample_gap(test_fe.row_slice(i), range))
+    });
     let mut tp_sum = 0.0f64;
     let mut tp_n = 0usize;
     let mut fp_sum = 0.0f64;
     let mut fp_n = 0usize;
     for i in 0..test_y.len() {
-        let Some(range) = &tr[test_y[i]] else { continue };
-        let g = sample_gap(test_fe.row_slice(i), range);
+        let Some(g) = gaps[i] else { continue };
         if test_pred[i] == test_y[i] {
             tp_sum += g;
             tp_n += 1;
@@ -251,10 +263,8 @@ mod tests {
         let dense_train = normal(&[100, 8], 0.0, 1.0, &mut rng);
         let sparse_train = normal(&[3, 8], 0.0, 1.0, &mut rng);
         let test = normal(&[100, 8], 0.0, 1.0, &mut rng);
-        let g_dense =
-            generalization_gap(&dense_train, &[0; 100], &test, &[0; 100], 1);
-        let g_sparse =
-            generalization_gap(&sparse_train, &[0; 3], &test, &[0; 100], 1);
+        let g_dense = generalization_gap(&dense_train, &[0; 100], &test, &[0; 100], 1);
+        let g_sparse = generalization_gap(&sparse_train, &[0; 3], &test, &[0; 100], 1);
         assert!(
             g_sparse.mean > 2.0 * g_dense.mean,
             "sparse {} vs dense {}",

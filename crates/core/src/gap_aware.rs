@@ -60,8 +60,8 @@ impl GapAwareEos {
                 continue;
             }
             rng.shuffle(&mut idx);
-            let n_hold = ((idx.len() as f64 * self.holdout).round() as usize)
-                .clamp(1, idx.len() - 2);
+            let n_hold =
+                ((idx.len() as f64 * self.holdout).round() as usize).clamp(1, idx.len() - 2);
             hold.extend_from_slice(&idx[..n_hold]);
             keep.extend_from_slice(&idx[n_hold..]);
         }

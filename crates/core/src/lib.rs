@@ -37,15 +37,15 @@ mod selection;
 
 pub use analysis::{head_weight_norms, per_class_recall};
 pub use config::{PipelineConfig, Scale};
-pub use decoupling::{crt_finetune, decoupling_eval, ncm_head, tau_normalize_head, DecouplingMethod};
-pub use eos::{Direction, Eos};
-pub use gap_aware::GapAwareEos;
-pub use framework::{
-    evaluate, extract_embeddings, preprocess_and_train, EvalResult, ThreePhase,
+pub use decoupling::{
+    crt_finetune, decoupling_eval, ncm_head, tau_normalize_head, DecouplingMethod,
 };
+pub use eos::{Direction, Eos};
+pub use framework::{evaluate, extract_embeddings, preprocess_and_train, EvalResult, ThreePhase};
 pub use gap::{
     class_ranges, feature_deviation, generalization_gap, mean_sample_gap, tp_fp_gap, ClassGaps,
     GapReport,
 };
+pub use gap_aware::GapAwareEos;
 pub use metrics::{ConfusionMatrix, Metrics};
 pub use selection::{select_best, three_cut_check, CutReport};

@@ -121,7 +121,9 @@ impl std::fmt::Display for ConfusionMatrix {
         writeln!(
             f,
             "true\\pred {}",
-            (0..self.classes).map(|c| format!("{c:>6}")).collect::<String>()
+            (0..self.classes)
+                .map(|c| format!("{c:>6}"))
+                .collect::<String>()
         )?;
         for (t, recall) in recalls.iter().enumerate() {
             write!(f, "{t:9} ")?;
@@ -147,10 +149,13 @@ pub struct Metrics {
 
 impl std::fmt::Display for Metrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, ".{:04.0} .{:04.0} .{:04.0}",
+        write!(
+            f,
+            ".{:04.0} .{:04.0} .{:04.0}",
             (self.bac * 10_000.0).round(),
             (self.gm * 10_000.0).round(),
-            (self.f1 * 10_000.0).round())
+            (self.f1 * 10_000.0).round()
+        )
     }
 }
 

@@ -53,10 +53,7 @@ pub fn three_cut_check(
 /// Selects the best of several trained pipelines by validation balanced
 /// accuracy — the "best performing model ... is selected for further
 /// investigation" step. Returns the winning index.
-pub fn select_best(
-    pipelines: &mut [ThreePhase],
-    validation: &Dataset,
-) -> usize {
+pub fn select_best(pipelines: &mut [ThreePhase], validation: &Dataset) -> usize {
     assert!(!pipelines.is_empty());
     let mut best = 0;
     let mut best_bac = f64::NEG_INFINITY;

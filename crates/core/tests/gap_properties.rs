@@ -1,95 +1,95 @@
-//! Property tests of the generalization-gap measure (Algorithm 1).
+//! Property-style tests of the generalization-gap measure (Algorithm 1),
+//! driven by deterministic seeded-RNG loops.
 
 use eos_core::{feature_deviation, generalization_gap};
 use eos_tensor::{Rng64, Tensor};
-use proptest::prelude::*;
 
-fn labelled_embeddings(
-    max_n: usize,
-) -> impl Strategy<Value = (Tensor, Vec<usize>, Tensor, Vec<usize>, usize)> {
-    (2usize..=3, 1usize..=4, 4..=max_n, 4..=max_n, 0u64..500).prop_map(
-        |(classes, d, n_train, n_test, seed)| {
-            let mut rng = Rng64::new(seed);
-            let make = |n: usize, rng: &mut Rng64| {
-                let x = eos_tensor::normal(&[n, d], 0.0, 1.0, rng);
-                let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
-                (x, y)
-            };
-            let (tx, ty) = make(n_train, &mut rng);
-            let (ex, ey) = make(n_test, &mut rng);
-            (tx, ty, ex, ey, classes)
-        },
-    )
+const CASES: u64 = 48;
+
+fn labelled_embeddings(max_n: usize, seed: u64) -> (Tensor, Vec<usize>, Tensor, Vec<usize>, usize) {
+    let mut rng = Rng64::new(seed);
+    let classes = 2 + rng.below(2);
+    let d = 1 + rng.below(4);
+    let n_train = 4 + rng.below(max_n - 3);
+    let n_test = 4 + rng.below(max_n - 3);
+    let make = |n: usize, rng: &mut Rng64| {
+        let x = eos_tensor::normal(&[n, d], 0.0, 1.0, rng);
+        let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        (x, y)
+    };
+    let (tx, ty) = make(n_train, &mut rng);
+    let (ex, ey) = make(n_test, &mut rng);
+    (tx, ty, ex, ey, classes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn gap_is_nonnegative((tx, ty, ex, ey, c) in labelled_embeddings(20)) {
+#[test]
+fn gap_is_nonnegative() {
+    for seed in 0..CASES {
+        let (tx, ty, ex, ey, c) = labelled_embeddings(20, seed);
         let g = generalization_gap(&tx, &ty, &ex, &ey, c);
-        prop_assert!(g.per_class.iter().all(|&v| v >= 0.0));
-        prop_assert!(g.mean >= 0.0);
+        assert!(g.per_class.iter().all(|&v| v >= 0.0));
+        assert!(g.mean >= 0.0);
         let d = feature_deviation(&tx, &ty, &ex, &ey, c);
-        prop_assert!(d.per_class.iter().all(|&v| v >= 0.0));
+        assert!(d.per_class.iter().all(|&v| v >= 0.0));
     }
+}
 
-    #[test]
-    fn gap_to_self_is_zero((tx, ty, _ex, _ey, c) in labelled_embeddings(20)) {
+#[test]
+fn gap_to_self_is_zero() {
+    for seed in 0..CASES {
         // A test set identical to the train set is inside every range.
+        let (tx, ty, _ex, _ey, c) = labelled_embeddings(20, seed);
         let g = generalization_gap(&tx, &ty, &tx, &ty, c);
-        prop_assert_eq!(g.mean, 0.0);
+        assert_eq!(g.mean, 0.0);
     }
+}
 
-    #[test]
-    fn enlarging_the_train_set_never_increases_the_gap(
-        (tx, ty, ex, ey, c) in labelled_embeddings(16),
-        extra_seed in 0u64..100,
-    ) {
-        // Ranges are monotone in the training set: adding training
-        // samples can only widen the footprint and shrink the gap.
+#[test]
+fn enlarging_the_train_set_never_increases_the_gap() {
+    for seed in 0..CASES {
+        // Ranges are monotone in the training set: adding training samples
+        // can only widen the footprint and shrink the gap.
+        let (tx, ty, ex, ey, c) = labelled_embeddings(16, seed);
         let before = generalization_gap(&tx, &ty, &ex, &ey, c);
-        let mut rng = Rng64::new(extra_seed);
+        let mut rng = Rng64::new(seed.wrapping_add(1000));
         let extra = eos_tensor::normal(&[c, tx.dim(1)], 0.0, 2.0, &mut rng);
         let bigger = Tensor::concat_rows(&[&tx, &extra]);
         let mut ty2 = ty.clone();
         ty2.extend(0..c);
         let after = generalization_gap(&bigger, &ty2, &ex, &ey, c);
         for (b, a) in before.per_class.iter().zip(&after.per_class) {
-            prop_assert!(*a <= *b + 1e-9, "gap grew: {b} -> {a}");
+            assert!(*a <= *b + 1e-9, "gap grew: {b} -> {a}");
         }
     }
+}
 
-    #[test]
-    fn gap_scales_with_the_data(
-        (tx, ty, ex, ey, c) in labelled_embeddings(16),
-        scale in 1.5f32..4.0,
-    ) {
+#[test]
+fn gap_scales_with_the_data() {
+    for seed in 0..CASES {
         // Scaling both sets by s scales every per-class gap by s.
+        let (tx, ty, ex, ey, c) = labelled_embeddings(16, seed);
+        let scale = 1.5 + 2.5 * Rng64::new(seed.wrapping_add(2000)).uniform_f32();
         let before = generalization_gap(&tx, &ty, &ex, &ey, c);
-        let after = generalization_gap(
-            &tx.scale(scale), &ty, &ex.scale(scale), &ey, c,
-        );
+        let after = generalization_gap(&tx.scale(scale), &ty, &ex.scale(scale), &ey, c);
         for (b, a) in before.per_class.iter().zip(&after.per_class) {
             let expected = b * scale as f64;
-            prop_assert!(
+            assert!(
                 (a - expected).abs() < 1e-2 * (1.0 + expected),
                 "{b} scaled by {scale} should be {expected}, got {a}"
             );
         }
     }
+}
 
-    #[test]
-    fn gap_is_translation_invariant(
-        (tx, ty, ex, ey, c) in labelled_embeddings(16),
-        shift in -5.0f32..5.0,
-    ) {
+#[test]
+fn gap_is_translation_invariant() {
+    for seed in 0..CASES {
+        let (tx, ty, ex, ey, c) = labelled_embeddings(16, seed);
+        let shift = Rng64::new(seed.wrapping_add(3000)).range_f32(-5.0, 5.0);
         let before = generalization_gap(&tx, &ty, &ex, &ey, c);
-        let after = generalization_gap(
-            &tx.map(|v| v + shift), &ty, &ex.map(|v| v + shift), &ey, c,
-        );
+        let after = generalization_gap(&tx.map(|v| v + shift), &ty, &ex.map(|v| v + shift), &ey, c);
         for (b, a) in before.per_class.iter().zip(&after.per_class) {
-            prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
         }
     }
 }

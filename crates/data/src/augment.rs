@@ -67,8 +67,16 @@ pub fn augment_dataset(data: &Dataset, cfg: &AugmentConfig, rng: &mut Rng64) -> 
     let mut out = Vec::with_capacity(data.len() * width);
     let s = cfg.max_shift as isize;
     for i in 0..data.len() {
-        let dy = if s > 0 { rng.below(2 * s as usize + 1) as isize - s } else { 0 };
-        let dx = if s > 0 { rng.below(2 * s as usize + 1) as isize - s } else { 0 };
+        let dy = if s > 0 {
+            rng.below(2 * s as usize + 1) as isize - s
+        } else {
+            0
+        };
+        let dx = if s > 0 {
+            rng.below(2 * s as usize + 1) as isize - s
+        } else {
+            0
+        };
         let mut img = shift(data.x.row_slice(i), data.shape, dy, dx);
         if rng.uniform_f32() < cfg.flip_prob {
             hflip(&mut img, data.shape);

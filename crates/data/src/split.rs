@@ -8,11 +8,7 @@ use eos_tensor::Rng64;
 /// Splits a dataset into `(kept, held_out)` with `held_fraction` of *each
 /// class* held out (stratified). Classes with a single sample stay in the
 /// kept split.
-pub fn stratified_split(
-    data: &Dataset,
-    held_fraction: f64,
-    rng: &mut Rng64,
-) -> (Dataset, Dataset) {
+pub fn stratified_split(data: &Dataset, held_fraction: f64, rng: &mut Rng64) -> (Dataset, Dataset) {
     assert!(
         (0.0..1.0).contains(&held_fraction),
         "held fraction must be in [0, 1)"

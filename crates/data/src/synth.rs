@@ -158,12 +158,7 @@ impl SynthSpec {
             .collect()
     }
 
-    fn sample_set(
-        &self,
-        protos: &[Vec<Vec<f32>>],
-        profile: &[usize],
-        rng: &mut Rng64,
-    ) -> Dataset {
+    fn sample_set(&self, protos: &[Vec<Vec<f32>>], profile: &[usize], rng: &mut Rng64) -> Dataset {
         let width = self.shape.0 * self.shape.1 * self.shape.2;
         let total: usize = profile.iter().sum();
         let mut data = Vec::with_capacity(total * width);
@@ -284,8 +279,16 @@ mod tests {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    let da: f64 = a.iter().zip(row).map(|(&c, &x)| (c - x as f64).powi(2)).sum();
-                    let db: f64 = b.iter().zip(row).map(|(&c, &x)| (c - x as f64).powi(2)).sum();
+                    let da: f64 = a
+                        .iter()
+                        .zip(row)
+                        .map(|(&c, &x)| (c - x as f64).powi(2))
+                        .sum();
+                    let db: f64 = b
+                        .iter()
+                        .zip(row)
+                        .map(|(&c, &x)| (c - x as f64).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .map(|(c, _)| c)
@@ -319,7 +322,11 @@ mod tests {
             }
         }
         let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(&x, &y)| (x - y).powi(2)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         let mut paired = Vec::new();
         let mut unpaired = Vec::new();

@@ -1,0 +1,112 @@
+//! Property-style tests for the data substrate: imbalance profiles,
+//! stratified splits, augmentation, and generator invariants, driven by
+//! deterministic seeded-RNG loops (the build environment is offline, so no
+//! proptest).
+
+use eos_data::{
+    augment_dataset, exponential_profile, step_profile, stratified_split, AugmentConfig, Dataset,
+    SynthSpec,
+};
+use eos_tensor::{Rng64, Tensor};
+
+const CASES: u64 = 64;
+
+#[test]
+fn exponential_profile_is_monotone_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let n_max = 1 + rng.below(4999);
+        let ratio = 1.0 + 499.0 * rng.uniform_f32() as f64;
+        let classes = 1 + rng.below(49);
+        let p = exponential_profile(n_max, ratio, classes);
+        assert_eq!(p.len(), classes);
+        assert_eq!(p[0], n_max);
+        assert!(p.windows(2).all(|w| w[0] >= w[1]), "not monotone: {p:?}");
+        assert!(p.iter().all(|&n| n >= 1));
+        // The last class is n_max / ratio, up to rounding — except in the
+        // single-class case, which keeps n_max by definition.
+        if classes > 1 {
+            let expected = (n_max as f64 / ratio).round().max(1.0) as usize;
+            assert!(p[classes - 1].abs_diff(expected) <= 1);
+        }
+    }
+}
+
+#[test]
+fn step_profile_has_two_levels() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let n_max = 1 + rng.below(999);
+        let ratio = 1.0 + 99.0 * rng.uniform_f32() as f64;
+        let classes = 2 + rng.below(18);
+        let majority = rng.below(20).min(classes);
+        let p = step_profile(n_max, ratio, classes, majority);
+        let mut levels: Vec<usize> = p.clone();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 2, "profile {p:?}");
+    }
+}
+
+#[test]
+fn stratified_split_partitions_exactly() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let n_classes = 2 + rng.below(3);
+        let counts: Vec<usize> = (0..n_classes).map(|_| 2 + rng.below(10)).collect();
+        let frac = 0.1 + 0.5 * rng.uniform_f32() as f64;
+        let n: usize = counts.iter().sum();
+        let x = Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n, 1]);
+        let mut y = Vec::new();
+        for (c, &k) in counts.iter().enumerate() {
+            y.extend(std::iter::repeat_n(c, k));
+        }
+        let d = Dataset::new(x, y, (1, 1, 1), counts.len());
+        let (keep, hold) = stratified_split(&d, frac, &mut Rng64::new(seed));
+        assert_eq!(keep.len() + hold.len(), n);
+        // Every class retains at least one kept sample.
+        assert!(keep.class_counts().iter().all(|&c| c >= 1));
+        // No sample appears twice.
+        let mut all: Vec<f32> = keep.x.data().to_vec();
+        all.extend_from_slice(hold.x.data());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        assert_eq!(all, expected);
+    }
+}
+
+#[test]
+fn augmentation_never_changes_labels_or_shape() {
+    for seed in 0..CASES {
+        let mut rng = Rng64::new(seed);
+        let max_shift = rng.below(3);
+        let flip = rng.uniform_f32();
+        let mut spec = SynthSpec::celeba_like(1);
+        spec.n_max_train = 10;
+        spec.n_test_per_class = 1;
+        let (train, _) = spec.generate(seed);
+        let cfg = AugmentConfig {
+            max_shift,
+            flip_prob: flip,
+        };
+        let out = augment_dataset(&train, &cfg, &mut Rng64::new(seed));
+        assert_eq!(out.len(), train.len());
+        assert_eq!(&out.y, &train.y);
+        assert!(out.x.all_finite());
+        // Values stay within the clamp range of the generator.
+        assert!(out.x.min() >= 0.0 && out.x.max() <= 1.0);
+    }
+}
+
+#[test]
+fn generator_counts_match_profile() {
+    for seed in 0..CASES / 4 {
+        let spec = SynthSpec::cifar10_like(1);
+        let (train, test) = spec.generate(seed);
+        assert_eq!(train.class_counts(), spec.train_profile());
+        assert!(test
+            .class_counts()
+            .iter()
+            .all(|&n| n == spec.n_test_per_class));
+    }
+}

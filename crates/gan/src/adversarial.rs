@@ -12,12 +12,7 @@ pub fn bce_with_logits(logits: &Tensor, targets: &[f32]) -> (f32, Tensor) {
     let n = targets.len().max(1);
     let mut grad = Tensor::zeros(logits.dims());
     let mut loss = 0.0f32;
-    for ((g, &z), &t) in grad
-        .data_mut()
-        .iter_mut()
-        .zip(logits.data())
-        .zip(targets)
-    {
+    for ((g, &z), &t) in grad.data_mut().iter_mut().zip(logits.data()).zip(targets) {
         // log(1 + e^{-|z|}) + max(z, 0) - z·t  — the standard stable form.
         loss += (1.0 + (-z.abs()).exp()).ln() + z.max(0.0) - z * t;
         let p = 1.0 / (1.0 + (-z).exp());
@@ -156,6 +151,9 @@ mod tests {
             (after - 3.0).abs() < (before - 3.0).abs(),
             "generator mean moved {before:.2} -> {after:.2}, target 3"
         );
-        assert!(after > 1.0, "generator should approach the real mean: {after}");
+        assert!(
+            after > 1.0,
+            "generator should approach the real mean: {after}"
+        );
     }
 }

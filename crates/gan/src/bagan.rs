@@ -117,7 +117,10 @@ impl Oversampler for BaganLite {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             // Class-conditional latent Gaussian.
             let class_z = latents.select_rows(&idx[class]);
             let mean = class_z.mean_rows();

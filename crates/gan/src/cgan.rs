@@ -62,7 +62,10 @@ impl Oversampler for CGan {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let real = x.select_rows(&idx[class]);
             if real.dim(0) < 2 {
                 // Too few samples to train anything adversarial: duplicate.

@@ -69,7 +69,10 @@ impl Oversampler for DeepSmote {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let class_z = latents.select_rows(&idx[class]);
             let pool: Vec<usize> = (0..class_z.dim(0)).collect();
             let mut z_buf = Vec::new();

@@ -39,7 +39,10 @@ impl Layer for ConvexMix {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let w = self.cache.as_ref().expect("ConvexMix::backward before forward");
+        let w = self
+            .cache
+            .as_ref()
+            .expect("ConvexMix::backward before forward");
         // dW = grad · Aᵀ, then softmax backward per row:
         // dlogit_j = w_j (dW_j − Σ_k w_k dW_k).
         let dw = grad.matmul_nt(&self.anchors);
@@ -123,7 +126,10 @@ impl Oversampler for GamoLite {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let mut rows = idx[class].clone();
             if rows.len() > self.max_anchors {
                 rng.shuffle(&mut rows);

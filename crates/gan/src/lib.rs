@@ -35,6 +35,6 @@ mod gamo;
 
 pub use adversarial::{bce_with_logits, train_gan, GanConfig};
 pub use bagan::BaganLite;
-pub use deepsmote::DeepSmote;
 pub use cgan::CGan;
+pub use deepsmote::DeepSmote;
 pub use gamo::GamoLite;

@@ -1,7 +1,7 @@
 //! Exact brute-force k-NN.
 
 use crate::{Metric, Neighbor, NnIndex};
-use eos_tensor::Tensor;
+use eos_tensor::{par, Tensor};
 
 /// Exact k-NN by linear scan with a bounded max-heap.
 ///
@@ -41,15 +41,38 @@ impl BruteForceKnn {
             if best.len() == k && d >= best[k - 1].distance {
                 continue;
             }
-            let pos = best.partition_point(|n| {
-                n.distance < d || (n.distance == d && n.index < i)
-            });
-            best.insert(pos, Neighbor { index: i, distance: d });
+            let pos = best.partition_point(|n| n.distance < d || (n.distance == d && n.index < i));
+            best.insert(
+                pos,
+                Neighbor {
+                    index: i,
+                    distance: d,
+                },
+            );
             if best.len() > k {
                 best.pop();
             }
         }
         best
+    }
+
+    /// [`NnIndex::query`] for every row of a `(q, d)` query matrix, with
+    /// the scans fanned out across the worker pool. Each query's result is
+    /// computed exactly as in the serial path, so the output is identical
+    /// to a query-at-a-time loop at any thread count.
+    pub fn query_batch(&self, queries: &Tensor, k: usize) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.rank(), 2, "batch query expects a (q, d) matrix");
+        par::par_map_range(queries.dim(0), |i| self.scan(queries.row_slice(i), k, None))
+    }
+
+    /// [`NnIndex::query_row`] for many indexed rows at once, fanned out
+    /// across the worker pool; bit-identical to the serial loop.
+    pub fn query_rows_batch(&self, rows: &[usize], k: usize) -> Vec<Vec<Neighbor>> {
+        let n = self.data.dim(0);
+        assert!(rows.iter().all(|&r| r < n), "row out of range");
+        par::par_map(rows, |_, &row| {
+            self.scan(self.data.row_slice(row), k, Some(row))
+        })
     }
 }
 

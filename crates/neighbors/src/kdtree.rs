@@ -67,10 +67,15 @@ impl KdTree {
                     if best.len() == k && d >= best[k - 1].distance {
                         continue;
                     }
-                    let pos = best.partition_point(|n| {
-                        n.distance < d || (n.distance == d && n.index < i)
-                    });
-                    best.insert(pos, Neighbor { index: i, distance: d });
+                    let pos = best
+                        .partition_point(|n| n.distance < d || (n.distance == d && n.index < i));
+                    best.insert(
+                        pos,
+                        Neighbor {
+                            index: i,
+                            distance: d,
+                        },
+                    );
                     if best.len() > k {
                         best.pop();
                     }

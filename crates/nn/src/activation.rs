@@ -107,7 +107,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let y = self.cache_y.as_ref().expect("Tanh::backward before forward");
+        let y = self
+            .cache_y
+            .as_ref()
+            .expect("Tanh::backward before forward");
         grad.zip(y, |g, t| g * (1.0 - t * t))
     }
 
@@ -157,10 +160,7 @@ mod tests {
     use eos_tensor::{central_difference, rel_error};
 
     fn gradcheck_activation(mut make: impl FnMut() -> Box<dyn Layer>, lo: f32, hi: f32) {
-        let x = Tensor::from_vec(
-            vec![lo, -0.9, -0.1, 0.1, 0.7, hi, 1.3, -2.0],
-            &[2, 4],
-        );
+        let x = Tensor::from_vec(vec![lo, -0.9, -0.1, 0.1, 0.7, hi, 1.3, -2.0], &[2, 4]);
         let c = Tensor::from_vec(vec![0.3, -1.0, 0.8, 0.5, -0.2, 1.0, -0.7, 0.4], &[2, 4]);
         let mut layer = make();
         let _ = layer.forward(&x, true);

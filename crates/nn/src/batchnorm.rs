@@ -6,7 +6,7 @@
 //! feature embeddings whose ranges Algorithm 1 compares.
 
 use crate::layer::{Layer, Param};
-use eos_tensor::Tensor;
+use eos_tensor::{par, Tensor};
 
 const EPS: f32 = 1e-5;
 
@@ -68,30 +68,43 @@ impl BnCore {
         assert!(m > 0, "batch norm over zero positions");
         let gamma = self.gamma.value.data();
         let beta = self.beta.value.data();
-        let mut out = Vec::with_capacity(c);
-        let mut x_hat_cache = Vec::new();
-        let mut inv_std_cache = Vec::with_capacity(c);
-        for (ch, xs) in grouped.iter().enumerate() {
+        let running_mean = &self.running_mean;
+        let running_var = &self.running_var;
+        // Channels are independent, so they fan out across the worker
+        // pool; each channel's statistics and normalisation are computed
+        // exactly as in a serial loop, and the running-statistics update
+        // happens serially afterwards in channel order.
+        let results = par::par_map(grouped, |ch, xs| {
             assert_eq!(xs.len(), m, "ragged channel groups");
             let (mean, var) = if train {
                 let mean = xs.iter().sum::<f32>() / m as f32;
                 let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / m as f32;
-                self.running_mean[ch] =
-                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
-                self.running_var[ch] =
-                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
                 (mean, var)
             } else {
-                (self.running_mean[ch], self.running_var[ch])
+                (running_mean[ch], running_var[ch])
             };
             let inv_std = 1.0 / (var + EPS).sqrt();
             let mut ys = Vec::with_capacity(m);
+            let mut x_hat = Vec::with_capacity(if train { m } else { 0 });
             for &x in xs {
                 let xh = (x - mean) * inv_std;
                 ys.push(gamma[ch] * xh + beta[ch]);
                 if train {
-                    x_hat_cache.push(xh);
+                    x_hat.push(xh);
                 }
+            }
+            (ys, x_hat, inv_std, mean, var)
+        });
+        let mut out = Vec::with_capacity(c);
+        let mut x_hat_cache = Vec::new();
+        let mut inv_std_cache = Vec::with_capacity(c);
+        for (ch, (ys, x_hat, inv_std, mean, var)) in results.into_iter().enumerate() {
+            if train {
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                x_hat_cache.extend_from_slice(&x_hat);
             }
             inv_std_cache.push(inv_std);
             out.push(ys);
@@ -116,8 +129,10 @@ impl BnCore {
         let c = self.channels();
         let m = cache.m;
         let gamma = self.gamma.value.data();
-        let mut out = Vec::with_capacity(c);
-        for (ch, gs) in grads.iter().enumerate() {
+        // Per-channel gradients are independent; fan them out and apply
+        // the dgamma/dbeta accumulations serially in channel order so the
+        // parameter gradients match the serial loop exactly.
+        let results = par::par_map(grads, |ch, gs| {
             assert_eq!(gs.len(), m);
             let x_hat = &cache.x_hat[ch * m..(ch + 1) * m];
             let mut dgamma = 0.0f32;
@@ -126,15 +141,19 @@ impl BnCore {
                 dgamma += g * xh;
                 dbeta += g;
             }
-            self.gamma.grad.data_mut()[ch] += dgamma;
-            self.beta.grad.data_mut()[ch] += dbeta;
             // dx = gamma * inv_std / m * (m*g - dbeta - x_hat * dgamma)
             let scale = gamma[ch] * cache.inv_std[ch] / m as f32;
-            let dxs = gs
+            let dxs: Vec<f32> = gs
                 .iter()
                 .zip(x_hat)
                 .map(|(g, xh)| scale * (m as f32 * g - dbeta - xh * dgamma))
                 .collect();
+            (dgamma, dbeta, dxs)
+        });
+        let mut out = Vec::with_capacity(c);
+        for (ch, (dgamma, dbeta, dxs)) in results.into_iter().enumerate() {
+            self.gamma.grad.data_mut()[ch] += dgamma;
+            self.beta.grad.data_mut()[ch] += dbeta;
             out.push(dxs);
         }
         out
@@ -165,8 +184,7 @@ impl BatchNorm2d {
         for i in 0..n {
             let row = x.row_slice(i);
             for ch in 0..self.channels {
-                grouped[ch]
-                    .extend_from_slice(&row[ch * self.spatial..(ch + 1) * self.spatial]);
+                grouped[ch].extend_from_slice(&row[ch * self.spatial..(ch + 1) * self.spatial]);
             }
         }
         grouped
@@ -335,8 +353,12 @@ mod tests {
         );
         let y = bn.forward(&x, true);
         // Per-channel mean over batch+space ~ 0 for both channels.
-        let ch0: f32 = (0..2).map(|i| y.row_slice(i)[..4].iter().sum::<f32>()).sum();
-        let ch1: f32 = (0..2).map(|i| y.row_slice(i)[4..].iter().sum::<f32>()).sum();
+        let ch0: f32 = (0..2)
+            .map(|i| y.row_slice(i)[..4].iter().sum::<f32>())
+            .sum();
+        let ch1: f32 = (0..2)
+            .map(|i| y.row_slice(i)[4..].iter().sum::<f32>())
+            .sum();
         assert!(ch0.abs() < 1e-4);
         assert!(ch1.abs() < 1e-4);
     }
@@ -365,7 +387,10 @@ mod tests {
         let ndx = central_difference(&x, 1e-2, |p| run(&g0, &b0, p));
         assert!(rel_error(&dx, &ndx) < 2e-2, "bn input grad");
         let ndg = central_difference(&g0, 1e-2, |p| run(p, &b0, &x));
-        assert!(rel_error(&bn.params()[0].grad, &ndg) < 2e-2, "bn gamma grad");
+        assert!(
+            rel_error(&bn.params()[0].grad, &ndg) < 2e-2,
+            "bn gamma grad"
+        );
         let ndb = central_difference(&b0, 1e-2, |p| run(&g0, p, &x));
         assert!(rel_error(&bn.params()[1].grad, &ndb) < 2e-2, "bn beta grad");
     }

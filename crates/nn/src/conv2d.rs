@@ -1,7 +1,18 @@
 //! 2-D convolution via `im2col` GEMM lowering.
 
 use crate::layer::{Layer, Param};
-use eos_tensor::{col2im, im2col, kaiming_uniform, Conv2dGeometry, Rng64, Tensor};
+use eos_tensor::{
+    col2im_into, gemm_nt_into, im2col, im2col_into, kaiming_uniform, par, Conv2dGeometry, Rng64,
+    Tensor,
+};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-worker `im2col` scratch: the inference path unfolds every image
+    /// into this buffer instead of allocating a fresh patch matrix, so a
+    /// worker that processes many images allocates once.
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Convolution over `(batch, C·H·W)` rows, each interpreted as a `C×H×W`
 /// volume; outputs `(batch, O·H'·W')` rows.
@@ -20,12 +31,7 @@ struct ConvCache {
 impl Conv2d {
     /// Creates a convolution with square kernels and Kaiming-uniform
     /// initialised weights. `geom` fixes the expected input volume.
-    pub fn new(
-        geom: Conv2dGeometry,
-        out_channels: usize,
-        bias: bool,
-        rng: &mut Rng64,
-    ) -> Self {
+    pub fn new(geom: Conv2dGeometry, out_channels: usize, bias: bool, rng: &mut Rng64) -> Self {
         assert!(out_channels > 0);
         let fan_in = geom.patch_len();
         let weight = Param::new(kaiming_uniform(&[out_channels, fan_in], fan_in, rng));
@@ -77,30 +83,56 @@ impl Layer for Conv2d {
         );
         let n = x.dim(0);
         let out_spatial = self.geom.patch_count();
-        let mut out = Vec::with_capacity(n * self.out_len());
-        let mut cols_cache = Vec::with_capacity(if train { n } else { 0 });
-        for i in 0..n {
-            let cols = im2col(x.row_slice(i), &self.geom);
-            // weight (O × CKK) · colsᵀ (CKK × HW') -> (O × HW'), row-major
-            // matches the channel-major output layout.
-            let mut y = self.weight.value.matmul_nt(&cols);
-            if let Some(b) = &self.bias {
-                for (ch, row) in y.data_mut().chunks_exact_mut(out_spatial).enumerate() {
-                    let bv = b.value.data()[ch];
+        let out_len = self.out_len();
+        let geom = self.geom;
+        let w = &self.weight.value;
+        let bias = self.bias.as_ref().map(|b| b.value.data());
+        let add_bias = |y: &mut [f32]| {
+            if let Some(bv) = bias {
+                for (ch, row) in y.chunks_exact_mut(out_spatial).enumerate() {
                     for v in row {
-                        *v += bv;
+                        *v += bv[ch];
                     }
                 }
             }
-            out.extend_from_slice(y.data());
-            if train {
+        };
+        if train {
+            // Keep each image's patch matrix for the backward pass; the
+            // batch fans out across the pool and every image's GEMM runs
+            // exactly as in the serial loop, so results are bit-identical
+            // at any thread count.
+            let pairs = par::par_map_range(n, |i| {
+                let cols = im2col(x.row_slice(i), &geom);
+                // weight (O × CKK) · colsᵀ (CKK × HW') -> (O × HW'),
+                // row-major matches the channel-major output layout.
+                let mut y = w.matmul_nt(&cols);
+                add_bias(y.data_mut());
+                (y, cols)
+            });
+            let mut out = Vec::with_capacity(n * out_len);
+            let mut cols_cache = Vec::with_capacity(n);
+            for (y, cols) in pairs {
+                out.extend_from_slice(y.data());
                 cols_cache.push(cols);
             }
-        }
-        if train {
             self.cache = Some(ConvCache { cols: cols_cache });
+            Tensor::from_vec(out, &[n, out_len])
+        } else {
+            // Inference: no cache to keep, so unfold into per-worker
+            // scratch and GEMM straight into this image's output slice.
+            let cols_len = geom.patch_count() * geom.patch_len();
+            let mut out = vec![0.0f32; n * out_len];
+            par::par_chunks_mut(&mut out, out_len, |i, orow| {
+                COL_SCRATCH.with(|s| {
+                    let mut buf = s.borrow_mut();
+                    buf.resize(cols_len, 0.0);
+                    im2col_into(x.row_slice(i), &geom, &mut buf);
+                    gemm_nt_into(w.data(), &buf, orow, geom.patch_len(), out_spatial);
+                });
+                add_bias(orow);
+            });
+            Tensor::from_vec(out, &[n, out_len])
         }
-        Tensor::from_vec(out, &[n, self.out_len()])
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -111,22 +143,48 @@ impl Layer for Conv2d {
         let n = cache.cols.len();
         assert_eq!(grad.dims(), &[n, self.out_len()]);
         let out_spatial = self.geom.patch_count();
-        let mut dx = Vec::with_capacity(n * self.in_len());
-        for i in 0..n {
-            let g = Tensor::from_vec(
-                grad.row_slice(i).to_vec(),
-                &[self.out_channels, out_spatial],
-            );
-            // dW += g (O×HW') · cols (HW'×CKK)
-            self.weight.grad.add_assign_(&g.matmul(&cache.cols[i]));
-            if let Some(b) = &mut self.bias {
-                b.grad.add_assign_(&g.sum_cols());
+        let in_len = self.in_len();
+        let geom = self.geom;
+        let oc = self.out_channels;
+        let w = &self.weight.value;
+        let wlen = w.len();
+        let olen = oc;
+        let has_bias = self.bias.is_some();
+        let cols = &cache.cols;
+        // Fan the batch out: each worker owns one image's slice of `dx`
+        // plus a private slot for that image's dW/db partials. The partials
+        // are then reduced serially in image order, which reproduces the
+        // serial loop's `dW += dW_i` addition sequence bit-for-bit.
+        let mut dx = vec![0.0f32; n * in_len];
+        let mut partials = vec![0.0f32; n * (wlen + olen)];
+        par::par_chunks_mut2(
+            &mut dx,
+            in_len,
+            &mut partials,
+            wlen + olen,
+            |i, dxrow, part| {
+                let g = Tensor::from_vec(grad.row_slice(i).to_vec(), &[oc, out_spatial]);
+                // dW_i = g (O×HW') · cols (HW'×CKK)
+                part[..wlen].copy_from_slice(g.matmul(&cols[i]).data());
+                if has_bias {
+                    part[wlen..].copy_from_slice(g.sum_cols().data());
+                }
+                // dcols = gᵀ (HW'×O) · W (O×CKK)
+                let dcols = g.matmul_tn(w);
+                col2im_into(dcols.data(), &geom, dxrow);
+            },
+        );
+        for part in partials.chunks_exact(wlen + olen) {
+            for (gv, &pv) in self.weight.grad.data_mut().iter_mut().zip(&part[..wlen]) {
+                *gv += pv;
             }
-            // dcols = gᵀ (HW'×O) · W (O×CKK)
-            let dcols = g.matmul_tn(&self.weight.value);
-            dx.extend_from_slice(&col2im(&dcols, &self.geom));
+            if let Some(b) = &mut self.bias {
+                for (gv, &pv) in b.grad.data_mut().iter_mut().zip(&part[wlen..]) {
+                    *gv += pv;
+                }
+            }
         }
-        Tensor::from_vec(dx, &[n, self.in_len()])
+        Tensor::from_vec(dx, &[n, in_len])
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
@@ -218,10 +276,16 @@ mod tests {
         assert!(rel_error(&dx, &ndx) < 2e-2, "conv input grad");
 
         let ndw = central_difference(&w0, 1e-2, |p| run(p, &b0, &x));
-        assert!(rel_error(&conv.params()[0].grad, &ndw) < 2e-2, "conv weight grad");
+        assert!(
+            rel_error(&conv.params()[0].grad, &ndw) < 2e-2,
+            "conv weight grad"
+        );
 
         let ndb = central_difference(&b0, 1e-2, |p| run(&w0, p, &x));
-        assert!(rel_error(&conv.params()[1].grad, &ndb) < 2e-2, "conv bias grad");
+        assert!(
+            rel_error(&conv.params()[1].grad, &ndb) < 2e-2,
+            "conv bias grad"
+        );
     }
 
     #[test]

@@ -49,8 +49,7 @@ pub use dropout::Dropout;
 pub use layer::{Layer, Param};
 pub use linear::Linear;
 pub use loss::{
-    effective_number_weights, AsymmetricLoss, CrossEntropyLoss, FocalLoss, LdamLoss, Loss,
-    LossKind,
+    effective_number_weights, AsymmetricLoss, CrossEntropyLoss, FocalLoss, LdamLoss, Loss, LossKind,
 };
 pub use models::{mlp, Architecture, ConvNet};
 pub use optim::{clip_grad_norm, Adam, CosineLr, LrSchedule, MultiStepLr, Sgd};

@@ -169,10 +169,7 @@ mod tests {
 
         // Numeric input gradient.
         let ndx = central_difference(&x, 1e-2, |p| {
-            let mut l2 = Linear::from_weights(
-                layer.weight().clone(),
-                layer.bias().cloned(),
-            );
+            let mut l2 = Linear::from_weights(layer.weight().clone(), layer.bias().cloned());
             weighted_output_loss(&mut l2, p, &c)
         });
         assert!(rel_error(&dx, &ndx) < 1e-2, "input grad mismatch");
@@ -183,7 +180,10 @@ mod tests {
             let mut l2 = Linear::from_weights(wp.clone(), layer.bias().cloned());
             weighted_output_loss(&mut l2, &x, &c)
         });
-        assert!(rel_error(&layer.params()[0].grad, &ndw) < 1e-2, "weight grad");
+        assert!(
+            rel_error(&layer.params()[0].grad, &ndw) < 1e-2,
+            "weight grad"
+        );
 
         // Numeric bias gradient.
         let b0 = layer.bias().unwrap().clone();

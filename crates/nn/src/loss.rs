@@ -437,7 +437,10 @@ mod tests {
     fn ce_points_towards_true_class() {
         let logits = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[1, 3]);
         let (_, grad) = CrossEntropyLoss::new().loss_and_grad(&logits, &[1]);
-        assert!(grad.at(&[0, 1]) < 0.0, "true-class gradient must be negative");
+        assert!(
+            grad.at(&[0, 1]) < 0.0,
+            "true-class gradient must be negative"
+        );
         assert!(grad.at(&[0, 0]) > 0.0 && grad.at(&[0, 2]) > 0.0);
     }
 
@@ -446,7 +449,10 @@ mod tests {
         let w = effective_number_weights(0.999, &[1000, 100, 10]);
         assert!(w[2] > w[1] && w[1] > w[0]);
         let total: f32 = w.iter().sum();
-        assert!((total - 3.0).abs() < 1e-4, "weights normalised to class count");
+        assert!(
+            (total - 3.0).abs() < 1e-4,
+            "weights normalised to class count"
+        );
     }
 
     #[test]

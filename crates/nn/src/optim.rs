@@ -102,8 +102,11 @@ impl Adam {
             let decay = if p.decay { self.weight_decay } else { 0.0 };
             let value = p.value.data_mut();
             let grad = p.grad.data();
-            for (((w, &g), mi), vi) in
-                value.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
+            for (((w, &g), mi), vi) in value
+                .iter_mut()
+                .zip(grad)
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
             {
                 let g = g + decay * *w;
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
@@ -172,8 +175,7 @@ pub struct CosineLr {
 impl LrSchedule for CosineLr {
     fn lr_at(&self, epoch: usize) -> f32 {
         let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs.max(1) as f32;
-        self.min_lr
-            + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

@@ -1,7 +1,7 @@
 //! Spatial pooling layers.
 
 use crate::layer::Layer;
-use eos_tensor::Tensor;
+use eos_tensor::{par, Tensor};
 
 /// Non-overlapping 2×2 max pooling over `C×H×W` rows (H, W even).
 pub struct MaxPool2d {
@@ -33,42 +33,56 @@ impl MaxPool2d {
     fn out_len(&self) -> usize {
         self.channels * (self.height / 2) * (self.width / 2)
     }
+
+    /// Pools one image's row into its output slice; `arg` receives the
+    /// flat (batch-global) index of each selected maximum when present.
+    fn pool_row(&self, i: usize, row: &[f32], orow: &mut [f32], mut arg: Option<&mut [u32]>) {
+        let (c, h, w) = (self.channels, self.height, self.width);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut o = 0usize;
+        for ch in 0..c {
+            let plane = &row[ch * h * w..(ch + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = (2 * oy) * w + 2 * ox;
+                    let cand = [base, base + 1, base + w, base + w + 1];
+                    let mut best = cand[0];
+                    for &p in &cand[1..] {
+                        if plane[p] > plane[best] {
+                            best = p;
+                        }
+                    }
+                    orow[o] = plane[best];
+                    if let Some(a) = arg.as_deref_mut() {
+                        a[o] = (i * self.in_len() + ch * h * w + best) as u32;
+                    }
+                    o += 1;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.dim(1), self.in_len(), "MaxPool2d width mismatch");
         let n = x.dim(0);
-        let (c, h, w) = (self.channels, self.height, self.width);
-        let (oh, ow) = (h / 2, w / 2);
-        let mut out = Vec::with_capacity(n * self.out_len());
-        let mut arg = Vec::with_capacity(if train { n * self.out_len() } else { 0 });
-        for i in 0..n {
-            let row = x.row_slice(i);
-            for ch in 0..c {
-                let plane = &row[ch * h * w..(ch + 1) * h * w];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let base = (2 * oy) * w + 2 * ox;
-                        let cand = [base, base + 1, base + w, base + w + 1];
-                        let mut best = cand[0];
-                        for &p in &cand[1..] {
-                            if plane[p] > plane[best] {
-                                best = p;
-                            }
-                        }
-                        out.push(plane[best]);
-                        if train {
-                            arg.push((i * self.in_len() + ch * h * w + best) as u32);
-                        }
-                    }
-                }
-            }
-        }
+        let out_len = self.out_len();
+        let mut out = vec![0.0f32; n * out_len];
         if train {
+            // Output values and argmax indices are written in lockstep,
+            // one image per chunk.
+            let mut arg = vec![0u32; n * out_len];
+            par::par_chunks_mut2(&mut out, out_len, &mut arg, out_len, |i, orow, arow| {
+                self.pool_row(i, x.row_slice(i), orow, Some(arow));
+            });
             self.argmax = Some(arg);
+        } else {
+            par::par_chunks_mut(&mut out, out_len, |i, orow| {
+                self.pool_row(i, x.row_slice(i), orow, None);
+            });
         }
-        Tensor::from_vec(out, &[n, self.out_len()])
+        Tensor::from_vec(out, &[n, out_len])
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -78,11 +92,22 @@ impl Layer for MaxPool2d {
             .expect("MaxPool2d::backward before training forward");
         assert_eq!(grad.len(), arg.len());
         let n = grad.dim(0);
-        let mut dx = vec![0.0f32; n * self.in_len()];
-        for (&a, &g) in arg.iter().zip(grad.data()) {
-            dx[a as usize] += g;
-        }
-        Tensor::from_vec(dx, &[n, self.in_len()])
+        let in_len = self.in_len();
+        let out_len = self.out_len();
+        let g = grad.data();
+        // Every argmax index for image i lands inside image i's slice of
+        // dx, so the scatter parallelises cleanly over the batch.
+        let mut dx = vec![0.0f32; n * in_len];
+        par::par_chunks_mut(&mut dx, in_len, |i, dxrow| {
+            let lo = i * in_len;
+            for (&a, &gv) in arg[i * out_len..(i + 1) * out_len]
+                .iter()
+                .zip(&g[i * out_len..(i + 1) * out_len])
+            {
+                dxrow[a as usize - lo] += gv;
+            }
+        });
+        Tensor::from_vec(dx, &[n, in_len])
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -110,28 +135,30 @@ impl Layer for GlobalAvgPool {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.dim(1), self.channels * self.spatial, "GAP width mismatch");
         let n = x.dim(0);
-        let mut out = Vec::with_capacity(n * self.channels);
-        for i in 0..n {
+        let (c, s) = (self.channels, self.spatial);
+        let mut out = vec![0.0f32; n * c];
+        par::par_chunks_mut(&mut out, c, |i, orow| {
             let row = x.row_slice(i);
-            for ch in 0..self.channels {
-                let plane = &row[ch * self.spatial..(ch + 1) * self.spatial];
-                out.push(plane.iter().sum::<f32>() / self.spatial as f32);
+            for (ch, o) in orow.iter_mut().enumerate() {
+                let plane = &row[ch * s..(ch + 1) * s];
+                *o = plane.iter().sum::<f32>() / s as f32;
             }
-        }
-        Tensor::from_vec(out, &[n, self.channels])
+        });
+        Tensor::from_vec(out, &[n, c])
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(grad.dim(1), self.channels);
         let n = grad.dim(0);
-        let inv = 1.0 / self.spatial as f32;
-        let mut dx = Vec::with_capacity(n * self.channels * self.spatial);
-        for i in 0..n {
-            for &g in grad.row_slice(i) {
-                dx.extend(std::iter::repeat_n(g * inv, self.spatial));
+        let (c, s) = (self.channels, self.spatial);
+        let inv = 1.0 / s as f32;
+        let mut dx = vec![0.0f32; n * c * s];
+        par::par_chunks_mut(&mut dx, c * s, |i, dxrow| {
+            for (plane, &g) in dxrow.chunks_exact_mut(s).zip(grad.row_slice(i)) {
+                plane.fill(g * inv);
             }
-        }
-        Tensor::from_vec(dx, &[n, self.channels * self.spatial])
+        });
+        Tensor::from_vec(dx, &[n, c * s])
     }
 
     fn out_features(&self, in_features: usize) -> usize {

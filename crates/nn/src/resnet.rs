@@ -483,4 +483,3 @@ mod tests {
         assert_eq!(y.dims(), &[2, fe]);
     }
 }
-

@@ -53,10 +53,7 @@ impl Layer for Sequential {
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
-        self.layers
-            .iter_mut()
-            .flat_map(|l| l.params())
-            .collect()
+        self.layers.iter_mut().flat_map(|l| l.params()).collect()
     }
 
     fn out_features(&self, in_features: usize) -> usize {

@@ -136,10 +136,7 @@ pub fn train_with_early_stopping(
         let one = TrainConfig {
             epochs: 1,
             batch_size: cfg.batch_size,
-            lr: cfg
-                .schedule
-                .as_ref()
-                .map_or(cfg.lr, |s| s.lr_at(epoch)),
+            lr: cfg.schedule.as_ref().map_or(cfg.lr, |s| s.lr_at(epoch)),
             momentum: cfg.momentum,
             weight_decay: cfg.weight_decay,
             schedule: None,
@@ -254,7 +251,11 @@ mod tests {
         let (history, best) = train_with_early_stopping(
             &mut net, &mut loss, &x, &y, &val_x, &val_y, &cfg, 3, &mut rng,
         );
-        assert!(history.len() < 50, "should stop early, ran {}", history.len());
+        assert!(
+            history.len() < 50,
+            "should stop early, ran {}",
+            history.len()
+        );
         assert!((0.0..=1.0).contains(&best));
     }
 
@@ -274,9 +275,8 @@ mod tests {
             lr: 0.1,
             ..TrainConfig::default()
         };
-        let (history, best) = train_with_early_stopping(
-            &mut net, &mut loss, &x, &y, &vx, &vy, &cfg, 8, &mut rng,
-        );
+        let (history, best) =
+            train_with_early_stopping(&mut net, &mut loss, &x, &y, &vx, &vy, &cfg, 8, &mut rng);
         assert_eq!(history.len(), 8);
         assert!(best > 0.9, "best val acc {best}");
     }

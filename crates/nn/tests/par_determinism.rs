@@ -1,0 +1,186 @@
+//! Serial-vs-parallel bit-identity for the batch-parallel layers.
+//!
+//! Conv2d, the batch-norm pair and the pooling layers fan the batch (or
+//! the channels) out across the worker pool; the execution layer's
+//! contract is that this never changes a single output bit. Each test
+//! runs a layer serially, then at 2/4/8 threads, and compares raw f32
+//! bit patterns of outputs, input gradients and parameter gradients.
+
+use eos_nn::{BatchNorm1d, BatchNorm2d, Conv2d, GlobalAvgPool, Layer, MaxPool2d};
+use eos_tensor::{central_difference, normal, par, rel_error, Conv2dGeometry, Rng64, Tensor};
+use std::sync::Mutex;
+
+/// `set_num_threads` is process-global; every test in this binary that
+/// touches the budget must hold this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `f` serially, then at 2/4/8 threads, asserting the emitted bit
+/// patterns never change. Restores the ambient budget afterwards.
+fn assert_bit_identical(label: &str, f: impl Fn() -> Vec<u32>) {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let restore = par::num_threads();
+    par::set_num_threads(1);
+    let reference = f();
+    for threads in [2usize, 4, 8] {
+        par::set_num_threads(threads);
+        assert_eq!(f(), reference, "{label} diverged at {threads} threads");
+    }
+    par::set_num_threads(restore);
+}
+
+const GEOM: Conv2dGeometry = Conv2dGeometry {
+    in_channels: 3,
+    height: 8,
+    width: 8,
+    kernel: 3,
+    stride: 1,
+    pad: 1,
+};
+
+/// One full train-forward + backward + eval-forward pass of a freshly
+/// seeded Conv2d, flattened to bit patterns.
+fn conv_roundtrip() -> Vec<u32> {
+    let mut rng = Rng64::new(42);
+    let mut conv = Conv2d::new(GEOM, 4, true, &mut rng);
+    let x = normal(&[8, conv.in_len()], 0.0, 1.0, &mut rng);
+    let g = normal(&[8, conv.out_len()], 0.0, 1.0, &mut rng);
+    conv.zero_grad();
+    let y = conv.forward(&x, true);
+    let dx = conv.backward(&g);
+    let y_eval = conv.forward(&x, false);
+    let mut out = bits(&y);
+    out.extend(bits(&dx));
+    out.extend(bits(&y_eval));
+    for p in conv.params() {
+        out.extend(bits(&p.grad));
+    }
+    out
+}
+
+#[test]
+fn conv2d_forward_and_backward_are_bit_identical() {
+    assert_bit_identical("conv2d", conv_roundtrip);
+}
+
+fn batchnorm2d_roundtrip() -> Vec<u32> {
+    let mut rng = Rng64::new(7);
+    let (channels, spatial) = (6, 25);
+    let mut bn = BatchNorm2d::new(channels, spatial);
+    let x = normal(&[10, channels * spatial], 0.0, 1.0, &mut rng);
+    let g = normal(&[10, channels * spatial], 0.0, 1.0, &mut rng);
+    bn.zero_grad();
+    let y = bn.forward(&x, true);
+    let dx = bn.backward(&g);
+    // Eval forward reads the running statistics updated by the train
+    // pass, so comparing it also pins the running-stat update order.
+    let y_eval = bn.forward(&x, false);
+    let mut out = bits(&y);
+    out.extend(bits(&dx));
+    out.extend(bits(&y_eval));
+    for p in bn.params() {
+        out.extend(bits(&p.grad));
+    }
+    out
+}
+
+#[test]
+fn batchnorm2d_is_bit_identical() {
+    assert_bit_identical("batchnorm2d", batchnorm2d_roundtrip);
+}
+
+fn batchnorm1d_roundtrip() -> Vec<u32> {
+    let mut rng = Rng64::new(9);
+    let features = 32;
+    let mut bn = BatchNorm1d::new(features);
+    let x = normal(&[16, features], 0.0, 1.0, &mut rng);
+    let g = normal(&[16, features], 0.0, 1.0, &mut rng);
+    bn.zero_grad();
+    let y = bn.forward(&x, true);
+    let dx = bn.backward(&g);
+    let y_eval = bn.forward(&x, false);
+    let mut out = bits(&y);
+    out.extend(bits(&dx));
+    out.extend(bits(&y_eval));
+    for p in bn.params() {
+        out.extend(bits(&p.grad));
+    }
+    out
+}
+
+#[test]
+fn batchnorm1d_is_bit_identical() {
+    assert_bit_identical("batchnorm1d", batchnorm1d_roundtrip);
+}
+
+fn pooling_roundtrip() -> Vec<u32> {
+    let mut rng = Rng64::new(11);
+    let (c, h, w) = (4, 8, 8);
+    let mut mp = MaxPool2d::new(c, h, w);
+    let x = normal(&[6, c * h * w], 0.0, 1.0, &mut rng);
+    let y = mp.forward(&x, true);
+    let g = normal(&[6, y.dim(1)], 0.0, 1.0, &mut rng);
+    let dx = mp.backward(&g);
+    let y_eval = mp.forward(&x, false);
+
+    let mut gap = GlobalAvgPool::new(c, h * w);
+    let gy = gap.forward(&x, true);
+    let gg = normal(&[6, c], 0.0, 1.0, &mut rng);
+    let gdx = gap.backward(&gg);
+
+    let mut out = bits(&y);
+    out.extend(bits(&dx));
+    out.extend(bits(&y_eval));
+    out.extend(bits(&gy));
+    out.extend(bits(&gdx));
+    out
+}
+
+#[test]
+fn pooling_layers_are_bit_identical() {
+    assert_bit_identical("pooling", pooling_roundtrip);
+}
+
+#[test]
+fn conv2d_gradcheck_stays_green_with_the_pool_engaged() {
+    // Numerical gradient check with the worker pool explicitly on: the
+    // parallel backward must still match finite differences.
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let restore = par::num_threads();
+    par::set_num_threads(4);
+
+    let mut rng = Rng64::new(13);
+    let g = Conv2dGeometry {
+        in_channels: 2,
+        height: 4,
+        width: 3,
+        kernel: 3,
+        stride: 2,
+        pad: 1,
+    };
+    let mut conv = Conv2d::new(g, 3, true, &mut rng);
+    let x = normal(&[2, conv.in_len()], 0.0, 1.0, &mut rng);
+    let c = normal(&[2, conv.out_len()], 0.0, 1.0, &mut rng);
+
+    conv.zero_grad();
+    let _ = conv.forward(&x, true);
+    let dx = conv.backward(&c);
+
+    let w0 = conv.weight().clone();
+    let ndx = central_difference(&x, 1e-2, |p| {
+        let mut c2 = Conv2d::new(g, 3, true, &mut Rng64::new(13));
+        c2.params()[0].value = w0.clone();
+        c2.forward(p, false).dot(&c)
+    });
+    // Bias starts at zero for the probe copy too, so only the weight must
+    // be transplanted; the original conv's bias is still zero-initialised.
+    assert!(
+        rel_error(&dx, &ndx) < 2e-2,
+        "conv input grad under 4 threads"
+    );
+
+    par::set_num_threads(restore);
+}

@@ -1,7 +1,7 @@
 //! ADASYN (He et al. 2008).
 
 use crate::{deficits, indices_by_class, Oversampler};
-use eos_neighbors::{BruteForceKnn, Metric, NnIndex};
+use eos_neighbors::{BruteForceKnn, Metric};
 use eos_tensor::{Rng64, Tensor};
 
 /// Adaptive synthetic sampling: the number of synthetics generated from
@@ -44,13 +44,17 @@ impl Oversampler for Adasyn {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let class_rows = x.select_rows(&idx[class]);
-            // Difficulty ratios over the full dataset.
-            let ratios: Vec<f32> = idx[class]
+            // Difficulty ratios over the full dataset; the per-member
+            // neighbourhood scans fan out across the worker pool.
+            let ratios: Vec<f32> = full_index
+                .query_rows_batch(&idx[class], self.k)
                 .iter()
-                .map(|&row| {
-                    let hits = full_index.query_row(row, self.k);
+                .map(|hits| {
                     let enemies = hits.iter().filter(|h| y[h.index] != class).count();
                     enemies as f32 / hits.len().max(1) as f32
                 })
@@ -65,12 +69,20 @@ impl Oversampler for Adasyn {
             let n = class_rows.dim(0);
             let intra = BruteForceKnn::new(&class_rows, Metric::Euclidean);
             let k_intra = self.k.min(n.saturating_sub(1));
+            // Precompute every member's intra-class neighbour list in
+            // parallel; the RNG-driven loop below is unchanged, so the
+            // synthetic rows are identical to the query-per-draw version.
+            let intra_hits = if k_intra > 0 {
+                intra.query_rows_batch(&(0..n).collect::<Vec<_>>(), k_intra)
+            } else {
+                Vec::new()
+            };
             for _ in 0..need {
                 let base = rng.weighted_choice(&weights);
                 if k_intra == 0 {
                     data.extend_from_slice(class_rows.row_slice(base));
                 } else {
-                    let hits = intra.query_row(base, k_intra);
+                    let hits = &intra_hits[base];
                     let pick = hits[rng.below(hits.len())].index;
                     let r = rng.uniform_f32();
                     let b = class_rows.row_slice(base);
@@ -131,10 +143,7 @@ mod tests {
     fn safe_minority_degrades_to_uniform() {
         // Minority far from everything: ratios are all zero, ADASYN must
         // still generate (uniform weighting).
-        let x = Tensor::from_vec(
-            vec![0.0, 0.1, 0.2, 100.0, 100.2],
-            &[5, 1],
-        );
+        let x = Tensor::from_vec(vec![0.0, 0.1, 0.2, 100.0, 100.2], &[5, 1]);
         let y = vec![0, 0, 0, 1, 1];
         let (sx, sy) = Adasyn::new(2).oversample(&x, &y, 2, &mut Rng64::new(0));
         assert_eq!(sy.len(), 1);

@@ -2,7 +2,7 @@
 
 use crate::smote::Smote;
 use crate::{deficits, indices_by_class, Oversampler};
-use eos_neighbors::{BruteForceKnn, Metric, NnIndex};
+use eos_neighbors::{BruteForceKnn, Metric};
 use eos_tensor::{Rng64, Tensor};
 
 /// Like SMOTE, but bases interpolation only on *borderline* minority
@@ -34,9 +34,11 @@ impl BorderlineSmote {
         class_rows: &[usize],
     ) -> Vec<usize> {
         let index = BruteForceKnn::new(x, Metric::Euclidean);
+        // One neighbourhood scan per class member, fanned out in parallel;
+        // the DANGER filter itself is order-preserving and serial.
+        let hits_per_row = index.query_rows_batch(class_rows, self.m);
         let mut danger = Vec::new();
-        for (local, &row) in class_rows.iter().enumerate() {
-            let hits = index.query_row(row, self.m);
+        for (local, hits) in hits_per_row.iter().enumerate() {
             let enemies = hits.iter().filter(|h| y[h.index] != class).count();
             if enemies * 2 >= hits.len() && enemies < hits.len() {
                 danger.push(local);
@@ -68,7 +70,10 @@ impl Oversampler for BorderlineSmote {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let class_rows = x.select_rows(&idx[class]);
             let danger = self.danger_set(x, y, class, &idx[class]);
             // Fall back to plain SMOTE when no borderline samples exist.
@@ -126,8 +131,8 @@ mod tests {
         // All segments start at the single DANGER point, so every sample
         // is a convex combination involving (0.5, 0.1): no sample can have
         // both coordinates inside the safe clump unless r = 1 exactly.
-        let clump_only = (0..sx.dim(0))
-            .all(|i| sx.row_slice(i)[0] > 9.9 && sx.row_slice(i)[1] > 9.9);
+        let clump_only =
+            (0..sx.dim(0)).all(|i| sx.row_slice(i)[0] > 9.9 && sx.row_slice(i)[1] > 9.9);
         assert!(!clump_only, "generation ignored the borderline base");
     }
 
@@ -147,8 +152,7 @@ mod tests {
     #[test]
     fn balances_counts() {
         let (x, y) = borderline_scene();
-        let (_, by) =
-            balance_with(&BorderlineSmote::new(5, 3), &x, &y, 2, &mut Rng64::new(1));
+        let (_, by) = balance_with(&BorderlineSmote::new(5, 3), &x, &y, 2, &mut Rng64::new(1));
         assert_eq!(class_counts(&by, 2), vec![10, 10]);
     }
 }

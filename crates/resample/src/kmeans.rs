@@ -84,8 +84,7 @@ impl KMeans {
                     continue; // keep the old centre for empty clusters
                 }
                 for j in 0..d {
-                    centroids.data_mut()[c * d + j] =
-                        (sums[c * d + j] / counts[c] as f64) as f32;
+                    centroids.data_mut()[c * d + j] = (sums[c * d + j] / counts[c] as f64) as f32;
                 }
             }
             if !changed {
@@ -153,7 +152,10 @@ impl Oversampler for KMeansSmote {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let class_rows = x.select_rows(&idx[class]);
             let n = class_rows.dim(0);
             if n < 2 * self.clusters {
@@ -299,9 +301,7 @@ mod tests {
         }
         let x = Tensor::stack_rows(&rows);
         let (sx, _) = KMeansSmote::new(2, 3).oversample(&x, &y, 2, &mut rng);
-        let near_diffuse = (0..sx.dim(0))
-            .filter(|&i| sx.row_slice(i)[0] > 5.0)
-            .count();
+        let near_diffuse = (0..sx.dim(0)).filter(|&i| sx.row_slice(i)[0] > 5.0).count();
         assert!(
             near_diffuse * 2 > sx.dim(0),
             "sparse cluster should get most samples: {near_diffuse}/{}",

@@ -123,8 +123,7 @@ mod tests {
     fn balance_with_noop_on_balanced_input() {
         let x = Tensor::from_vec(vec![0.0, 1.0], &[2, 1]);
         let y = vec![0, 1];
-        let (bx, by) =
-            balance_with(&RandomOversampler, &x, &y, 2, &mut Rng64::new(0));
+        let (bx, by) = balance_with(&RandomOversampler, &x, &y, 2, &mut Rng64::new(0));
         assert_eq!(bx.dim(0), 2);
         assert_eq!(by, y);
     }

@@ -53,7 +53,10 @@ impl Oversampler for Remix {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let others: Vec<usize> = (0..n).filter(|&i| y[i] != class).collect();
             for _ in 0..need {
                 let &base = rng.choose(&idx[class]);
@@ -65,7 +68,9 @@ impl Oversampler for Remix {
                     let &other = rng.choose(&others);
                     let o = x.row_slice(other);
                     data.extend(
-                        b.iter().zip(o).map(|(&bv, &ov)| lam * bv + (1.0 - lam) * ov),
+                        b.iter()
+                            .zip(o)
+                            .map(|(&bv, &ov)| lam * bv + (1.0 - lam) * ov),
                     );
                 }
                 labels.push(class);

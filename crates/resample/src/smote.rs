@@ -1,7 +1,7 @@
 //! SMOTE (Chawla et al. 2002).
 
 use crate::{deficits, indices_by_class, Oversampler};
-use eos_neighbors::{BruteForceKnn, Metric, NnIndex};
+use eos_neighbors::{BruteForceKnn, Metric};
 use eos_tensor::{Rng64, Tensor};
 
 /// Synthetic Minority Over-sampling: new samples interpolate between a
@@ -42,9 +42,19 @@ impl Smote {
         }
         let k = k.min(n - 1);
         let index = BruteForceKnn::new(class_rows, Metric::Euclidean);
+        // All candidate bases get their neighbour lists up front, fanned
+        // out across the worker pool; the RNG-driven interpolation loop
+        // below then runs serially against the precomputed lists, so the
+        // RNG call sequence — and the output — is identical to querying
+        // inside the loop.
+        let neighbor_lists = index.query_rows_batch(base_pool, k);
+        let mut list_of = vec![usize::MAX; n];
+        for (pi, &row) in base_pool.iter().enumerate() {
+            list_of[row] = pi;
+        }
         for _ in 0..need {
             let &base = rng.choose(base_pool);
-            let neighbors = index.query_row(base, k);
+            let neighbors = &neighbor_lists[list_of[base]];
             let pick = neighbors[rng.below(neighbors.len())].index;
             let r = rng.uniform_f32();
             let b = class_rows.row_slice(base);
@@ -76,7 +86,10 @@ impl Oversampler for Smote {
             if need == 0 {
                 continue;
             }
-            assert!(!idx[class].is_empty(), "cannot oversample empty class {class}");
+            assert!(
+                !idx[class].is_empty(),
+                "cannot oversample empty class {class}"
+            );
             let class_rows = x.select_rows(&idx[class]);
             let pool: Vec<usize> = (0..class_rows.dim(0)).collect();
             Smote::synthesize_for_class(&class_rows, &pool, need, self.k, rng, &mut data);
@@ -95,10 +108,7 @@ mod tests {
     fn synthetic_points_lie_on_segments() {
         // Minority class on a 1-D line: all synthetics must stay within
         // [min, max] of the class (intra-class convex hull).
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 3.0, 4.0],
-            &[8, 1],
-        );
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 3.0, 4.0], &[8, 1]);
         let y = vec![0, 0, 0, 0, 0, 1, 1, 1];
         let (sx, sy) = Smote::new(2).oversample(&x, &y, 2, &mut Rng64::new(3));
         assert_eq!(sy.len(), 2);

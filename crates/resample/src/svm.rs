@@ -1,7 +1,7 @@
 //! Linear SVM substrate and the Balanced-SVM oversampler built on it.
 
 use crate::smote::Smote;
-use crate::{Oversampler};
+use crate::Oversampler;
 use eos_tensor::{Rng64, Tensor};
 
 /// One-vs-rest linear SVM trained with hinge-loss SGD.
@@ -68,7 +68,12 @@ impl LinearSvm {
         (0..self.classes)
             .map(|c| {
                 let w = &self.weights.data()[c * (d + 1)..(c + 1) * (d + 1)];
-                w[..d].iter().zip(point).map(|(&wv, &xv)| wv * xv).sum::<f32>() + w[d]
+                w[..d]
+                    .iter()
+                    .zip(point)
+                    .map(|(&wv, &xv)| wv * xv)
+                    .sum::<f32>()
+                    + w[d]
             })
             .collect()
     }

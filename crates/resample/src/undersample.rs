@@ -70,8 +70,7 @@ mod tests {
     fn balances_down_to_minority() {
         let x = Tensor::from_vec((0..10).map(|i| i as f32).collect(), &[10, 1]);
         let y = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 2];
-        let (bx, by) =
-            RandomUndersampler::to_minority().undersample(&x, &y, 3, &mut Rng64::new(0));
+        let (bx, by) = RandomUndersampler::to_minority().undersample(&x, &y, 3, &mut Rng64::new(0));
         assert_eq!(class_counts(&by, 3), vec![1, 1, 1]);
         assert_eq!(bx.dim(0), 3);
     }
@@ -80,8 +79,7 @@ mod tests {
     fn explicit_target_caps_classes() {
         let x = Tensor::from_vec((0..10).map(|i| i as f32).collect(), &[10, 1]);
         let y = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 2];
-        let (_, by) =
-            RandomUndersampler::to_target(2).undersample(&x, &y, 3, &mut Rng64::new(0));
+        let (_, by) = RandomUndersampler::to_target(2).undersample(&x, &y, 3, &mut Rng64::new(0));
         assert_eq!(class_counts(&by, 3), vec![2, 2, 1]);
     }
 
@@ -89,8 +87,7 @@ mod tests {
     fn kept_rows_are_originals() {
         let x = Tensor::from_vec((0..6).map(|i| i as f32 * 10.0).collect(), &[6, 1]);
         let y = vec![0, 0, 0, 0, 1, 1];
-        let (bx, by) =
-            RandomUndersampler::to_minority().undersample(&x, &y, 2, &mut Rng64::new(1));
+        let (bx, by) = RandomUndersampler::to_minority().undersample(&x, &y, 2, &mut Rng64::new(1));
         for i in 0..bx.dim(0) {
             let v = bx.row_slice(i)[0];
             assert!(v % 10.0 == 0.0 && v <= 50.0, "row {v} not original");

@@ -1,0 +1,55 @@
+//! Oversampler outputs must not depend on the thread budget.
+//!
+//! The SMOTE-family samplers parallelise only their neighbour queries and
+//! keep the RNG-driven interpolation loop serial, so the synthetic rows
+//! must be bit-identical at every thread count.
+
+use eos_resample::{Adasyn, BorderlineSmote, KMeansSmote, Oversampler, RandomOversampler, Smote};
+use eos_tensor::{normal, par, Rng64, Tensor};
+use std::sync::Mutex;
+
+/// `set_num_threads` is process-global; every test in this binary that
+/// touches the budget must hold this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn imbalanced() -> (Tensor, Vec<usize>) {
+    let mut rng = Rng64::new(31);
+    let x = normal(&[60, 5], 0.0, 1.0, &mut rng);
+    let mut y = vec![0usize; 40];
+    y.extend(vec![1usize; 14]);
+    y.extend(vec![2usize; 6]);
+    (x, y)
+}
+
+fn run(sampler: &dyn Oversampler) -> (Vec<u32>, Vec<usize>) {
+    let (x, y) = imbalanced();
+    let (sx, sy) = sampler.oversample(&x, &y, 3, &mut Rng64::new(5));
+    (sx.data().iter().map(|v| v.to_bits()).collect(), sy)
+}
+
+#[test]
+fn oversamplers_are_bit_identical_across_thread_counts() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let restore = par::num_threads();
+    let samplers: Vec<Box<dyn Oversampler>> = vec![
+        Box::new(RandomOversampler),
+        Box::new(Smote::new(5)),
+        Box::new(BorderlineSmote::new(5, 5)),
+        Box::new(Adasyn::new(5)),
+        Box::new(KMeansSmote::new(2, 3)),
+    ];
+    for sampler in &samplers {
+        par::set_num_threads(1);
+        let reference = run(sampler.as_ref());
+        for threads in [2usize, 4, 8] {
+            par::set_num_threads(threads);
+            assert_eq!(
+                run(sampler.as_ref()),
+                reference,
+                "{} diverged at {threads} threads",
+                sampler.name()
+            );
+        }
+    }
+    par::set_num_threads(restore);
+}

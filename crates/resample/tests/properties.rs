@@ -1,0 +1,105 @@
+//! Property-style tests for the resampling crate's own invariants (the
+//! cross-crate oversampler contracts live in the workspace-level tests),
+//! driven by deterministic seeded-RNG loops.
+
+use eos_resample::{class_counts, KMeans, Oversampler, RandomUndersampler, Smote};
+use eos_tensor::{Rng64, Tensor};
+
+const CASES: u64 = 32;
+
+/// Gaussian blobs, one per class, minority classes smaller.
+fn labelled(seed: u64) -> (Tensor, Vec<usize>, usize) {
+    let mut rng = Rng64::new(seed);
+    let classes = 2 + rng.below(2);
+    let d = 2 + rng.below(3);
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for c in 0..classes {
+        let n = 16 / (c + 1) + 2;
+        for _ in 0..n {
+            let v: Vec<f32> = (0..d).map(|_| rng.normal_f32(c as f32, 1.0)).collect();
+            rows.push(Tensor::from_vec(v, &[d]));
+            y.push(c);
+        }
+    }
+    (Tensor::stack_rows(&rows), y, classes)
+}
+
+#[test]
+fn undersampling_to_minority_equalises() {
+    for seed in 0..CASES {
+        let (x, y, classes) = labelled(seed);
+        let (ux, uy) =
+            RandomUndersampler::to_minority().undersample(&x, &y, classes, &mut Rng64::new(1));
+        let counts = class_counts(&uy, classes);
+        let min = *counts.iter().min().unwrap();
+        assert!(counts.iter().all(|&c| c == min), "{counts:?}");
+        assert_eq!(ux.dim(0), uy.len());
+        // Kept rows are a subset of the originals (values match some row).
+        for i in 0..ux.dim(0) {
+            let row = ux.row_slice(i);
+            let found = (0..x.dim(0)).any(|j| x.row_slice(j) == row);
+            assert!(found, "undersampler fabricated a row");
+        }
+    }
+}
+
+#[test]
+fn smote_synthetics_stay_in_class_bounding_box() {
+    for seed in 0..CASES {
+        let (x, y, classes) = labelled(seed);
+        let (sx, sy) = Smote::new(3).oversample(&x, &y, classes, &mut Rng64::new(2));
+        for (i, &class) in sy.iter().enumerate() {
+            let members: Vec<usize> = y
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &l)| (l == class).then_some(j))
+                .collect();
+            let m = x.select_rows(&members);
+            let lo = m.min_rows();
+            let hi = m.max_rows();
+            for (j, &v) in sx.row_slice(i).iter().enumerate() {
+                assert!(
+                    v >= lo.data()[j] - 1e-4 && v <= hi.data()[j] + 1e-4,
+                    "synthetic escapes the class hull"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kmeans_assignment_is_nearest_centroid() {
+    for seed in 0..CASES {
+        let (x, _y, _c) = labelled(seed);
+        let k = 1 + (seed as usize) % 3;
+        let km = KMeans::fit(&x, k, 40, &mut Rng64::new(3));
+        for i in 0..x.dim(0) {
+            let row = x.row_slice(i);
+            let dist = |c: usize| -> f32 {
+                km.centroids
+                    .row_slice(c)
+                    .iter()
+                    .zip(row)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum()
+            };
+            let assigned = dist(km.assignment[i]);
+            for c in 0..km.k() {
+                assert!(assigned <= dist(c) + 1e-4, "non-nearest assignment");
+            }
+        }
+    }
+}
+
+#[test]
+fn kmeans_inertia_never_increases_with_k() {
+    // More clusters can only reduce (or keep) mean within-cluster distance,
+    // given identical seeding streams per fit.
+    for seed in 0..CASES {
+        let (x, _y, _c) = labelled(seed);
+        let i1 = KMeans::fit(&x, 1, 40, &mut Rng64::new(4)).inertia;
+        let i3 = KMeans::fit(&x, 3, 40, &mut Rng64::new(4)).inertia;
+        assert!(i3 <= i1 + 1e-6, "k=3 inertia {i3} vs k=1 {i1}");
+    }
+}

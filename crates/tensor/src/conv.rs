@@ -58,11 +58,22 @@ impl Conv2dGeometry {
 /// patch matrix.
 pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
     geom.check();
+    let mut out = vec![0.0f32; geom.patch_count() * geom.patch_len()];
+    im2col_into(image, geom, &mut out);
+    Tensor::from_vec(out, &[geom.patch_count(), geom.patch_len()])
+}
+
+/// [`im2col`] into a caller-owned buffer of `patch_count() × patch_len()`
+/// elements, so batch loops can reuse one scratch allocation per worker
+/// instead of allocating per image. The buffer is fully overwritten.
+pub fn im2col_into(image: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
+    geom.check();
     let (c, h, w) = (geom.in_channels, geom.height, geom.width);
     assert_eq!(image.len(), c * h * w, "image buffer size mismatch");
     let (oh, ow) = (geom.out_height(), geom.out_width());
     let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
-    let mut out = vec![0.0f32; oh * ow * geom.patch_len()];
+    assert_eq!(out.len(), oh * ow * geom.patch_len(), "im2col buffer size");
+    out.fill(0.0);
     let mut row = 0usize;
     for oy in 0..oh {
         for ox in 0..ow {
@@ -91,19 +102,28 @@ pub fn im2col(image: &[f32], geom: &Conv2dGeometry) -> Tensor {
             row += 1;
         }
     }
-    Tensor::from_vec(out, &[oh * ow, geom.patch_len()])
 }
 
 /// Adjoint of [`im2col`]: scatter-adds a `(out_h*out_w) × (C*K*K)` patch
 /// gradient back into a `C×H×W` image gradient buffer.
 pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
+    let mut image = vec![0.0f32; geom.in_channels * geom.height * geom.width];
+    col2im_into(cols.data(), geom, &mut image);
+    image
+}
+
+/// [`col2im`] into a caller-owned `C×H×W` buffer (fully overwritten), so
+/// batch-parallel backward passes can scatter straight into their slice of
+/// the input-gradient matrix.
+pub fn col2im_into(cols: &[f32], geom: &Conv2dGeometry, image: &mut [f32]) {
     geom.check();
     let (c, h, w) = (geom.in_channels, geom.height, geom.width);
     let (oh, ow) = (geom.out_height(), geom.out_width());
-    assert_eq!(cols.dims(), &[oh * ow, geom.patch_len()], "cols shape mismatch");
+    assert_eq!(cols.len(), oh * ow * geom.patch_len(), "cols size mismatch");
+    assert_eq!(image.len(), c * h * w, "image buffer size mismatch");
     let (k, s, p) = (geom.kernel, geom.stride, geom.pad);
-    let data = cols.data();
-    let mut image = vec![0.0f32; c * h * w];
+    let data = cols;
+    image.fill(0.0);
     let mut row = 0usize;
     for oy in 0..oh {
         for ox in 0..ow {
@@ -131,7 +151,6 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Vec<f32> {
             row += 1;
         }
     }
-    image
 }
 
 #[cfg(test)]
@@ -217,6 +236,16 @@ mod tests {
         let back = col2im(&y, &g);
         let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_into_overwrites_stale_scratch() {
+        let img = vec![1.0, 2.0, 3.0, 4.0];
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let fresh = im2col(&img, &g);
+        let mut scratch = vec![9.9f32; fresh.len()];
+        im2col_into(&img, &g, &mut scratch);
+        assert_eq!(scratch.as_slice(), fresh.data());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * blocked matrix multiplication ([`matmul`]),
 //! * `im2col`/`col2im` lowering for convolutions ([`conv`]),
 //! * axis reductions ([`reduce`]),
-//! * finite-difference gradient checking ([`gradcheck`]).
+//! * finite-difference gradient checking ([`gradcheck`]),
+//! * a zero-dependency data-parallel execution layer ([`par`]) that the
+//!   hot paths (GEMM, convolution batches, k-NN fan-out) dispatch through.
 //!
 //! The design intentionally avoids views/strides: every tensor owns its
 //! buffer. This keeps the kernel code simple and predictable, which matters
@@ -29,12 +31,14 @@ mod conv;
 mod gradcheck;
 mod init;
 mod matmul;
+pub mod par;
 mod reduce;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use gradcheck::{central_difference, max_abs_diff, rel_error};
 pub use init::{kaiming_uniform, normal, uniform, Rng64};
+pub use matmul::gemm_nt_into;
 pub use shape::Shape;
 pub use tensor::Tensor;

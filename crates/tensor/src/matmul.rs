@@ -1,13 +1,32 @@
-//! Blocked matrix multiplication kernels.
+//! Blocked, row-parallel matrix multiplication kernels.
 //!
 //! The training stack spends almost all of its time here (convolutions are
 //! lowered to GEMM via `im2col`), so the inner loops are written in the
 //! `i-k-j` order that lets LLVM vectorise over the contiguous output row,
-//! with a modest cache block on `k`.
+//! with a cache block on the reduction dimension. Output rows are
+//! partitioned into fixed-size chunks dispatched through [`crate::par`]:
+//! every element of a given output row is accumulated in the same order
+//! whatever the thread count, so parallel results are bit-identical to
+//! serial ones.
 
+use crate::par;
 use crate::tensor::Tensor;
 
 const BLOCK_K: usize = 64;
+
+/// Multiply-add count below which a GEMM is not worth dispatching to the
+/// pool; such calls run as a single inline chunk.
+const PAR_MIN_WORK: usize = 1 << 17;
+
+/// Rows per parallel chunk. Depends only on the problem shape (never on
+/// the thread count) so chunk boundaries — and therefore results — are
+/// reproducible across machines and budgets.
+fn rows_per_chunk(rows: usize, row_work: usize) -> usize {
+    if rows * row_work < PAR_MIN_WORK {
+        return rows.max(1);
+    }
+    ((1usize << 14).div_ceil(row_work.max(1))).clamp(1, rows.max(1))
+}
 
 impl Tensor {
     /// Matrix product `self (m×k) · other (k×n) -> (m×n)`.
@@ -18,7 +37,11 @@ impl Tensor {
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        gemm(self.data(), other.data(), &mut out, m, k, n);
+        let (a, b) = (self.data(), other.data());
+        let chunk = rows_per_chunk(m, k * n);
+        par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
+            gemm_rows(a, b, rows, ci * chunk, k, n);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -30,21 +53,12 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (n, k2) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        }
+        let (a, b) = (self.data(), other.data());
+        let chunk = rows_per_chunk(m, k * n);
+        par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
+            gemm_nt_rows(a, b, rows, ci * chunk, k, n);
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -56,23 +70,12 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (m2, n) = (other.dim(0), other.dim(1));
         assert_eq!(m, m2, "inner dimension mismatch: {m} vs {m2}");
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; k * n];
-        // out[p, j] = sum_i a[i, p] * b[i, j]; accumulate row-by-row of a/b
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let brow = &b[i * n..(i + 1) * n];
-            for (p, &ap) in arow.iter().enumerate() {
-                if ap == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += ap * bv;
-                }
-            }
-        }
+        let (a, b) = (self.data(), other.data());
+        let chunk = rows_per_chunk(k, m * n);
+        par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
+            gemm_tn_rows(a, b, rows, ci * chunk, m, k, n);
+        });
         Tensor::from_vec(out, &[k, n])
     }
 
@@ -81,34 +84,103 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         let (m, k) = (self.dim(0), self.dim(1));
         assert_eq!(v.len(), k, "matvec length mismatch");
-        let mut out = Vec::with_capacity(m);
-        for i in 0..m {
-            out.push(
-                self.row_slice(i)
+        let mut out = vec![0.0f32; m];
+        let (a, vv) = (self.data(), v.data());
+        let chunk = rows_per_chunk(m, k);
+        par::par_chunks_mut(&mut out, chunk, |ci, rows| {
+            for (r, o) in rows.iter_mut().enumerate() {
+                let i = ci * chunk + r;
+                *o = a[i * k..(i + 1) * k]
                     .iter()
-                    .zip(v.data())
-                    .map(|(&a, &b)| a * b)
-                    .sum(),
-            );
-        }
+                    .zip(vv)
+                    .map(|(&x, &y)| x * y)
+                    .sum();
+            }
+        });
         Tensor::from_vec(out, &[m])
     }
 }
 
-/// Row-major GEMM: `c += a (m×k) · b (k×n)` where `c` starts zeroed.
-fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// `out = a (m×k) · bᵀ (n×k)`, serial, into a caller-owned `m×n` buffer.
+///
+/// Bit-identical to [`Tensor::matmul_nt`]; exists so batch-parallel layers
+/// (one worker per image) can run their per-image GEMMs into reusable
+/// scratch without allocating a `Tensor` per call.
+pub fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    assert_eq!(out.len() % n.max(1), 0, "output not a whole number of rows");
+    assert_eq!(a.len(), (out.len() / n.max(1)) * k, "lhs size mismatch");
+    assert_eq!(b.len(), n * k, "rhs size mismatch");
+    out.fill(0.0);
+    gemm_nt_rows(a, b, out, 0, k, n);
+}
+
+/// `rows += a[row0.., :] · b` for a chunk of output rows, `k` blocked so a
+/// block of `b` rows stays cache-hot across the chunk. For any given
+/// output element the updates run over `p = 0..k` in ascending order, so
+/// the result does not depend on how rows are chunked.
+fn gemm_rows(a: &[f32], b: &[f32], rows: &mut [f32], row0: usize, k: usize, n: usize) {
+    let nrows = rows.len() / n;
     for kb in (0..k).step_by(BLOCK_K) {
         let kend = (kb + BLOCK_K).min(k);
-        for i in 0..m {
-            let crow = &mut c[i * n..(i + 1) * n];
+        for r in 0..nrows {
+            let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
+            let crow = &mut rows[r * n..(r + 1) * n];
             for p in kb..kend {
-                let av = a[i * k + p];
+                let av = arow[p];
                 if av == 0.0 {
                     continue;
                 }
                 let brow = &b[p * n..(p + 1) * n];
                 for (cv, &bv) in crow.iter_mut().zip(brow) {
                     *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `rows += a[row0.., :] · bᵀ` for a chunk of output rows, with the same
+/// `BLOCK_K` cache blocking as [`gemm_rows`]: each `k`-block of `b` is
+/// streamed once per chunk row while it is hot. The running sum for each
+/// output element is carried *through* the blocks (`acc` starts from the
+/// partial already in `*o`), so the addition sequence — and therefore the
+/// rounding — is exactly that of an unblocked single-accumulator dot
+/// product.
+fn gemm_nt_rows(a: &[f32], b: &[f32], rows: &mut [f32], row0: usize, k: usize, n: usize) {
+    let nrows = rows.len() / n;
+    for kb in (0..k).step_by(BLOCK_K) {
+        let kend = (kb + BLOCK_K).min(k);
+        for r in 0..nrows {
+            let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + kend];
+            let orow = &mut rows[r * n..(r + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k + kb..j * k + kend];
+                let mut acc = *o;
+                for (x, y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    }
+}
+
+/// `rows[p - p0, j] += Σ_i a[i, p] · b[i, j]` for a chunk of output rows
+/// `p0..`, the reduction over `i` blocked by `BLOCK_K`. Updates for any
+/// `(p, j)` run over `i = 0..m` ascending regardless of chunking.
+fn gemm_tn_rows(a: &[f32], b: &[f32], rows: &mut [f32], p0: usize, m: usize, k: usize, n: usize) {
+    for ib in (0..m).step_by(BLOCK_K) {
+        let iend = (ib + BLOCK_K).min(m);
+        for i in ib..iend {
+            let arow = &a[i * k..(i + 1) * k];
+            let brow = &b[i * n..(i + 1) * n];
+            for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
+                let ap = arow[p0 + r];
+                if ap == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += ap * bv;
                 }
             }
         }
@@ -171,10 +243,34 @@ mod tests {
     }
 
     #[test]
+    fn matmul_nt_blocked_k_matches_transpose() {
+        // k > BLOCK_K so the blocked path actually splits the reduction.
+        let a = seq(&[9, 150]);
+        let b = seq(&[11, 150]);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-3);
+    }
+
+    #[test]
     fn matmul_tn_matches_explicit_transpose() {
         let a = seq(&[7, 5]); // a^T is 5x7
         let b = seq(&[7, 6]);
         assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_blocked_reduction_matches_transpose() {
+        // m > BLOCK_K so the blocked path splits the i reduction.
+        let a = seq(&[170, 6]);
+        let b = seq(&[170, 8]);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-3);
+    }
+
+    #[test]
+    fn large_matmul_crosses_the_parallel_threshold() {
+        // 96·96·96 > PAR_MIN_WORK: exercises the pool dispatch path.
+        let a = seq(&[96, 96]);
+        let b = seq(&[96, 96]);
+        assert_close(&a.matmul(&b), &naive(&a, &b), 1e-3);
     }
 
     #[test]

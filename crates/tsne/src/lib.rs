@@ -64,7 +64,11 @@ pub fn tsne(x: &Tensor, cfg: &TsneConfig, rng: &mut Rng64) -> Tensor {
     let exag_until = cfg.iterations / 4;
     let mut q = vec![0.0f64; n * n];
     for iter in 0..cfg.iterations {
-        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        let exag = if iter < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities in the embedding.
         let mut zsum = 0.0f64;
         for i in 0..n {
@@ -134,7 +138,11 @@ fn joint_affinities(x: &Tensor, perplexity: f64) -> Vec<f64> {
         for _ in 0..64 {
             let mut sum = 0.0f64;
             for (j, r) in row.iter_mut().enumerate() {
-                *r = if i == j { 0.0 } else { (-beta * d2[i * n + j]).exp() };
+                *r = if i == j {
+                    0.0
+                } else {
+                    (-beta * d2[i * n + j]).exp()
+                };
                 sum += *r;
             }
             if sum <= 0.0 {
@@ -157,11 +165,19 @@ fn joint_affinities(x: &Tensor, perplexity: f64) -> Vec<f64> {
             } else {
                 hi = beta;
             }
-            beta = if hi >= 1e10 { beta * 2.0 } else { (lo + hi) / 2.0 };
+            beta = if hi >= 1e10 {
+                beta * 2.0
+            } else {
+                (lo + hi) / 2.0
+            };
         }
         let mut sum = 0.0f64;
         for (j, r) in row.iter_mut().enumerate() {
-            *r = if i == j { 0.0 } else { (-beta * d2[i * n + j]).exp() };
+            *r = if i == j {
+                0.0
+            } else {
+                (-beta * d2[i * n + j]).exp()
+            };
             sum += *r;
         }
         for j in 0..n {
@@ -302,7 +318,10 @@ mod tests {
         let y = tsne(&x, &cfg, &mut rng);
         assert!(y.all_finite(), "embedding must stay finite");
         let score = separation_score(&y, &labels, 2);
-        assert!(score > 2.0, "clusters should separate in 2-D: score {score}");
+        assert!(
+            score > 2.0,
+            "clusters should separate in 2-D: score {score}"
+        );
     }
 
     #[test]
@@ -320,18 +339,10 @@ mod tests {
 
     #[test]
     fn separation_score_prefers_separated_layouts() {
-        let tight = Tensor::from_vec(
-            vec![0.0, 0.0, 0.1, 0.0, 10.0, 0.0, 10.1, 0.0],
-            &[4, 2],
-        );
-        let mixed = Tensor::from_vec(
-            vec![0.0, 0.0, 10.0, 0.0, 0.1, 0.0, 10.1, 0.0],
-            &[4, 2],
-        );
+        let tight = Tensor::from_vec(vec![0.0, 0.0, 0.1, 0.0, 10.0, 0.0, 10.1, 0.0], &[4, 2]);
+        let mixed = Tensor::from_vec(vec![0.0, 0.0, 10.0, 0.0, 0.1, 0.0, 10.1, 0.0], &[4, 2]);
         let labels = vec![0, 0, 1, 1];
-        assert!(
-            separation_score(&tight, &labels, 2) > separation_score(&mixed, &labels, 2)
-        );
+        assert!(separation_score(&tight, &labels, 2) > separation_score(&mixed, &labels, 2));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```
 
 use eos_repro::core::{PipelineConfig, ThreePhase};
-use eos_repro::data::{load_cifar10_dir, subsample_to_profile, exponential_profile, SynthSpec};
+use eos_repro::data::{exponential_profile, load_cifar10_dir, subsample_to_profile, SynthSpec};
 use eos_repro::nn::LossKind;
 use eos_repro::resample::{deficits, indices_by_class, Oversampler};
 use eos_repro::tensor::{Rng64, Tensor};
@@ -79,5 +79,8 @@ fn main() {
     let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
     let baseline = tp.baseline_eval(&test);
     let custom = tp.finetune_and_eval(&JitterOversampler { sigma: 0.05 }, &test, &cfg, &mut rng);
-    println!("baseline BAC {:.4} -> Jitter-oversampled BAC {:.4}", baseline.bac, custom.bac);
+    println!(
+        "baseline BAC {:.4} -> Jitter-oversampled BAC {:.4}",
+        baseline.bac, custom.bac
+    );
 }

@@ -6,9 +6,7 @@
 //! cargo run --release --example gap_analysis
 //! ```
 
-use eos_repro::core::{
-    evaluate, generalization_gap, tp_fp_gap, Eos, PipelineConfig, ThreePhase,
-};
+use eos_repro::core::{evaluate, generalization_gap, tp_fp_gap, Eos, PipelineConfig, ThreePhase};
 use eos_repro::data::SynthSpec;
 use eos_repro::nn::LossKind;
 use eos_repro::resample::{balance_with, Oversampler, Smote};
@@ -52,13 +50,7 @@ fn main() {
         Box::new(Smote::new(5)) as Box<dyn Oversampler>,
         Box::new(Eos::new(10)),
     ] {
-        let (bx, by) = balance_with(
-            sampler.as_ref(),
-            &tp.train_fe,
-            &tp.train_y,
-            10,
-            &mut rng,
-        );
+        let (bx, by) = balance_with(sampler.as_ref(), &tp.train_fe, &tp.train_y, 10, &mut rng);
         let g = generalization_gap(&bx, &by, &test_fe, &test.y, 10);
         let tail: f64 = g.per_class[5..].iter().sum::<f64>() / 5.0;
         println!(

@@ -33,7 +33,11 @@ fn main() {
             .map(|b| (b * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>(),
         report.spread_points,
-        if report.stable { "stable — single cut is fine" } else { "unstable" }
+        if report.stable {
+            "stable — single cut is fine"
+        } else {
+            "unstable"
+        }
     );
 
     // §IV-A step 2: train one model per loss, select the best.

@@ -11,8 +11,7 @@ use eos_repro::data::SynthSpec;
 use eos_repro::gan::{BaganLite, CGan, DeepSmote, GamoLite};
 use eos_repro::nn::LossKind;
 use eos_repro::resample::{
-    Adasyn, BalancedSvm, BorderlineSmote, KMeansSmote, Oversampler, RandomOversampler, Remix,
-    Smote,
+    Adasyn, BalancedSvm, BorderlineSmote, KMeansSmote, Oversampler, RandomOversampler, Remix, Smote,
 };
 use eos_repro::tensor::Rng64;
 use std::time::Instant;
@@ -29,7 +28,10 @@ fn main() {
     println!("training backbone once; every method reuses its embeddings\n");
     let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
     let baseline = tp.baseline_eval(&test);
-    println!("{:16} BAC {:.4}   (end-to-end, no augmentation)", "Baseline", baseline.bac);
+    println!(
+        "{:16} BAC {:.4}   (end-to-end, no augmentation)",
+        "Baseline", baseline.bac
+    );
 
     let samplers: Vec<Box<dyn Oversampler>> = vec![
         Box::new(RandomOversampler),

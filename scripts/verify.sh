@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full verification gate: formatting, lints, release build, tier-1 tests.
+# Run from the repository root. CI and pre-merge checks should pass this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+cargo build --release
+cargo test -q

@@ -1,9 +1,7 @@
 //! End-to-end integration tests: the full three-phase pipeline, all four
 //! losses, the pixel-space comparison pipeline, and reproducibility.
 
-use eos_repro::core::{
-    evaluate, preprocess_and_train, Eos, PipelineConfig, ThreePhase,
-};
+use eos_repro::core::{evaluate, preprocess_and_train, Eos, PipelineConfig, ThreePhase};
 use eos_repro::data::SynthSpec;
 use eos_repro::nn::{Architecture, LossKind};
 use eos_repro::resample::Smote;

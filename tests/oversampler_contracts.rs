@@ -1,5 +1,6 @@
-//! Property-based contracts every oversampler in the workspace must
-//! satisfy, checked over randomly generated imbalanced inputs.
+//! Contracts every oversampler in the workspace must satisfy, checked over
+//! deterministically generated imbalanced inputs (seeded-RNG loops; the
+//! build environment is offline, so no proptest).
 
 use eos_repro::core::Eos;
 use eos_repro::gan::{BaganLite, CGan, DeepSmote, GamoLite, GanConfig};
@@ -8,27 +9,28 @@ use eos_repro::resample::{
     RandomOversampler, Remix, Smote,
 };
 use eos_repro::tensor::{Rng64, Tensor};
-use proptest::prelude::*;
+
+const CASES: u64 = 8;
 
 /// Random imbalanced labelled matrix: 2–4 classes, skewed counts, 3–6
 /// features.
-fn imbalanced_input() -> impl Strategy<Value = (Tensor, Vec<usize>, usize)> {
-    (2usize..=4, 3usize..=6, 0u64..1000).prop_map(|(classes, width, seed)| {
-        let mut rng = Rng64::new(seed);
-        let mut rows = Vec::new();
-        let mut labels = Vec::new();
-        for c in 0..classes {
-            let n = 12 / (c + 1) + 2; // skewed: 14, 8, 6, 5
-            for _ in 0..n {
-                let row: Vec<f32> = (0..width)
-                    .map(|_| rng.normal_f32(c as f32 * 2.0, 0.7))
-                    .collect();
-                rows.push(Tensor::from_vec(row, &[width]));
-                labels.push(c);
-            }
+fn imbalanced_input(seed: u64) -> (Tensor, Vec<usize>, usize) {
+    let mut rng = Rng64::new(seed);
+    let classes = 2 + rng.below(3);
+    let width = 3 + rng.below(4);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..classes {
+        let n = 12 / (c + 1) + 2; // skewed: 14, 8, 6, 5
+        for _ in 0..n {
+            let row: Vec<f32> = (0..width)
+                .map(|_| rng.normal_f32(c as f32 * 2.0, 0.7))
+                .collect();
+            rows.push(Tensor::from_vec(row, &[width]));
+            labels.push(c);
         }
-        (Tensor::stack_rows(&rows), labels, classes)
-    })
+    }
+    (Tensor::stack_rows(&rows), labels, classes)
 }
 
 fn all_samplers() -> Vec<Box<dyn Oversampler>> {
@@ -52,60 +54,73 @@ fn all_samplers() -> Vec<Box<dyn Oversampler>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Balancing must equalise class counts exactly (Balanced-SVM is the
-    /// sanctioned exception: it relabels synthetics by SVM prediction).
-    #[test]
-    fn balancing_equalises_counts((x, y, classes) in imbalanced_input()) {
+/// Balancing must equalise class counts exactly (Balanced-SVM is the
+/// sanctioned exception: it relabels synthetics by SVM prediction).
+#[test]
+fn balancing_equalises_counts() {
+    for seed in 0..CASES {
+        let (x, y, classes) = imbalanced_input(seed);
         for sampler in all_samplers() {
             let mut rng = Rng64::new(7);
             let (bx, by) = balance_with(sampler.as_ref(), &x, &y, classes, &mut rng);
             let counts = class_counts(&by, classes);
             let max = *counts.iter().max().unwrap();
-            prop_assert!(
+            assert!(
                 counts.iter().all(|&c| c == max),
-                "{} left counts {counts:?}", sampler.name()
+                "{} left counts {counts:?}",
+                sampler.name()
             );
-            prop_assert_eq!(bx.dim(0), by.len());
-            prop_assert_eq!(bx.dim(1), x.dim(1));
+            assert_eq!(bx.dim(0), by.len());
+            assert_eq!(bx.dim(1), x.dim(1));
         }
     }
+}
 
-    /// Synthetic rows must be finite and originals must be preserved as a
-    /// prefix of the balanced output.
-    #[test]
-    fn originals_preserved_and_values_finite((x, y, classes) in imbalanced_input()) {
+/// Synthetic rows must be finite and originals must be preserved as a
+/// prefix of the balanced output.
+#[test]
+fn originals_preserved_and_values_finite() {
+    for seed in 0..CASES {
+        let (x, y, classes) = imbalanced_input(seed);
         for sampler in all_samplers() {
             let mut rng = Rng64::new(11);
             let (bx, by) = balance_with(sampler.as_ref(), &x, &y, classes, &mut rng);
-            prop_assert!(bx.all_finite(), "{} produced non-finite values", sampler.name());
-            prop_assert_eq!(&by[..y.len()], &y[..], "labels reordered");
+            assert!(
+                bx.all_finite(),
+                "{} produced non-finite values",
+                sampler.name()
+            );
+            assert_eq!(&by[..y.len()], &y[..], "labels reordered");
             for i in 0..x.dim(0) {
-                prop_assert_eq!(bx.row_slice(i), x.row_slice(i), "rows reordered");
+                assert_eq!(bx.row_slice(i), x.row_slice(i), "rows reordered");
             }
         }
     }
+}
 
-    /// Balanced-SVM keeps the count contract on the *generated* rows and
-    /// produces labels within range (its labels may legitimately differ).
-    #[test]
-    fn balanced_svm_labels_in_range((x, y, classes) in imbalanced_input()) {
+/// Balanced-SVM keeps the count contract on the *generated* rows and
+/// produces labels within range (its labels may legitimately differ).
+#[test]
+fn balanced_svm_labels_in_range() {
+    for seed in 0..CASES {
+        let (x, y, classes) = imbalanced_input(seed);
         let mut rng = Rng64::new(13);
         let (sx, sy) = BalancedSvm::new(3).oversample(&x, &y, classes, &mut rng);
-        prop_assert!(sy.iter().all(|&l| l < classes));
-        prop_assert!(sx.all_finite());
+        assert!(sy.iter().all(|&l| l < classes));
+        assert!(sx.all_finite());
     }
+}
 
-    /// Oversampling is deterministic given the RNG seed.
-    #[test]
-    fn oversampling_is_deterministic((x, y, classes) in imbalanced_input()) {
+/// Oversampling is deterministic given the RNG seed.
+#[test]
+fn oversampling_is_deterministic() {
+    for seed in 0..CASES {
+        let (x, y, classes) = imbalanced_input(seed);
         for sampler in all_samplers() {
             let (a, la) = sampler.oversample(&x, &y, classes, &mut Rng64::new(3));
             let (b, lb) = sampler.oversample(&x, &y, classes, &mut Rng64::new(3));
-            prop_assert_eq!(a.data(), b.data(), "{} nondeterministic", sampler.name());
-            prop_assert_eq!(la, lb);
+            assert_eq!(a.data(), b.data(), "{} nondeterministic", sampler.name());
+            assert_eq!(la, lb);
         }
     }
 }

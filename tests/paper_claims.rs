@@ -2,9 +2,7 @@
 //! scale. Each test is a shrunken version of one of the evaluation's
 //! findings; the benches reproduce the same shapes at experiment scale.
 
-use eos_repro::core::{
-    evaluate, generalization_gap, tp_fp_gap, Eos, PipelineConfig, ThreePhase,
-};
+use eos_repro::core::{evaluate, generalization_gap, tp_fp_gap, Eos, PipelineConfig, ThreePhase};
 use eos_repro::data::SynthSpec;
 use eos_repro::nn::LossKind;
 use eos_repro::resample::{balance_with, Oversampler, Smote};

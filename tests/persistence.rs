@@ -33,7 +33,12 @@ fn saved_backbone_reproduces_embeddings_and_finetune() {
 
     // "Fresh process": a structurally identical, differently initialised
     // network, restored from the bytes.
-    let mut restored = ConvNet::new(cfg.arch, train.shape, train.num_classes, &mut Rng64::new(777));
+    let mut restored = ConvNet::new(
+        cfg.arch,
+        train.shape,
+        train.num_classes,
+        &mut Rng64::new(777),
+    );
     load_weights(&mut restored, buf.as_slice()).unwrap();
 
     // Embeddings must be bit-identical — batch-norm running statistics
