@@ -1,0 +1,185 @@
+//! Steady-state training-step benchmark and heap-allocation audit.
+//!
+//! A debug counting allocator wraps `System` and counts every allocation
+//! (alloc, alloc_zeroed, realloc). After warm-up steps fill the scratch
+//! pool, the per-worker workspaces and the optimiser state, a steady-state
+//! training step must perform **zero** heap allocations — the audit runs
+//! single-threaded so the count is deterministic, and the binary exits
+//! non-zero if any allocation sneaks back into the hot path. Timing is
+//! then measured at the ambient thread budget and written to
+//! `results/BENCH_train_step.json`.
+//!
+//! `--smoke` trims the sample counts for `scripts/verify.sh`.
+
+use eos_bench::{bench_stats, JsonRecord};
+use eos_nn::{Architecture, ConvNet, CrossEntropyLoss, Loss, Sgd};
+use eos_tensor::{normal, par, Rng64, Tensor};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation on every thread; frees are not counted (the
+/// audit is about allocation pressure, not leaks).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One mini-batch step exactly as the trainer loop runs it.
+struct StepState {
+    net: ConvNet,
+    loss: CrossEntropyLoss,
+    opt: Sgd,
+    x: Tensor,
+    chunk: Vec<usize>,
+    by: Vec<usize>,
+    preds: Vec<usize>,
+}
+
+impl StepState {
+    fn step(&mut self) -> f32 {
+        let bx = self.x.select_rows(&self.chunk);
+        self.net.zero_grad();
+        let logits = self.net.forward(&bx, true);
+        let (l, dlogits) = self.loss.loss_and_grad(&logits, &self.by);
+        let _ = self.net.backward(&dlogits);
+        self.opt.step_visit(&mut self.net);
+        logits.argmax_rows_into(&mut self.preds);
+        l
+    }
+
+    /// [`StepState::step`] with a per-phase allocation count, printed so a
+    /// failing audit points at the offending phase.
+    fn step_traced(&mut self) -> f32 {
+        let read = || {
+            (
+                ALLOCATIONS.load(Ordering::SeqCst),
+                eos_tensor::scratch::stats().1 as u64,
+            )
+        };
+        let t0 = read();
+        let bx = self.x.select_rows(&self.chunk);
+        let t1 = read();
+        self.net.zero_grad();
+        let t2 = read();
+        let logits = self.net.forward(&bx, true);
+        let t3 = read();
+        let (l, dlogits) = self.loss.loss_and_grad(&logits, &self.by);
+        let t4 = read();
+        let _ = self.net.backward(&dlogits);
+        let t5 = read();
+        self.opt.step_visit(&mut self.net);
+        let t6 = read();
+        logits.argmax_rows_into(&mut self.preds);
+        let t7 = read();
+        println!(
+            "  phase allocations: select {} zero_grad {} forward {} loss {} backward {} opt {} argmax {}",
+            t1.0 - t0.0, t2.0 - t1.0, t3.0 - t2.0, t4.0 - t3.0, t5.0 - t4.0, t6.0 - t5.0, t7.0 - t6.0
+        );
+        println!(
+            "  scratch misses:    select {} zero_grad {} forward {} loss {} backward {} opt {} argmax {}",
+            t1.1 - t0.1, t2.1 - t1.1, t3.1 - t2.1, t4.1 - t3.1, t5.1 - t4.1, t6.1 - t5.1, t7.1 - t6.1
+        );
+        l
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (audit_steps, samples) = if smoke { (3, 3) } else { (10, 20) };
+    let warmup = 5;
+    let (batch, classes) = (16usize, 4usize);
+    let shape = (3usize, 16usize, 16usize);
+    let arch = Architecture::ResNet {
+        blocks_per_stage: 1,
+        width: 8,
+    };
+
+    let mut rng = Rng64::new(11);
+    let x = normal(
+        &[batch * 2, shape.0 * shape.1 * shape.2],
+        0.0,
+        1.0,
+        &mut rng,
+    );
+    let net = ConvNet::new(arch, shape, classes, &mut rng);
+    let mut state = StepState {
+        net,
+        loss: CrossEntropyLoss::new(),
+        opt: Sgd::new(0.05, 0.9, 5e-4),
+        x,
+        chunk: (0..batch).collect(),
+        by: (0..batch).map(|i| i % classes).collect(),
+        preds: Vec::with_capacity(batch),
+    };
+
+    // --- Allocation audit: single-threaded so chunk->thread assignment
+    // cannot move a first-touch workspace miss into the measured window.
+    let ambient = par::num_threads();
+    par::set_num_threads(1);
+    for _ in 0..warmup {
+        std::hint::black_box(state.step());
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..audit_steps {
+        std::hint::black_box(state.step());
+    }
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    let per_step = allocs as f64 / audit_steps as f64;
+    println!("allocations per steady-state step: {per_step} ({allocs} over {audit_steps} steps)");
+    if allocs > 0 {
+        std::hint::black_box(state.step_traced());
+    }
+
+    // --- Timing at one thread and at the ambient budget.
+    let serial = bench_stats("train step (1 thread)", samples, || state.step());
+    par::set_num_threads(ambient);
+    for _ in 0..warmup {
+        std::hint::black_box(state.step());
+    }
+    let parallel = bench_stats(&format!("train step ({ambient} threads)"), samples, || {
+        state.step()
+    });
+
+    let mut rec = JsonRecord::new();
+    rec.str("bench", "train_step")
+        .str("arch", "resnet-1x8")
+        .int("batch", batch as u64)
+        .int("input_len", (shape.0 * shape.1 * shape.2) as u64)
+        .int("audit_steps", audit_steps as u64)
+        .num("allocations_per_step", per_step)
+        .int("samples", samples as u64)
+        .int("serial_mean_ns", serial.mean.as_nanos() as u64)
+        .int("serial_min_ns", serial.min.as_nanos() as u64)
+        .int("threads", ambient as u64)
+        .int("parallel_mean_ns", parallel.mean.as_nanos() as u64)
+        .int("parallel_min_ns", parallel.min.as_nanos() as u64);
+    rec.write("BENCH_train_step");
+
+    if allocs > 0 {
+        eprintln!("FAIL: steady-state training step allocated ({per_step} per step)");
+        std::process::exit(1);
+    }
+}

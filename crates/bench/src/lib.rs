@@ -17,4 +17,4 @@ pub mod timing;
 pub use args::Args;
 pub use report::{write_csv, MarkdownTable};
 pub use runner::{name_hash, prepared_dataset, samplers_for_table2};
-pub use timing::{bench, format_duration};
+pub use timing::{bench, bench_stats, format_duration, BenchStats, JsonRecord};

@@ -6,12 +6,39 @@
 //! declared with `harness = false` and call [`bench`] from a plain
 //! `fn main()`.
 
+use std::fmt::Write as _;
+use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// Mean/min over a benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchStats {
+    /// Mean duration across samples.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Number of timed samples (excluding warm-up).
+    pub samples: usize,
+}
+
+impl BenchStats {
+    /// Throughput in GFLOP/s for a kernel that performs `flops` floating
+    /// point operations per run, based on the fastest sample.
+    pub fn gflops(&self, flops: u64) -> f64 {
+        flops as f64 / self.min.as_nanos().max(1) as f64
+    }
+}
 
 /// Times `f` over `samples` runs (after one warm-up run) and prints a
 /// one-line report. Returns the mean duration so callers can build
 /// comparison tables.
-pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Duration {
+pub fn bench<T>(name: &str, samples: usize, f: impl FnMut() -> T) -> Duration {
+    bench_stats(name, samples, f).mean
+}
+
+/// Like [`bench`] but returns the full [`BenchStats`], for callers that
+/// report throughput or emit machine-readable results.
+pub fn bench_stats<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> BenchStats {
     assert!(samples > 0, "need at least one sample");
     std::hint::black_box(f());
     let mut total = Duration::ZERO;
@@ -29,7 +56,81 @@ pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> Duratio
         format_duration(mean),
         format_duration(min),
     );
-    mean
+    BenchStats { mean, min, samples }
+}
+
+/// A flat, ordered JSON object rendered by hand (the build is offline, so
+/// no serde). Values are appended pre-typed; [`JsonRecord::render`] emits
+/// one pretty-printed object.
+#[derive(Default)]
+pub struct JsonRecord {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonRecord {
+    /// Empty record.
+    pub fn new() -> Self {
+        JsonRecord::default()
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                _ => vec![c],
+            })
+            .collect();
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a float field (fixed 4-decimal form, valid JSON).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "JSON cannot carry NaN/inf ({key})");
+        self.fields.push((key.to_string(), format!("{value:.4}")));
+        self
+    }
+
+    /// Renders the object with one field per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the record to `results/<name>.json`, creating the directory.
+    pub fn write(&self, name: &str) {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        let path = dir.join(format!("{name}.json"));
+        match std::fs::write(&path, self.render()) {
+            Ok(()) => println!("[json written to {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
 }
 
 /// Human-readable duration: `1.234 ms`, `56.7 µs`, `2.345 s`.
@@ -54,6 +155,31 @@ mod tests {
     fn bench_returns_a_positive_mean() {
         let mean = bench("spin", 3, || (0..1000u64).sum::<u64>());
         assert!(mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn gflops_counts_operations_per_nanosecond() {
+        let s = BenchStats {
+            mean: Duration::from_micros(2),
+            min: Duration::from_micros(1),
+            samples: 5,
+        };
+        // 2000 flops in 1000 ns = 2 flops/ns = 2 GFLOP/s.
+        assert!((s.gflops(2000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_record_renders_valid_flat_object() {
+        let mut r = JsonRecord::new();
+        r.str("bench", "gemm \"256\"")
+            .int("threads", 8)
+            .num("gflops", 1.25);
+        let s = r.render();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"bench\": \"gemm \\\"256\\\"\","));
+        assert!(s.contains("\"threads\": 8,"));
+        assert!(s.contains("\"gflops\": 1.2500\n"));
+        assert!(s.ends_with("}\n"));
     }
 
     #[test]

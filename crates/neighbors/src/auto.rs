@@ -1,0 +1,140 @@
+//! Dimension-based index selection.
+
+use crate::{BruteForceKnn, KdTree, Metric, Neighbor, NnIndex};
+use eos_tensor::Tensor;
+
+/// Largest point dimensionality at which the KD-tree beats the vectorised
+/// linear scan. Above this, branch-and-bound pruning degenerates (curse of
+/// dimensionality) and the brute-force index is used instead.
+pub const TREE_MAX_DIM: usize = 16;
+
+/// Exact k-NN index that picks its backend from the data's dimensionality:
+/// a [`KdTree`] for points with at most [`TREE_MAX_DIM`] coordinates
+/// (pixel prototypes, t-SNE outputs, low-dimensional feature spaces), a
+/// [`BruteForceKnn`] scan otherwise (deep embeddings).
+///
+/// Both backends compute the exact k-minimum under the same
+/// `(distance, row index)` lexicographic order, so the selection is purely
+/// a performance decision — query results are identical either way, which
+/// keeps the oversamplers' RNG consumption and outputs independent of the
+/// backend.
+pub enum AutoIndex {
+    /// Low-dimensional backend.
+    Tree(KdTree),
+    /// High-dimensional backend.
+    Brute(BruteForceKnn),
+}
+
+impl AutoIndex {
+    /// Indexes the rows of `data` with the backend suited to its width.
+    pub fn new(data: &Tensor, metric: Metric) -> Self {
+        assert_eq!(data.rank(), 2, "index expects a (n, d) matrix");
+        if data.dim(1) <= TREE_MAX_DIM {
+            AutoIndex::Tree(KdTree::new(data, metric))
+        } else {
+            AutoIndex::Brute(BruteForceKnn::new(data, metric))
+        }
+    }
+
+    /// [`NnIndex::query`] for every row of a `(q, d)` query matrix, fanned
+    /// out across the worker pool; identical to a query-at-a-time loop.
+    pub fn query_batch(&self, queries: &Tensor, k: usize) -> Vec<Vec<Neighbor>> {
+        match self {
+            AutoIndex::Tree(t) => t.query_batch(queries, k),
+            AutoIndex::Brute(b) => b.query_batch(queries, k),
+        }
+    }
+
+    /// [`NnIndex::query_row`] for many indexed rows at once, fanned out
+    /// across the worker pool; identical to the serial loop.
+    pub fn query_rows_batch(&self, rows: &[usize], k: usize) -> Vec<Vec<Neighbor>> {
+        match self {
+            AutoIndex::Tree(t) => t.query_rows_batch(rows, k),
+            AutoIndex::Brute(b) => b.query_rows_batch(rows, k),
+        }
+    }
+}
+
+impl NnIndex for AutoIndex {
+    fn query(&self, point: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            AutoIndex::Tree(t) => t.query(point, k),
+            AutoIndex::Brute(b) => b.query(point, k),
+        }
+    }
+
+    fn query_row(&self, row: usize, k: usize) -> Vec<Neighbor> {
+        match self {
+            AutoIndex::Tree(t) => t.query_row(row, k),
+            AutoIndex::Brute(b) => b.query_row(row, k),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AutoIndex::Tree(t) => t.len(),
+            AutoIndex::Brute(b) => b.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_tensor::{normal, Rng64};
+
+    #[test]
+    fn backend_follows_dimensionality() {
+        let lo = Tensor::zeros(&[4, TREE_MAX_DIM]);
+        let hi = Tensor::zeros(&[4, TREE_MAX_DIM + 1]);
+        assert!(matches!(
+            AutoIndex::new(&lo, Metric::Euclidean),
+            AutoIndex::Tree(_)
+        ));
+        assert!(matches!(
+            AutoIndex::new(&hi, Metric::Euclidean),
+            AutoIndex::Brute(_)
+        ));
+    }
+
+    #[test]
+    fn both_backends_agree_with_brute_force() {
+        let mut rng = Rng64::new(17);
+        for d in [2usize, 16, 17, 40] {
+            let data = normal(&[150, d], 0.0, 1.0, &mut rng);
+            let auto = AutoIndex::new(&data, Metric::Euclidean);
+            let brute = BruteForceKnn::new(&data, Metric::Euclidean);
+            for _ in 0..10 {
+                let q: Vec<f32> = (0..d).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+                assert_eq!(auto.query(&q, 8), brute.query(&q, 8), "d = {d}");
+            }
+            let rows: Vec<usize> = (0..150).step_by(7).collect();
+            assert_eq!(
+                auto.query_rows_batch(&rows, 6),
+                brute.query_rows_batch(&rows, 6),
+                "d = {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_identically() {
+        // Many exact duplicates: every query is all-ties, the harshest
+        // test of (distance, index) ordering parity across backends.
+        let mut v = Vec::new();
+        for i in 0..40 {
+            let x = (i % 4) as f32; // 4 distinct locations, 10 copies each
+            v.extend_from_slice(&[x, -x]);
+        }
+        let data = Tensor::from_vec(v, &[40, 2]);
+        let auto = AutoIndex::new(&data, Metric::Euclidean);
+        let brute = BruteForceKnn::new(&data, Metric::Euclidean);
+        assert!(matches!(auto, AutoIndex::Tree(_)));
+        let batch_a = auto.query_batch(&data, 12);
+        let batch_b = brute.query_batch(&data, 12);
+        assert_eq!(batch_a, batch_b);
+        for row in 0..40 {
+            assert_eq!(auto.query_row(row, 12), brute.query_row(row, 12));
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Exact KD-tree k-NN with branch-and-bound pruning.
 
 use crate::{Metric, Neighbor, NnIndex};
-use eos_tensor::Tensor;
+use eos_tensor::{par, Tensor};
 
 const LEAF_SIZE: usize = 16;
 
@@ -49,6 +49,27 @@ impl KdTree {
         best
     }
 
+    /// [`NnIndex::query`] for every row of a `(q, d)` query matrix, with
+    /// the traversals fanned out across the worker pool. Each query's
+    /// result is computed exactly as in the serial path, so the output is
+    /// identical to a query-at-a-time loop at any thread count.
+    pub fn query_batch(&self, queries: &Tensor, k: usize) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.rank(), 2, "batch query expects a (q, d) matrix");
+        par::par_map_range(queries.dim(0), |i| {
+            self.search(queries.row_slice(i), k, None)
+        })
+    }
+
+    /// [`NnIndex::query_row`] for many indexed rows at once, fanned out
+    /// across the worker pool; bit-identical to the serial loop.
+    pub fn query_rows_batch(&self, rows: &[usize], k: usize) -> Vec<Vec<Neighbor>> {
+        let n = self.data.dim(0);
+        assert!(rows.iter().all(|&r| r < n), "row out of range");
+        par::par_map(rows, |_, &row| {
+            self.search(self.data.row_slice(row), k, Some(row))
+        })
+    }
+
     fn visit(
         &self,
         node: &Node,
@@ -64,8 +85,16 @@ impl KdTree {
                         continue;
                     }
                     let d = self.metric.distance(point, self.data.row_slice(i));
-                    if best.len() == k && d >= best[k - 1].distance {
-                        continue;
+                    // Skip only when the candidate loses to the current
+                    // k-th best under the full (distance, index) order.
+                    // Unlike the brute-force scan, leaves are not visited
+                    // in ascending row order, so a later candidate can tie
+                    // on distance with a *smaller* index and must win.
+                    if best.len() == k {
+                        let worst = best[k - 1];
+                        if d > worst.distance || (d == worst.distance && i > worst.index) {
+                            continue;
+                        }
                     }
                     let pos = best
                         .partition_point(|n| n.distance < d || (n.distance == d && n.index < i));
@@ -95,9 +124,11 @@ impl KdTree {
                 self.visit(near, point, k, exclude, best);
                 // Prune the far side when even the closest possible point
                 // there cannot beat the current k-th best. The axis gap is
-                // a lower bound for both L1 and L2.
+                // a lower bound for both L1 and L2. Equality must still
+                // descend: a far-side point at exactly the k-th distance
+                // can win its tie on row index.
                 let gap = self.metric.axis_distance(point[*axis], *threshold);
-                if best.len() < k || gap < best[k - 1].distance {
+                if best.len() < k || gap <= best[k - 1].distance {
                     self.visit(far, point, k, exclude, best);
                 }
             }
@@ -190,6 +221,54 @@ mod tests {
         let hits = tree.query(&[0.0], 3);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].distance, 3.0);
+    }
+
+    #[test]
+    fn boundary_ties_resolve_by_row_index() {
+        // Two points at exactly the same distance from the query, placed on
+        // opposite sides of the root split so the lower-index one is seen
+        // *after* the worst slot is full. The naive `d >= worst` skip (and
+        // strict pruning) would keep the wrong point.
+        let mut v = Vec::new();
+        for i in 0..20 {
+            // Left cluster around x = -3, unique distances.
+            v.push(-3.0 - i as f32 * 0.125);
+            v.push(0.0);
+        }
+        // Row 20: exactly at +1. Row 21: exactly at -1. Both distance 1
+        // from the origin; index order says row 20 wins the tie.
+        v.extend_from_slice(&[1.0, 0.0]);
+        v.extend_from_slice(&[-1.0, 0.0]);
+        let data = Tensor::from_vec(v, &[22, 2]);
+        for metric in [Metric::Euclidean, Metric::Manhattan] {
+            let tree = KdTree::new(&data, metric);
+            let brute = crate::BruteForceKnn::new(&data, metric);
+            for k in 1..=4 {
+                let t = tree.query(&[0.0, 0.0], k);
+                let b = brute.query(&[0.0, 0.0], k);
+                assert_eq!(t, b, "k = {k}, metric {metric:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_queries_match_serial_loop() {
+        let mut v = Vec::new();
+        for i in 0..60 {
+            v.push((i % 7) as f32);
+            v.push((i % 11) as f32 * 0.5);
+        }
+        let data = Tensor::from_vec(v, &[60, 2]);
+        let tree = KdTree::new(&data, Metric::Euclidean);
+        let batch = tree.query_batch(&data, 5);
+        for (i, hits) in batch.iter().enumerate() {
+            assert_eq!(*hits, tree.query(data.row_slice(i), 5), "query {i}");
+        }
+        let rows: Vec<usize> = (0..60).step_by(3).collect();
+        let batch = tree.query_rows_batch(&rows, 4);
+        for (hits, &row) in batch.iter().zip(&rows) {
+            assert_eq!(*hits, tree.query_row(row, 4), "row {row}");
+        }
     }
 
     #[test]

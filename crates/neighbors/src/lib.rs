@@ -15,10 +15,12 @@
 //! assert_eq!(hits[1].index, 1);
 //! ```
 
+mod auto;
 mod brute;
 mod kdtree;
 mod metric;
 
+pub use auto::{AutoIndex, TREE_MAX_DIM};
 pub use brute::BruteForceKnn;
 pub use kdtree::KdTree;
 pub use metric::Metric;

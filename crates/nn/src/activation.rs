@@ -19,7 +19,11 @@ impl Relu {
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if train {
-            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+            // Reuse the previous batch's mask allocation.
+            let mut mask = self.mask.take().unwrap_or_default();
+            mask.clear();
+            mask.extend(x.data().iter().map(|&v| v > 0.0));
+            self.mask = Some(mask);
         }
         x.map(|v| v.max(0.0))
     }
@@ -59,7 +63,11 @@ impl LeakyRelu {
 impl Layer for LeakyRelu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         if train {
-            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+            // Reuse the previous batch's mask allocation.
+            let mut mask = self.mask.take().unwrap_or_default();
+            mask.clear();
+            mask.extend(x.data().iter().map(|&v| v > 0.0));
+            self.mask = Some(mask);
         }
         let a = self.alpha;
         x.map(|v| if v > 0.0 { v } else { a * v })

@@ -4,8 +4,17 @@
 //! ReLU-activated extraction layers (Section III-B), so these layers are
 //! load-bearing for the reproduction: they bound and standardise the
 //! feature embeddings whose ranges Algorithm 1 compares.
+//!
+//! Internally both layers view the batch as one flat **channel-major**
+//! buffer (`channels × m` positions, each channel's positions in
+//! image-major order) checked out from the per-thread [`workspace`]. The
+//! per-channel statistics are summed in exactly that fixed order, and the
+//! running-statistics / parameter-gradient updates are applied serially in
+//! channel order after the parallel fan-out — so results are bit-identical
+//! at any thread count and the steady-state step allocates nothing.
 
 use crate::layer::{Layer, Param};
+use crate::workspace::{self, Workspace};
 use eos_tensor::{par, Tensor};
 
 const EPS: f32 = 1e-5;
@@ -24,6 +33,7 @@ struct BnCore {
 }
 
 struct BnCache {
+    /// Channel-major normalised inputs, `channels × m`.
     x_hat: Vec<f32>,
     inv_std: Vec<f32>,
     /// Positions per channel in this batch.
@@ -59,104 +69,112 @@ impl BnCore {
         self.gamma.value.len()
     }
 
-    /// `values[c]` lists every element of channel `c` in this batch, in a
-    /// fixed order; returns the normalised values in the same order.
-    fn forward_grouped(&mut self, grouped: &[Vec<f32>], train: bool) -> Vec<Vec<f32>> {
+    /// Normalises the channel-major batch view `x_cm` (`channels × m`)
+    /// into `ys` (same layout). Channels fan out across the worker pool;
+    /// each channel's statistics are summed over its `m` positions in
+    /// ascending order, and the running-statistics update happens serially
+    /// afterwards in channel order.
+    fn forward_flat(
+        &mut self,
+        x_cm: &[f32],
+        m: usize,
+        train: bool,
+        ys: &mut [f32],
+        ws: &mut Workspace,
+    ) {
         let c = self.channels();
-        assert_eq!(grouped.len(), c);
-        let m = grouped[0].len();
+        assert_eq!(x_cm.len(), c * m, "channel-major view size mismatch");
+        assert_eq!(ys.len(), c * m);
         assert!(m > 0, "batch norm over zero positions");
         let gamma = self.gamma.value.data();
         let beta = self.beta.value.data();
-        let running_mean = &self.running_mean;
-        let running_var = &self.running_var;
-        // Channels are independent, so they fan out across the worker
-        // pool; each channel's statistics and normalisation are computed
-        // exactly as in a serial loop, and the running-statistics update
-        // happens serially afterwards in channel order.
-        let results = par::par_map(grouped, |ch, xs| {
-            assert_eq!(xs.len(), m, "ragged channel groups");
-            let (mean, var) = if train {
+        if train {
+            // Per-channel scratch chunk: [x_hat(m), mean, var, inv_std].
+            let mut work = ws.checkout(c * (m + 3));
+            par::par_chunks_mut2(ys, m, &mut work, m + 3, |ch, yrow, wrow| {
+                let xs = &x_cm[ch * m..(ch + 1) * m];
                 let mean = xs.iter().sum::<f32>() / m as f32;
                 let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / m as f32;
-                (mean, var)
-            } else {
-                (running_mean[ch], running_var[ch])
-            };
-            let inv_std = 1.0 / (var + EPS).sqrt();
-            let mut ys = Vec::with_capacity(m);
-            let mut x_hat = Vec::with_capacity(if train { m } else { 0 });
-            for &x in xs {
-                let xh = (x - mean) * inv_std;
-                ys.push(gamma[ch] * xh + beta[ch]);
-                if train {
-                    x_hat.push(xh);
+                let inv_std = 1.0 / (var + EPS).sqrt();
+                let (xh, stats) = wrow.split_at_mut(m);
+                for ((y, &x), out_xh) in yrow.iter_mut().zip(xs).zip(xh.iter_mut()) {
+                    let v = (x - mean) * inv_std;
+                    *out_xh = v;
+                    *y = gamma[ch] * v + beta[ch];
                 }
-            }
-            (ys, x_hat, inv_std, mean, var)
-        });
-        let mut out = Vec::with_capacity(c);
-        let mut x_hat_cache = Vec::new();
-        let mut inv_std_cache = Vec::with_capacity(c);
-        for (ch, (ys, x_hat, inv_std, mean, var)) in results.into_iter().enumerate() {
-            if train {
+                stats.copy_from_slice(&[mean, var, inv_std]);
+            });
+            let mut cache = self.cache.take().unwrap_or(BnCache {
+                x_hat: Vec::new(),
+                inv_std: Vec::new(),
+                m: 0,
+            });
+            cache.m = m;
+            cache.x_hat.clear();
+            cache.inv_std.clear();
+            for (ch, wrow) in work.chunks_exact(m + 3).enumerate() {
+                let (mean, var, inv_std) = (wrow[m], wrow[m + 1], wrow[m + 2]);
                 self.running_mean[ch] =
                     (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
                 self.running_var[ch] =
                     (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
-                x_hat_cache.extend_from_slice(&x_hat);
+                cache.x_hat.extend_from_slice(&wrow[..m]);
+                cache.inv_std.push(inv_std);
             }
-            inv_std_cache.push(inv_std);
-            out.push(ys);
-        }
-        if train {
-            self.cache = Some(BnCache {
-                x_hat: x_hat_cache,
-                inv_std: inv_std_cache,
-                m,
+            self.cache = Some(cache);
+            ws.give(work);
+        } else {
+            let rm = &self.running_mean;
+            let rv = &self.running_var;
+            par::par_chunks_mut(ys, m, |ch, yrow| {
+                let xs = &x_cm[ch * m..(ch + 1) * m];
+                let inv_std = 1.0 / (rv[ch] + EPS).sqrt();
+                for (y, &x) in yrow.iter_mut().zip(xs) {
+                    *y = gamma[ch] * ((x - rm[ch]) * inv_std) + beta[ch];
+                }
             });
         }
-        out
     }
 
-    /// Backward over the same grouping; `grads[c]` is ∂loss/∂y for channel
-    /// `c` in forward order; returns ∂loss/∂x in the same order.
-    fn backward_grouped(&mut self, grads: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    /// Backward over the same channel-major layout: `g_cm` is ∂loss/∂y,
+    /// `dx_cm` receives ∂loss/∂x. Per-channel gradients fan out; the
+    /// dgamma/dbeta accumulations are applied serially in channel order so
+    /// the parameter gradients match the serial loop exactly.
+    fn backward_flat(&mut self, g_cm: &[f32], dx_cm: &mut [f32], ws: &mut Workspace) {
         let cache = self
             .cache
             .as_ref()
             .expect("BatchNorm::backward without a training forward");
         let c = self.channels();
         let m = cache.m;
+        assert_eq!(g_cm.len(), c * m);
+        assert_eq!(dx_cm.len(), c * m);
         let gamma = self.gamma.value.data();
-        // Per-channel gradients are independent; fan them out and apply
-        // the dgamma/dbeta accumulations serially in channel order so the
-        // parameter gradients match the serial loop exactly.
-        let results = par::par_map(grads, |ch, gs| {
-            assert_eq!(gs.len(), m);
-            let x_hat = &cache.x_hat[ch * m..(ch + 1) * m];
+        let x_hat = &cache.x_hat;
+        let inv_std = &cache.inv_std;
+        let mut partials = ws.checkout(2 * c);
+        par::par_chunks_mut2(dx_cm, m, &mut partials, 2, |ch, dxs, part| {
+            let gs = &g_cm[ch * m..(ch + 1) * m];
+            let xh = &x_hat[ch * m..(ch + 1) * m];
             let mut dgamma = 0.0f32;
             let mut dbeta = 0.0f32;
-            for (g, xh) in gs.iter().zip(x_hat) {
-                dgamma += g * xh;
+            for (g, x) in gs.iter().zip(xh) {
+                dgamma += g * x;
                 dbeta += g;
             }
             // dx = gamma * inv_std / m * (m*g - dbeta - x_hat * dgamma)
-            let scale = gamma[ch] * cache.inv_std[ch] / m as f32;
-            let dxs: Vec<f32> = gs
-                .iter()
-                .zip(x_hat)
-                .map(|(g, xh)| scale * (m as f32 * g - dbeta - xh * dgamma))
-                .collect();
-            (dgamma, dbeta, dxs)
+            let scale = gamma[ch] * inv_std[ch] / m as f32;
+            for ((dx, g), x) in dxs.iter_mut().zip(gs).zip(xh) {
+                *dx = scale * (m as f32 * g - dbeta - x * dgamma);
+            }
+            part[0] = dgamma;
+            part[1] = dbeta;
         });
-        let mut out = Vec::with_capacity(c);
-        for (ch, (dgamma, dbeta, dxs)) in results.into_iter().enumerate() {
-            self.gamma.grad.data_mut()[ch] += dgamma;
-            self.beta.grad.data_mut()[ch] += dbeta;
-            out.push(dxs);
+        for (ch, part) in partials.chunks_exact(2).enumerate() {
+            self.gamma.grad.data_mut()[ch] += part[0];
+            self.beta.grad.data_mut()[ch] += part[1];
         }
-        out
+        ws.give(partials);
     }
 }
 
@@ -178,29 +196,31 @@ impl BatchNorm2d {
         }
     }
 
-    fn group(&self, x: &Tensor) -> Vec<Vec<f32>> {
+    /// Row-major `(n, C·S)` to channel-major `(C, n·S)`, each channel's
+    /// positions in image-major order.
+    fn group_into(&self, x: &Tensor, out: &mut [f32]) {
         let n = x.dim(0);
-        let mut grouped = vec![Vec::with_capacity(n * self.spatial); self.channels];
+        let m = n * self.spatial;
         for i in 0..n {
             let row = x.row_slice(i);
             for ch in 0..self.channels {
-                grouped[ch].extend_from_slice(&row[ch * self.spatial..(ch + 1) * self.spatial]);
+                let dst = ch * m + i * self.spatial;
+                out[dst..dst + self.spatial]
+                    .copy_from_slice(&row[ch * self.spatial..(ch + 1) * self.spatial]);
             }
         }
-        grouped
     }
 
-    fn ungroup(&self, grouped: Vec<Vec<f32>>, n: usize) -> Tensor {
+    fn ungroup_into(&self, ys: &[f32], n: usize, out: &mut [f32]) {
+        let m = n * self.spatial;
         let width = self.channels * self.spatial;
-        let mut data = vec![0.0f32; n * width];
-        for (ch, ys) in grouped.iter().enumerate() {
+        for (ch, yrow) in ys.chunks_exact(m).enumerate() {
             for i in 0..n {
-                let src = &ys[i * self.spatial..(i + 1) * self.spatial];
+                let src = &yrow[i * self.spatial..(i + 1) * self.spatial];
                 let dst = i * width + ch * self.spatial;
-                data[dst..dst + self.spatial].copy_from_slice(src);
+                out[dst..dst + self.spatial].copy_from_slice(src);
             }
         }
-        Tensor::from_vec(data, &[n, width])
     }
 }
 
@@ -208,20 +228,43 @@ impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.dim(1), self.channels * self.spatial, "BatchNorm2d width");
         let n = x.dim(0);
-        let grouped = self.group(x);
-        let out = self.core.forward_grouped(&grouped, train);
-        self.ungroup(out, n)
+        let m = n * self.spatial;
+        let mut out = Tensor::zeros(&[n, self.channels * self.spatial]);
+        workspace::with_local(|ws| {
+            let mut x_cm = ws.checkout(self.channels * m);
+            self.group_into(x, &mut x_cm);
+            let mut ys = ws.checkout(self.channels * m);
+            self.core.forward_flat(&x_cm, m, train, &mut ys, ws);
+            self.ungroup_into(&ys, n, out.data_mut());
+            ws.give(x_cm);
+            ws.give(ys);
+        });
+        out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let n = grad.dim(0);
-        let grouped = self.group(grad);
-        let out = self.core.backward_grouped(&grouped);
-        self.ungroup(out, n)
+        let m = n * self.spatial;
+        let mut dx = Tensor::zeros(&[n, self.channels * self.spatial]);
+        workspace::with_local(|ws| {
+            let mut g_cm = ws.checkout(self.channels * m);
+            self.group_into(grad, &mut g_cm);
+            let mut dx_cm = ws.checkout(self.channels * m);
+            self.core.backward_flat(&g_cm, &mut dx_cm, ws);
+            self.ungroup_into(&dx_cm, n, dx.data_mut());
+            ws.give(g_cm);
+            ws.give(dx_cm);
+        });
+        dx
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
         vec![&mut self.core.gamma, &mut self.core.beta]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.core.gamma);
+        f(&mut self.core.beta);
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -255,25 +298,22 @@ impl BatchNorm1d {
         }
     }
 
-    fn group(&self, x: &Tensor) -> Vec<Vec<f32>> {
+    /// Row-major `(n, F)` to feature-major `(F, n)`.
+    fn group_into(&self, x: &Tensor, out: &mut [f32]) {
         let n = x.dim(0);
-        let mut grouped = vec![Vec::with_capacity(n); self.features];
         for i in 0..n {
             for (f, &v) in x.row_slice(i).iter().enumerate() {
-                grouped[f].push(v);
+                out[f * n + i] = v;
             }
         }
-        grouped
     }
 
-    fn ungroup(&self, grouped: Vec<Vec<f32>>, n: usize) -> Tensor {
-        let mut data = vec![0.0f32; n * self.features];
-        for (f, ys) in grouped.iter().enumerate() {
-            for (i, &y) in ys.iter().enumerate() {
-                data[i * self.features + f] = y;
+    fn ungroup_into(&self, ys: &[f32], n: usize, out: &mut [f32]) {
+        for (f, yrow) in ys.chunks_exact(n).enumerate() {
+            for (i, &y) in yrow.iter().enumerate() {
+                out[i * self.features + f] = y;
             }
         }
-        Tensor::from_vec(data, &[n, self.features])
     }
 }
 
@@ -281,20 +321,41 @@ impl Layer for BatchNorm1d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.dim(1), self.features, "BatchNorm1d width");
         let n = x.dim(0);
-        let grouped = self.group(x);
-        let out = self.core.forward_grouped(&grouped, train);
-        self.ungroup(out, n)
+        let mut out = Tensor::zeros(&[n, self.features]);
+        workspace::with_local(|ws| {
+            let mut x_cm = ws.checkout(self.features * n);
+            self.group_into(x, &mut x_cm);
+            let mut ys = ws.checkout(self.features * n);
+            self.core.forward_flat(&x_cm, n, train, &mut ys, ws);
+            self.ungroup_into(&ys, n, out.data_mut());
+            ws.give(x_cm);
+            ws.give(ys);
+        });
+        out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let n = grad.dim(0);
-        let grouped = self.group(grad);
-        let out = self.core.backward_grouped(&grouped);
-        self.ungroup(out, n)
+        let mut dx = Tensor::zeros(&[n, self.features]);
+        workspace::with_local(|ws| {
+            let mut g_cm = ws.checkout(self.features * n);
+            self.group_into(grad, &mut g_cm);
+            let mut dx_cm = ws.checkout(self.features * n);
+            self.core.backward_flat(&g_cm, &mut dx_cm, ws);
+            self.ungroup_into(&dx_cm, n, dx.data_mut());
+            ws.give(g_cm);
+            ws.give(dx_cm);
+        });
+        dx
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
         vec![&mut self.core.gamma, &mut self.core.beta]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.core.gamma);
+        f(&mut self.core.beta);
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -361,6 +422,25 @@ mod tests {
             .sum();
         assert!(ch0.abs() < 1e-4);
         assert!(ch1.abs() < 1e-4);
+    }
+
+    #[test]
+    fn repeated_batches_reuse_workspace_without_stale_values() {
+        // Two different batches through the same layer: the second result
+        // must not be contaminated by buffers left over from the first.
+        let mut bn = BatchNorm2d::new(2, 4);
+        let mut rng = Rng64::new(12);
+        let a = normal(&[3, 8], 5.0, 2.0, &mut rng);
+        let b = normal(&[3, 8], -1.0, 0.5, &mut rng);
+        let _ = bn.forward(&a, true);
+        let mut fresh = BatchNorm2d::new(2, 4);
+        let y_fresh = fresh.forward(&b, true);
+        let mut again = BatchNorm2d::new(2, 4);
+        let _ = again.forward(&a, true);
+        let y_reused = again.forward(&b, true);
+        // Normalised output depends only on the batch (gamma/beta still at
+        // identity), so warm and cold runs must agree exactly.
+        assert_eq!(y_fresh.data(), y_reused.data());
     }
 
     #[test]

@@ -1,18 +1,11 @@
 //! 2-D convolution via `im2col` GEMM lowering.
 
 use crate::layer::{Layer, Param};
+use crate::workspace;
 use eos_tensor::{
-    col2im_into, gemm_nt_into, im2col, im2col_into, kaiming_uniform, par, Conv2dGeometry, Rng64,
-    Tensor,
+    col2im_into, gemm_into, gemm_nt_into, gemm_tn_into, im2col_into, kaiming_uniform, par, scratch,
+    Conv2dGeometry, Rng64, Tensor,
 };
-use std::cell::RefCell;
-
-thread_local! {
-    /// Per-worker `im2col` scratch: the inference path unfolds every image
-    /// into this buffer instead of allocating a fresh patch matrix, so a
-    /// worker that processes many images allocates once.
-    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
-}
 
 /// Convolution over `(batch, C·H·W)` rows, each interpreted as a `C×H×W`
 /// volume; outputs `(batch, O·H'·W')` rows.
@@ -24,8 +17,11 @@ pub struct Conv2d {
     cache: Option<ConvCache>,
 }
 
+/// Per-batch cache: every image's patch matrix, stored as one flat
+/// `(batch, H'·W' · C·K·K)` tensor so the buffer is recycled batch to
+/// batch instead of reallocating `n` tensors per step.
 struct ConvCache {
-    cols: Vec<Tensor>,
+    cols: Tensor,
 }
 
 impl Conv2d {
@@ -84,6 +80,7 @@ impl Layer for Conv2d {
         let n = x.dim(0);
         let out_spatial = self.geom.patch_count();
         let out_len = self.out_len();
+        let cols_len = self.geom.patch_count() * self.geom.patch_len();
         let geom = self.geom;
         let w = &self.weight.value;
         let bias = self.bias.as_ref().map(|b| b.value.data());
@@ -96,43 +93,47 @@ impl Layer for Conv2d {
                 }
             }
         };
+        let mut out = Tensor::zeros(&[n, out_len]);
         if train {
             // Keep each image's patch matrix for the backward pass; the
+            // cache tensor is recycled from the previous batch when the
+            // shape matches, so the steady state allocates nothing. The
             // batch fans out across the pool and every image's GEMM runs
             // exactly as in the serial loop, so results are bit-identical
             // at any thread count.
-            let pairs = par::par_map_range(n, |i| {
-                let cols = im2col(x.row_slice(i), &geom);
-                // weight (O × CKK) · colsᵀ (CKK × HW') -> (O × HW'),
-                // row-major matches the channel-major output layout.
-                let mut y = w.matmul_nt(&cols);
-                add_bias(y.data_mut());
-                (y, cols)
-            });
-            let mut out = Vec::with_capacity(n * out_len);
-            let mut cols_cache = Vec::with_capacity(n);
-            for (y, cols) in pairs {
-                out.extend_from_slice(y.data());
-                cols_cache.push(cols);
-            }
-            self.cache = Some(ConvCache { cols: cols_cache });
-            Tensor::from_vec(out, &[n, out_len])
+            let mut cols = match self.cache.take() {
+                Some(c) if c.cols.len() == n * cols_len => c.cols,
+                _ => Tensor::zeros(&[n, cols_len]),
+            };
+            par::par_chunks_mut2(
+                out.data_mut(),
+                out_len,
+                cols.data_mut(),
+                cols_len,
+                |i, orow, crow| {
+                    im2col_into(x.row_slice(i), &geom, crow);
+                    // weight (O × CKK) · colsᵀ (CKK × HW') -> (O × HW'),
+                    // row-major matches the channel-major output layout.
+                    gemm_nt_into(w.data(), crow, orow, geom.patch_len(), out_spatial);
+                    add_bias(orow);
+                },
+            );
+            self.cache = Some(ConvCache { cols });
         } else {
             // Inference: no cache to keep, so unfold into per-worker
-            // scratch and GEMM straight into this image's output slice.
-            let cols_len = geom.patch_count() * geom.patch_len();
-            let mut out = vec![0.0f32; n * out_len];
-            par::par_chunks_mut(&mut out, out_len, |i, orow| {
-                COL_SCRATCH.with(|s| {
-                    let mut buf = s.borrow_mut();
-                    buf.resize(cols_len, 0.0);
+            // workspace scratch and GEMM straight into this image's
+            // output slice.
+            par::par_chunks_mut(out.data_mut(), out_len, |i, orow| {
+                workspace::with_local(|ws| {
+                    let mut buf = ws.checkout(cols_len);
                     im2col_into(x.row_slice(i), &geom, &mut buf);
                     gemm_nt_into(w.data(), &buf, orow, geom.patch_len(), out_spatial);
+                    ws.give(buf);
                 });
                 add_bias(orow);
             });
-            Tensor::from_vec(out, &[n, out_len])
         }
+        out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -140,38 +141,47 @@ impl Layer for Conv2d {
             .cache
             .as_ref()
             .expect("Conv2d::backward without a training forward");
-        let n = cache.cols.len();
+        let n = cache.cols.dim(0);
         assert_eq!(grad.dims(), &[n, self.out_len()]);
         let out_spatial = self.geom.patch_count();
         let in_len = self.in_len();
         let geom = self.geom;
         let oc = self.out_channels;
+        let patch_len = geom.patch_len();
+        let cols_len = out_spatial * patch_len;
         let w = &self.weight.value;
         let wlen = w.len();
         let olen = oc;
         let has_bias = self.bias.is_some();
-        let cols = &cache.cols;
+        let cols = cache.cols.data();
         // Fan the batch out: each worker owns one image's slice of `dx`
         // plus a private slot for that image's dW/db partials. The partials
         // are then reduced serially in image order, which reproduces the
         // serial loop's `dW += dW_i` addition sequence bit-for-bit.
-        let mut dx = vec![0.0f32; n * in_len];
-        let mut partials = vec![0.0f32; n * (wlen + olen)];
+        let mut dx = Tensor::zeros(&[n, in_len]);
+        let mut partials = scratch::take_zeroed(n * (wlen + olen));
         par::par_chunks_mut2(
-            &mut dx,
+            dx.data_mut(),
             in_len,
             &mut partials,
             wlen + olen,
             |i, dxrow, part| {
-                let g = Tensor::from_vec(grad.row_slice(i).to_vec(), &[oc, out_spatial]);
-                // dW_i = g (O×HW') · cols (HW'×CKK)
-                part[..wlen].copy_from_slice(g.matmul(&cols[i]).data());
+                let g = grad.row_slice(i); // (O × HW'), row-major
+                let ci = &cols[i * cols_len..(i + 1) * cols_len]; // (HW' × CKK)
+                                                                  // dW_i = g (O×HW') · cols (HW'×CKK)
+                gemm_into(g, ci, &mut part[..wlen], out_spatial, patch_len);
                 if has_bias {
-                    part[wlen..].copy_from_slice(g.sum_cols().data());
+                    for (pv, grow) in part[wlen..].iter_mut().zip(g.chunks_exact(out_spatial)) {
+                        *pv = grow.iter().sum();
+                    }
                 }
-                // dcols = gᵀ (HW'×O) · W (O×CKK)
-                let dcols = g.matmul_tn(w);
-                col2im_into(dcols.data(), &geom, dxrow);
+                // dcols = gᵀ (HW'×O) · W (O×CKK), into per-worker scratch
+                workspace::with_local(|ws| {
+                    let mut dcols = ws.checkout(cols_len);
+                    gemm_tn_into(g, w.data(), &mut dcols, oc, out_spatial, patch_len);
+                    col2im_into(&dcols, &geom, dxrow);
+                    ws.give(dcols);
+                });
             },
         );
         for part in partials.chunks_exact(wlen + olen) {
@@ -184,7 +194,8 @@ impl Layer for Conv2d {
                 }
             }
         }
-        Tensor::from_vec(dx, &[n, in_len])
+        scratch::give(partials);
+        dx
     }
 
     fn params(&mut self) -> Vec<&mut Param> {
@@ -193,6 +204,13 @@ impl Layer for Conv2d {
             ps.push(b);
         }
         ps
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -249,6 +267,19 @@ mod tests {
         let x = normal(&[3, 32], 0.0, 1.0, &mut rng);
         let y = conv.forward(&x, false);
         assert_eq!(y.dims(), &[3, 5 * 2 * 2]);
+    }
+
+    #[test]
+    fn train_and_inference_forward_agree() {
+        // The cached (train) and workspace (inference) paths run the same
+        // GEMM, so their outputs must match bit for bit.
+        let mut rng = Rng64::new(11);
+        let g = geom(2, 4, 4, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 4, true, &mut rng);
+        let x = normal(&[3, 32], 0.0, 1.0, &mut rng);
+        let y_train = conv.forward(&x, true);
+        let y_eval = conv.forward(&x, false);
+        assert_eq!(y_train.data(), y_eval.data());
     }
 
     #[test]

@@ -65,11 +65,18 @@ pub trait Layer {
         Vec::new()
     }
 
+    /// Calls `f` on every trainable parameter in the same stable order as
+    /// [`Layer::params`], without building a `Vec`. The training hot path
+    /// (gradient zeroing, optimiser steps) goes through this so a
+    /// steady-state step stays allocation-free; layers with parameters
+    /// must override it alongside `params`.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        let _ = f;
+    }
+
     /// Zeroes all accumulated gradients.
     fn zero_grad(&mut self) {
-        for p in self.params() {
-            p.grad.fill_(0.0);
-        }
+        self.visit_params(&mut |p| p.grad.fill_(0.0));
     }
 
     /// Total number of scalar trainable parameters.

@@ -41,6 +41,7 @@ mod resnet;
 mod sequential;
 mod serialize;
 mod trainer;
+pub mod workspace;
 
 pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
 pub use batchnorm::{BatchNorm1d, BatchNorm2d};
@@ -58,3 +59,4 @@ pub use resnet::{densenet_lite, resnet_cifar, wide_resnet, BasicBlock};
 pub use sequential::Sequential;
 pub use serialize::{load_weights, load_weights_file, save_weights, save_weights_file};
 pub use trainer::{train_epochs, train_with_early_stopping, EpochStats, TrainConfig};
+pub use workspace::Workspace;

@@ -125,6 +125,13 @@ impl Layer for Linear {
         ps
     }
 
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
     fn out_features(&self, in_features: usize) -> usize {
         assert_eq!(in_features, self.in_features);
         self.out_features

@@ -128,11 +128,15 @@ impl ConvNet {
         ps
     }
 
+    /// [`Layer::visit_params`] over features then head, allocation-free.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.features.visit_params(f);
+        self.head.visit_params(f);
+    }
+
     /// Zeroes all gradients.
     pub fn zero_grad(&mut self) {
-        for p in self.params() {
-            p.grad.fill_(0.0);
-        }
+        self.visit_params(&mut |p| p.grad.fill_(0.0));
     }
 
     /// Total scalar parameter count.
@@ -158,6 +162,10 @@ impl Layer for ConvNet {
 
     fn params(&mut self) -> Vec<&mut Param> {
         ConvNet::params(self)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        ConvNet::visit_params(self, f);
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -238,6 +246,33 @@ mod tests {
         let mut rng = Rng64::new(3);
         let mut net = ConvNet::new(tiny(), (3, 8, 8), 3, &mut rng);
         net.set_head(Linear::from_weights(Tensor::zeros(&[3, 7]), None));
+    }
+
+    #[test]
+    fn visit_params_matches_params_on_every_architecture() {
+        // `visit_params` is the allocation-free twin of `params`; if a
+        // layer implements one without the other, the optimiser would
+        // silently skip (or double-count) its parameters. Pointer-compare
+        // the two traversals over every architecture family.
+        let mut rng = Rng64::new(40);
+        for arch in [
+            tiny(),
+            Architecture::WideResNet { k: 1 },
+            Architecture::DenseNet {
+                growth: 4,
+                layers_per_block: 2,
+            },
+        ] {
+            let mut net = ConvNet::new(arch, (3, 8, 8), 3, &mut rng);
+            let mut visited: Vec<*const Param> = Vec::new();
+            net.visit_params(&mut |p| visited.push(p as *const Param));
+            let direct: Vec<*const Param> = net
+                .params()
+                .into_iter()
+                .map(|p| p as *const Param)
+                .collect();
+            assert_eq!(visited, direct, "{}", arch.name());
+        }
     }
 
     #[test]

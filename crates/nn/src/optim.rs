@@ -40,15 +40,41 @@ impl Sgd {
             "parameter set changed between optimiser steps"
         );
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            assert_eq!(v.len(), p.len(), "parameter shape changed");
-            let decay = if p.decay { self.weight_decay } else { 0.0 };
-            let value = p.value.data_mut();
-            let grad = p.grad.data();
-            for ((w, &g), vel) in value.iter_mut().zip(grad).zip(v.iter_mut()) {
-                let g = g + decay * *w;
-                *vel = self.momentum * *vel - self.lr * g;
-                *w += *vel;
-            }
+            Sgd::update_one(self.lr, self.momentum, self.weight_decay, p, v);
+        }
+    }
+
+    /// [`Sgd::step`] driven by [`crate::Layer::visit_params`], so the
+    /// update runs without building the parameter `Vec`. Arithmetic and
+    /// visitation order are identical to `step(&mut net.params())`.
+    pub fn step_visit(&mut self, net: &mut dyn crate::Layer) {
+        if self.velocity.is_empty() {
+            let velocity = &mut self.velocity;
+            net.visit_params(&mut |p| velocity.push(vec![0.0f32; p.len()]));
+        }
+        let (lr, momentum, weight_decay) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        net.visit_params(&mut |p| {
+            Sgd::update_one(lr, momentum, weight_decay, p, &mut velocity[idx]);
+            idx += 1;
+        });
+        assert_eq!(
+            idx,
+            velocity.len(),
+            "parameter set changed between optimiser steps"
+        );
+    }
+
+    fn update_one(lr: f32, momentum: f32, weight_decay: f32, p: &mut Param, v: &mut [f32]) {
+        assert_eq!(v.len(), p.len(), "parameter shape changed");
+        let decay = if p.decay { weight_decay } else { 0.0 };
+        let value = p.value.data_mut();
+        let grad = p.grad.data();
+        for ((w, &g), vel) in value.iter_mut().zip(grad).zip(v.iter_mut()) {
+            let g = g + decay * *w;
+            *vel = momentum * *vel - lr * g;
+            *w += *vel;
         }
     }
 }

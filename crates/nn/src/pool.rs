@@ -68,21 +68,30 @@ impl Layer for MaxPool2d {
         assert_eq!(x.dim(1), self.in_len(), "MaxPool2d width mismatch");
         let n = x.dim(0);
         let out_len = self.out_len();
-        let mut out = vec![0.0f32; n * out_len];
+        let mut out = Tensor::zeros(&[n, out_len]);
         if train {
             // Output values and argmax indices are written in lockstep,
-            // one image per chunk.
-            let mut arg = vec![0u32; n * out_len];
-            par::par_chunks_mut2(&mut out, out_len, &mut arg, out_len, |i, orow, arow| {
-                self.pool_row(i, x.row_slice(i), orow, Some(arow));
-            });
+            // one image per chunk. The argmax buffer persists across
+            // batches, so the steady state allocates nothing.
+            let mut arg = self.argmax.take().unwrap_or_default();
+            arg.clear();
+            arg.resize(n * out_len, 0);
+            par::par_chunks_mut2(
+                out.data_mut(),
+                out_len,
+                &mut arg,
+                out_len,
+                |i, orow, arow| {
+                    self.pool_row(i, x.row_slice(i), orow, Some(arow));
+                },
+            );
             self.argmax = Some(arg);
         } else {
-            par::par_chunks_mut(&mut out, out_len, |i, orow| {
+            par::par_chunks_mut(out.data_mut(), out_len, |i, orow| {
                 self.pool_row(i, x.row_slice(i), orow, None);
             });
         }
-        Tensor::from_vec(out, &[n, out_len])
+        out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -97,8 +106,8 @@ impl Layer for MaxPool2d {
         let g = grad.data();
         // Every argmax index for image i lands inside image i's slice of
         // dx, so the scatter parallelises cleanly over the batch.
-        let mut dx = vec![0.0f32; n * in_len];
-        par::par_chunks_mut(&mut dx, in_len, |i, dxrow| {
+        let mut dx = Tensor::zeros(&[n, in_len]);
+        par::par_chunks_mut(dx.data_mut(), in_len, |i, dxrow| {
             let lo = i * in_len;
             for (&a, &gv) in arg[i * out_len..(i + 1) * out_len]
                 .iter()
@@ -107,7 +116,7 @@ impl Layer for MaxPool2d {
                 dxrow[a as usize - lo] += gv;
             }
         });
-        Tensor::from_vec(dx, &[n, in_len])
+        dx
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -136,15 +145,15 @@ impl Layer for GlobalAvgPool {
         assert_eq!(x.dim(1), self.channels * self.spatial, "GAP width mismatch");
         let n = x.dim(0);
         let (c, s) = (self.channels, self.spatial);
-        let mut out = vec![0.0f32; n * c];
-        par::par_chunks_mut(&mut out, c, |i, orow| {
+        let mut out = Tensor::zeros(&[n, c]);
+        par::par_chunks_mut(out.data_mut(), c, |i, orow| {
             let row = x.row_slice(i);
             for (ch, o) in orow.iter_mut().enumerate() {
                 let plane = &row[ch * s..(ch + 1) * s];
                 *o = plane.iter().sum::<f32>() / s as f32;
             }
         });
-        Tensor::from_vec(out, &[n, c])
+        out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -152,13 +161,13 @@ impl Layer for GlobalAvgPool {
         let n = grad.dim(0);
         let (c, s) = (self.channels, self.spatial);
         let inv = 1.0 / s as f32;
-        let mut dx = vec![0.0f32; n * c * s];
-        par::par_chunks_mut(&mut dx, c * s, |i, dxrow| {
+        let mut dx = Tensor::zeros(&[n, c * s]);
+        par::par_chunks_mut(dx.data_mut(), c * s, |i, dxrow| {
             for (plane, &g) in dxrow.chunks_exact_mut(s).zip(grad.row_slice(i)) {
                 plane.fill(g * inv);
             }
         });
-        Tensor::from_vec(dx, &[n, c * s])
+        dx
     }
 
     fn out_features(&self, in_features: usize) -> usize {

@@ -101,7 +101,12 @@ impl Layer for BasicBlock {
         };
         let mut y = main.add(&skip);
         if train {
-            self.out_mask = Some(y.data().iter().map(|&v| v > 0.0).collect());
+            // Refill the retained mask buffer in place; it only allocates
+            // the first time (or on a batch-size change), keeping the
+            // steady-state training step allocation-free.
+            let mask = self.out_mask.get_or_insert_with(Vec::new);
+            mask.clear();
+            mask.extend(y.data().iter().map(|&v| v > 0.0));
         }
         y.map_(|v| v.max(0.0));
         y
@@ -146,6 +151,17 @@ impl Layer for BasicBlock {
             ps.extend(b.params());
         }
         ps
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((c, b)) = &mut self.shortcut {
+            c.visit_params(f);
+            b.visit_params(f);
+        }
     }
 
     fn out_features(&self, in_features: usize) -> usize {
@@ -300,6 +316,11 @@ impl Layer for DenseLayer {
         ps.extend(self.bn.params());
         ps.extend(self.conv.params());
         ps
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.bn.visit_params(f);
+        self.conv.visit_params(f);
     }
 
     fn out_features(&self, in_features: usize) -> usize {

@@ -56,6 +56,12 @@ impl Layer for Sequential {
         self.layers.iter_mut().flat_map(|l| l.params()).collect()
     }
 
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params(f);
+        }
+    }
+
     fn out_features(&self, in_features: usize) -> usize {
         self.layers
             .iter()

@@ -83,23 +83,24 @@ pub fn train_epochs(
         let mut total_loss = 0.0f64;
         let mut correct = 0usize;
         let mut batches = 0usize;
+        // Label and prediction buffers are reused across batches so the
+        // steady-state step stays allocation-free.
+        let mut by: Vec<usize> = Vec::with_capacity(cfg.batch_size);
+        let mut preds: Vec<usize> = Vec::with_capacity(cfg.batch_size);
         for chunk in order.chunks(cfg.batch_size) {
             let bx = x.select_rows(chunk);
-            let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+            by.clear();
+            by.extend(chunk.iter().map(|&i| y[i]));
             net.zero_grad();
             let logits = net.forward(&bx, true);
             let (l, dlogits) = loss.loss_and_grad(&logits, &by);
             debug_assert!(l.is_finite(), "non-finite loss at epoch {epoch}");
             let _ = net.backward(&dlogits);
-            opt.step(&mut net.params());
+            opt.step_visit(net);
             total_loss += l as f64;
             batches += 1;
-            correct += logits
-                .argmax_rows()
-                .iter()
-                .zip(&by)
-                .filter(|(p, t)| p == t)
-                .count();
+            logits.argmax_rows_into(&mut preds);
+            correct += preds.iter().zip(&by).filter(|(p, t)| p == t).count();
         }
         history.push(EpochStats {
             epoch,

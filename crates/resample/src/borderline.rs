@@ -2,7 +2,7 @@
 
 use crate::smote::Smote;
 use crate::{deficits, indices_by_class, Oversampler};
-use eos_neighbors::{BruteForceKnn, Metric};
+use eos_neighbors::{AutoIndex, Metric};
 use eos_tensor::{Rng64, Tensor};
 
 /// Like SMOTE, but bases interpolation only on *borderline* minority
@@ -33,7 +33,7 @@ impl BorderlineSmote {
         class: usize,
         class_rows: &[usize],
     ) -> Vec<usize> {
-        let index = BruteForceKnn::new(x, Metric::Euclidean);
+        let index = AutoIndex::new(x, Metric::Euclidean);
         // One neighbourhood scan per class member, fanned out in parallel;
         // the DANGER filter itself is order-preserving and serial.
         let hits_per_row = index.query_rows_batch(class_rows, self.m);

@@ -1,18 +1,33 @@
-//! Blocked, row-parallel matrix multiplication kernels.
+//! Packed, register-blocked, row-parallel matrix multiplication kernels.
 //!
 //! The training stack spends almost all of its time here (convolutions are
-//! lowered to GEMM via `im2col`), so the inner loops are written in the
-//! `i-k-j` order that lets LLVM vectorise over the contiguous output row,
-//! with a cache block on the reduction dimension. Output rows are
-//! partitioned into fixed-size chunks dispatched through [`crate::par`]:
-//! every element of a given output row is accumulated in the same order
-//! whatever the thread count, so parallel results are bit-identical to
-//! serial ones.
+//! lowered to GEMM via `im2col`), so the inner loop is a register-blocked
+//! micro-kernel: an `MR`×`NR` tile of the output is held in one local
+//! accumulator per element while the reduction dimension is streamed from
+//! **packed panels**. The right-hand side is packed once per call into
+//! `NR`-wide column panels (contiguous in the reduction index, shared
+//! read-only across all row chunks and parallel workers); the left-hand
+//! side is packed per `MR`-row tile into per-thread scratch. Edge tiles
+//! (m or n not multiples of `MR`/`NR`) fall back to masked scalar tails.
+//!
+//! Every output element is still accumulated over the reduction index in
+//! ascending order with a single carried accumulator — the same sequence
+//! of multiplies and adds as the seed scalar kernels — so results are
+//! bit-for-bit identical to both the seed implementation and PR 1's
+//! serial/parallel determinism guarantee. See DESIGN.md for the layout
+//! and the determinism argument.
 
 use crate::par;
+use crate::scratch;
 use crate::tensor::Tensor;
+use std::cell::RefCell;
 
 const BLOCK_K: usize = 64;
+
+/// Rows of the output tile held in registers by the micro-kernel.
+const MR: usize = 4;
+/// Columns of the output tile held in registers by the micro-kernel.
+const NR: usize = 8;
 
 /// Multiply-add count below which a GEMM is not worth dispatching to the
 /// pool; such calls run as a single inline chunk.
@@ -28,6 +43,184 @@ fn rows_per_chunk(rows: usize, row_work: usize) -> usize {
     ((1usize << 14).div_ceil(row_work.max(1))).clamp(1, rows.max(1))
 }
 
+/// [`rows_per_chunk`] rounded up to whole `MR`-row tiles so parallel
+/// chunks do not strand partial tiles at every chunk boundary.
+fn tile_rows_per_chunk(rows: usize, row_work: usize) -> usize {
+    rows_per_chunk(rows, row_work)
+        .next_multiple_of(MR)
+        .min(rows.max(1))
+}
+
+thread_local! {
+    /// Per-thread scratch for the packed `MR`-row tile of the left-hand
+    /// side. Grows to `k * MR` once per thread and is then reused by every
+    /// subsequent GEMM, keeping the hot path allocation-free.
+    static A_PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Packs the logical right-hand side `B̂ (k×n)` into `NR`-wide column
+/// panels: element `(p, jp*NR + jr)` lands at `jp*k*NR + p*NR + jr`.
+/// Columns past `n` in the last panel are zero-padded, so the micro-kernel
+/// never reads out of bounds. `get(p, j)` supplies the element, which lets
+/// the same packer serve the NN / NT / TN variants without materialising a
+/// transpose. The returned buffer comes from (and should be returned to)
+/// the [`scratch`] pool.
+fn pack_b<F: Fn(usize, usize) -> f32>(get: F, k: usize, n: usize) -> Vec<f32> {
+    let np = n.div_ceil(NR);
+    let mut packed = scratch::take_cleared(np * k * NR);
+    for jp in 0..np {
+        for p in 0..k {
+            for jr in 0..NR {
+                let j = jp * NR + jr;
+                packed.push(if j < n { get(p, j) } else { 0.0 });
+            }
+        }
+    }
+    packed
+}
+
+/// Computes a chunk of output rows of `C = Â (m̂×k̂) · B̂ (k̂×n̂)` from packed
+/// panels. `rows` is the chunk `C[row0 .. row0 + rows.len()/n, :]`;
+/// `a_at(i, p)` supplies element `(i, p)` of the logical left-hand side.
+///
+/// For every output element the accumulator starts from the value already
+/// in `rows` and the reduction runs over `p = 0..k` in ascending order —
+/// full tiles in the register kernel and edge tiles in the masked scalar
+/// tails follow the exact same sequence, which is what makes the packed
+/// path bit-identical to the seed scalar kernels.
+fn packed_gemm_rows<F: Fn(usize, usize) -> f32>(
+    a_at: &F,
+    packed_b: &[f32],
+    rows: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let nrows = rows.len() / n;
+    let panel_len = k * NR;
+    let full_np = n / NR;
+    A_PACK.with(|cell| {
+        let mut apack = cell.borrow_mut();
+        if apack.len() < k * MR {
+            apack.resize(k * MR, 0.0);
+        }
+        let apack = &mut apack[..k * MR];
+        for it in (0..nrows).step_by(MR) {
+            let h = (nrows - it).min(MR);
+            // Pack the MR-row tile of Â: element (it + ir, p) at p*MR + ir.
+            // Rows past the m-edge are zero so the kernel reads are in
+            // bounds; their lanes are simply never written back.
+            for p in 0..k {
+                for ir in 0..MR {
+                    apack[p * MR + ir] = if ir < h { a_at(row0 + it + ir, p) } else { 0.0 };
+                }
+            }
+            tile_kernel_dispatch(apack, packed_b, rows, it, h, k, n);
+            // Masked scalar n-tail: same carried accumulator, same
+            // ascending-p order, reading the zero-padded last panel.
+            if full_np * NR < n {
+                let bpanel = &packed_b[full_np * panel_len..];
+                for ir in 0..h {
+                    for j in full_np * NR..n {
+                        let jr = j - full_np * NR;
+                        let mut acc = rows[(it + ir) * n + j];
+                        for p in 0..k {
+                            acc += apack[p * MR + ir] * bpanel[p * NR + jr];
+                        }
+                        rows[(it + ir) * n + j] = acc;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Register micro-kernel over every full `NR`-wide panel for one packed
+/// `MR`-row tile of Â. One register row per output row: the inner update is
+/// a broadcast of â(ir, p) against the contiguous `NR`-wide b panel row,
+/// the same shape the vectoriser handles in the seed kernel — each element
+/// keeps its own accumulator over `p = 0..k` ascending, so no reassociation
+/// is needed (or performed), with any instruction width.
+#[inline(always)]
+fn tile_kernel(
+    apack: &[f32],
+    packed_b: &[f32],
+    rows: &mut [f32],
+    it: usize,
+    h: usize,
+    k: usize,
+    n: usize,
+) {
+    let panel_len = k * NR;
+    for jp in 0..n / NR {
+        let bpanel = &packed_b[jp * panel_len..(jp + 1) * panel_len];
+        let mut acc = [[0.0f32; NR]; MR];
+        for (ir, row) in acc.iter_mut().enumerate().take(h) {
+            let o = (it + ir) * n + jp * NR;
+            row.copy_from_slice(&rows[o..o + NR]);
+        }
+        for (ap, bp) in apack.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
+            let ap: &[f32; MR] = ap.try_into().unwrap();
+            let bp: &[f32; NR] = bp.try_into().unwrap();
+            for (ir, row) in acc.iter_mut().enumerate() {
+                let av = ap[ir];
+                for (r, &bv) in row.iter_mut().zip(bp) {
+                    *r += av * bv;
+                }
+            }
+        }
+        for (ir, row) in acc.iter().enumerate().take(h) {
+            let o = (it + ir) * n + jp * NR;
+            rows[o..o + NR].copy_from_slice(row);
+        }
+    }
+}
+
+/// [`tile_kernel`] compiled with AVX2 enabled, so the `NR`-wide rows use
+/// full-width vector registers. Only `avx2` is enabled — never `fma` — so
+/// the compiler cannot contract the multiply and add into a fused op:
+/// lanes are independent output elements and every element still performs
+/// the exact seed sequence of separate `mul` then `add`, making the wide
+/// path bit-identical to the portable one.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn tile_kernel_avx2(
+    apack: &[f32],
+    packed_b: &[f32],
+    rows: &mut [f32],
+    it: usize,
+    h: usize,
+    k: usize,
+    n: usize,
+) {
+    tile_kernel(apack, packed_b, rows, it, h, k, n);
+}
+
+/// Runs the widest bit-identical micro-kernel the CPU supports. Feature
+/// detection is cached by `std`, so the check is one relaxed atomic load.
+#[inline]
+fn tile_kernel_dispatch(
+    apack: &[f32],
+    packed_b: &[f32],
+    rows: &mut [f32],
+    it: usize,
+    h: usize,
+    k: usize,
+    n: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 requirement was just checked at runtime.
+        unsafe {
+            return tile_kernel_avx2(apack, packed_b, rows, it, h, k, n);
+        }
+    }
+    tile_kernel(apack, packed_b, rows, it, h, k, n);
+}
+
 impl Tensor {
     /// Matrix product `self (m×k) · other (k×n) -> (m×n)`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
@@ -36,12 +229,17 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        let (a, b) = (self.data(), other.data());
-        let chunk = rows_per_chunk(m, k * n);
-        par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
-            gemm_rows(a, b, rows, ci * chunk, k, n);
-        });
+        let mut out = scratch::take_zeroed(m * n);
+        if m > 0 && n > 0 {
+            let (a, b) = (self.data(), other.data());
+            let packed_b = pack_b(|p, j| b[p * n + j], k, n);
+            let pb = &packed_b[..];
+            let chunk = tile_rows_per_chunk(m, k * n);
+            par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
+                packed_gemm_rows(&|i, p| a[i * k + p], pb, rows, ci * chunk, k, n);
+            });
+            scratch::give(packed_b);
+        }
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -53,12 +251,17 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (n, k2) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        let (a, b) = (self.data(), other.data());
-        let chunk = rows_per_chunk(m, k * n);
-        par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
-            gemm_nt_rows(a, b, rows, ci * chunk, k, n);
-        });
+        let mut out = scratch::take_zeroed(m * n);
+        if m > 0 && n > 0 {
+            let (a, b) = (self.data(), other.data());
+            let packed_b = pack_b(|p, j| b[j * k + p], k, n);
+            let pb = &packed_b[..];
+            let chunk = tile_rows_per_chunk(m, k * n);
+            par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
+                packed_gemm_rows(&|i, p| a[i * k + p], pb, rows, ci * chunk, k, n);
+            });
+            scratch::give(packed_b);
+        }
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -70,12 +273,17 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (m2, n) = (other.dim(0), other.dim(1));
         assert_eq!(m, m2, "inner dimension mismatch: {m} vs {m2}");
-        let mut out = vec![0.0f32; k * n];
-        let (a, b) = (self.data(), other.data());
-        let chunk = rows_per_chunk(k, m * n);
-        par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
-            gemm_tn_rows(a, b, rows, ci * chunk, m, k, n);
-        });
+        let mut out = scratch::take_zeroed(k * n);
+        if k > 0 && n > 0 {
+            let (a, b) = (self.data(), other.data());
+            let packed_b = pack_b(|i, j| b[i * n + j], m, n);
+            let pb = &packed_b[..];
+            let chunk = tile_rows_per_chunk(k, m * n);
+            par::par_chunks_mut(&mut out, chunk * n, |ci, rows| {
+                packed_gemm_rows(&|r, i| a[i * k + r], pb, rows, ci * chunk, m, n);
+            });
+            scratch::give(packed_b);
+        }
         Tensor::from_vec(out, &[k, n])
     }
 
@@ -84,105 +292,89 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         let (m, k) = (self.dim(0), self.dim(1));
         assert_eq!(v.len(), k, "matvec length mismatch");
-        let mut out = vec![0.0f32; m];
+        let mut out = scratch::take_zeroed(m);
         let (a, vv) = (self.data(), v.data());
-        let chunk = rows_per_chunk(m, k);
+        let chunk = tile_rows_per_chunk(m, k);
         par::par_chunks_mut(&mut out, chunk, |ci, rows| {
-            for (r, o) in rows.iter_mut().enumerate() {
-                let i = ci * chunk + r;
-                *o = a[i * k..(i + 1) * k]
-                    .iter()
-                    .zip(vv)
-                    .map(|(&x, &y)| x * y)
-                    .sum();
-            }
+            matvec_rows(a, vv, rows, ci * chunk, k);
         });
         Tensor::from_vec(out, &[m])
     }
 }
 
-/// `out = a (m×k) · bᵀ (n×k)`, serial, into a caller-owned `m×n` buffer.
+/// `out = a (m×k) · b (k×n)`, serial, into a caller-owned `m×n` buffer.
 ///
-/// Bit-identical to [`Tensor::matmul_nt`]; exists so batch-parallel layers
+/// Bit-identical to [`Tensor::matmul`]; exists so batch-parallel layers
 /// (one worker per image) can run their per-image GEMMs into reusable
 /// scratch without allocating a `Tensor` per call.
+pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    assert_eq!(out.len() % n.max(1), 0, "output not a whole number of rows");
+    assert_eq!(a.len(), (out.len() / n.max(1)) * k, "lhs size mismatch");
+    assert_eq!(b.len(), k * n, "rhs size mismatch");
+    out.fill(0.0);
+    let packed_b = pack_b(|p, j| b[p * n + j], k, n);
+    packed_gemm_rows(&|i, p| a[i * k + p], &packed_b, out, 0, k, n);
+    scratch::give(packed_b);
+}
+
+/// `out = a (m×k) · bᵀ (n×k)`, serial, into a caller-owned `m×n` buffer.
+///
+/// Bit-identical to [`Tensor::matmul_nt`]; see [`gemm_into`].
 pub fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     assert_eq!(out.len() % n.max(1), 0, "output not a whole number of rows");
     assert_eq!(a.len(), (out.len() / n.max(1)) * k, "lhs size mismatch");
     assert_eq!(b.len(), n * k, "rhs size mismatch");
     out.fill(0.0);
-    gemm_nt_rows(a, b, out, 0, k, n);
+    let packed_b = pack_b(|p, j| b[j * k + p], k, n);
+    packed_gemm_rows(&|i, p| a[i * k + p], &packed_b, out, 0, k, n);
+    scratch::give(packed_b);
 }
 
-/// `rows += a[row0.., :] · b` for a chunk of output rows, `k` blocked so a
-/// block of `b` rows stays cache-hot across the chunk. For any given
-/// output element the updates run over `p = 0..k` in ascending order, so
-/// the result does not depend on how rows are chunked.
-fn gemm_rows(a: &[f32], b: &[f32], rows: &mut [f32], row0: usize, k: usize, n: usize) {
-    let nrows = rows.len() / n;
+/// `out = aᵀ (k×m stored m-major) · b (m×n)`, serial, into a caller-owned
+/// `k×n` buffer. `a` is stored row-major as `m×k`.
+///
+/// Bit-identical to [`Tensor::matmul_tn`]; see [`gemm_into`].
+pub fn gemm_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(out.len(), k * n, "output size mismatch");
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(b.len(), m * n, "rhs size mismatch");
+    out.fill(0.0);
+    let packed_b = pack_b(|i, j| b[i * n + j], m, n);
+    packed_gemm_rows(&|r, i| a[i * k + r], &packed_b, out, 0, m, n);
+    scratch::give(packed_b);
+}
+
+/// `rows = a[row0.., :] · v` for a chunk of output rows, `MR` rows register
+/// blocked and the reduction `BLOCK_K`-blocked so the vector block stays
+/// cache-hot across the chunk. Accumulators are carried through `rows`
+/// across blocks, so each element sums over `p = 0..k` ascending with a
+/// single accumulator — bit-identical to an unblocked dot product.
+fn matvec_rows(a: &[f32], v: &[f32], rows: &mut [f32], row0: usize, k: usize) {
+    let nrows = rows.len();
     for kb in (0..k).step_by(BLOCK_K) {
         let kend = (kb + BLOCK_K).min(k);
-        for r in 0..nrows {
-            let arow = &a[(row0 + r) * k..(row0 + r + 1) * k];
-            let crow = &mut rows[r * n..(r + 1) * n];
-            for p in kb..kend {
-                let av = arow[p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
+        let vb = &v[kb..kend];
+        let mut it = 0;
+        while it + MR <= nrows {
+            let tile: [&[f32]; MR] = std::array::from_fn(|ir| {
+                &a[(row0 + it + ir) * k + kb..(row0 + it + ir) * k + kend]
+            });
+            let mut acc: [f32; MR] = std::array::from_fn(|ir| rows[it + ir]);
+            for (p, &vp) in vb.iter().enumerate() {
+                for ir in 0..MR {
+                    acc[ir] += tile[ir][p] * vp;
                 }
             }
+            rows[it..it + MR].copy_from_slice(&acc);
+            it += MR;
         }
-    }
-}
-
-/// `rows += a[row0.., :] · bᵀ` for a chunk of output rows, with the same
-/// `BLOCK_K` cache blocking as [`gemm_rows`]: each `k`-block of `b` is
-/// streamed once per chunk row while it is hot. The running sum for each
-/// output element is carried *through* the blocks (`acc` starts from the
-/// partial already in `*o`), so the addition sequence — and therefore the
-/// rounding — is exactly that of an unblocked single-accumulator dot
-/// product.
-fn gemm_nt_rows(a: &[f32], b: &[f32], rows: &mut [f32], row0: usize, k: usize, n: usize) {
-    let nrows = rows.len() / n;
-    for kb in (0..k).step_by(BLOCK_K) {
-        let kend = (kb + BLOCK_K).min(k);
-        for r in 0..nrows {
-            let arow = &a[(row0 + r) * k + kb..(row0 + r) * k + kend];
-            let orow = &mut rows[r * n..(r + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k + kb..j * k + kend];
-                let mut acc = *o;
-                for (x, y) in arow.iter().zip(brow) {
-                    acc += x * y;
-                }
-                *o = acc;
+        for i in it..nrows {
+            let arow = &a[(row0 + i) * k + kb..(row0 + i) * k + kend];
+            let mut acc = rows[i];
+            for (&x, &y) in arow.iter().zip(vb) {
+                acc += x * y;
             }
-        }
-    }
-}
-
-/// `rows[p - p0, j] += Σ_i a[i, p] · b[i, j]` for a chunk of output rows
-/// `p0..`, the reduction over `i` blocked by `BLOCK_K`. Updates for any
-/// `(p, j)` run over `i = 0..m` ascending regardless of chunking.
-fn gemm_tn_rows(a: &[f32], b: &[f32], rows: &mut [f32], p0: usize, m: usize, k: usize, n: usize) {
-    for ib in (0..m).step_by(BLOCK_K) {
-        let iend = (ib + BLOCK_K).min(m);
-        for i in ib..iend {
-            let arow = &a[i * k..(i + 1) * k];
-            let brow = &b[i * n..(i + 1) * n];
-            for (r, orow) in rows.chunks_exact_mut(n).enumerate() {
-                let ap = arow[p0 + r];
-                if ap == 0.0 {
-                    continue;
-                }
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += ap * bv;
-                }
-            }
+            rows[i] = acc;
         }
     }
 }
@@ -225,6 +417,21 @@ mod tests {
             let a = seq(&[m, k]);
             let b = seq(&[k, n]);
             assert_close(&a.matmul(&b), &naive(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_is_bit_identical_to_the_seed_accumulation_order() {
+        // The packed kernel must reproduce the ascending-p single
+        // accumulator sum exactly, not merely approximately.
+        for (m, k, n) in [(1, 1, 1), (3, 7, 5), (7, 65, 9), (17, 33, 12)] {
+            let a = seq(&[m, k]);
+            let b = seq(&[k, n]);
+            let got = a.matmul(&b);
+            let want = naive(&a, &b);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+            }
         }
     }
 
@@ -280,6 +487,40 @@ mod tests {
         let mv = a.matvec(&v);
         let mm = a.matmul(&v.reshape(&[6, 1]));
         assert_close(&mv, &mm.reshape(&[4]), 1e-5);
+    }
+
+    #[test]
+    fn matvec_blocked_k_is_bit_identical_to_plain_dots() {
+        // k > BLOCK_K and m not a multiple of MR: exercises both the block
+        // carry and the scalar row tail.
+        let a = seq(&[7, 150]);
+        let v = seq(&[150]);
+        let got = a.matvec(&v);
+        for i in 0..7 {
+            let want: f32 = a
+                .row_slice(i)
+                .iter()
+                .zip(v.data())
+                .map(|(&x, &y)| x * y)
+                .sum();
+            assert_eq!(got.data()[i].to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn into_helpers_match_tensor_entry_points() {
+        let a = seq(&[5, 7]);
+        let b = seq(&[7, 6]);
+        let bt = seq(&[6, 7]);
+        let mut out = vec![f32::NAN; 5 * 6];
+        gemm_into(a.data(), b.data(), &mut out, 7, 6);
+        assert_eq!(out, a.matmul(&b).data());
+        gemm_nt_into(a.data(), bt.data(), &mut out, 7, 6);
+        assert_eq!(out, a.matmul_nt(&bt).data());
+        let c = seq(&[5, 4]);
+        let mut out_tn = vec![f32::NAN; 7 * 4];
+        gemm_tn_into(a.data(), c.data(), &mut out_tn, 5, 7, 4);
+        assert_eq!(out_tn, a.matmul_tn(&c).data());
     }
 
     #[test]

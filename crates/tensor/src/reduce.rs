@@ -3,6 +3,7 @@
 //! The training stack only ever reduces matrices (batch × features), so
 //! these are specialised to rank-2 rather than generic over axes.
 
+use crate::scratch;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -10,7 +11,7 @@ impl Tensor {
     pub fn sum_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "sum_rows requires a matrix");
         let (m, n) = (self.dim(0), self.dim(1));
-        let mut out = vec![0.0f32; n];
+        let mut out = scratch::take_zeroed(n);
         for i in 0..m {
             for (o, &x) in out.iter_mut().zip(self.row_slice(i)) {
                 *o += x;
@@ -44,7 +45,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         assert!(self.dim(0) > 0, "column fold over zero rows");
         let (m, n) = (self.dim(0), self.dim(1));
-        let mut out = vec![init; n];
+        let mut out = scratch::take_filled(n, init);
         for i in 0..m {
             for (o, &x) in out.iter_mut().zip(self.row_slice(i)) {
                 *o = f(*o, x);
@@ -58,7 +59,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         let (m, n) = (self.dim(0), self.dim(1));
         let mean = self.mean_rows();
-        let mut out = vec![0.0f32; n];
+        let mut out = scratch::take_zeroed(n);
         for i in 0..m {
             for ((o, &x), &mu) in out.iter_mut().zip(self.row_slice(i)).zip(mean.data()) {
                 let d = x - mu;
@@ -76,7 +77,7 @@ impl Tensor {
     pub fn sum_cols(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let m = self.dim(0);
-        let mut out = Vec::with_capacity(m);
+        let mut out = scratch::take_cleared(m);
         for i in 0..m {
             out.push(self.row_slice(i).iter().sum());
         }
@@ -85,26 +86,33 @@ impl Tensor {
 
     /// Per-row argmax of a rank-2 tensor — the predicted class per sample.
     pub fn argmax_rows(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.dim(0));
+        self.argmax_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::argmax_rows`] into a caller-owned buffer (cleared first),
+    /// so hot loops can reuse the allocation across batches.
+    pub fn argmax_rows_into(&self, out: &mut Vec<usize>) {
         assert_eq!(self.rank(), 2);
-        (0..self.dim(0))
-            .map(|i| {
-                let row = self.row_slice(i);
-                let mut best = 0;
-                for (j, &x) in row.iter().enumerate() {
-                    if x > row[best] {
-                        best = j;
-                    }
+        out.clear();
+        out.extend((0..self.dim(0)).map(|i| {
+            let row = self.row_slice(i);
+            let mut best = 0;
+            for (j, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = j;
                 }
-                best
-            })
-            .collect()
+            }
+            best
+        }));
     }
 
     /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
     pub fn softmax_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let (m, n) = (self.dim(0), self.dim(1));
-        let mut out = vec![0.0f32; m * n];
+        let mut out = scratch::take_zeroed(m * n);
         for i in 0..m {
             let row = self.row_slice(i);
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);

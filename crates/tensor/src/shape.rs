@@ -2,37 +2,59 @@
 
 use std::fmt;
 
+/// Highest tensor rank the workspace uses (batched `N×C×H×W` volumes are
+/// carried flattened, so nothing exceeds 4 axes).
+pub const MAX_RANK: usize = 4;
+
 /// The dimensions of a tensor, outermost axis first.
 ///
 /// A `Shape` is immutable once constructed; reshaping a tensor produces a
-/// new `Shape` with the same element count.
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Shape(Box<[usize]>);
+/// new `Shape` with the same element count. Dimensions live inline (no
+/// heap allocation), so building, cloning and dropping shapes is free —
+/// which matters now that tensor buffers themselves are recycled and the
+/// shape would otherwise be the only per-tensor allocation left.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Sizes of the first `rank` axes; trailing entries are always zero so
+    /// derived equality and hashing see a canonical representation.
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
 
 impl Shape {
     /// Builds a shape from a slice of dimension sizes.
     pub fn new(dims: &[usize]) -> Self {
-        Shape(dims.to_vec().into_boxed_slice())
+        assert!(
+            dims.len() <= MAX_RANK,
+            "rank {} exceeds MAX_RANK {MAX_RANK}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_RANK];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            rank: dims.len() as u8,
+        }
     }
 
     /// Number of axes.
     pub fn rank(&self) -> usize {
-        self.0.len()
+        self.rank as usize
     }
 
     /// Dimension sizes, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.rank()]
     }
 
     /// Size of axis `i`. Panics if `i >= rank`.
     pub fn dim(&self, i: usize) -> usize {
-        self.0[i]
+        self.dims()[i]
     }
 
     /// Total number of elements (product of dims; 1 for a rank-0 shape).
     pub fn len(&self) -> usize {
-        self.0.iter().product()
+        self.dims().iter().product()
     }
 
     /// True when the shape contains zero elements.
@@ -44,7 +66,7 @@ impl Shape {
     pub fn strides(&self) -> Vec<usize> {
         let mut strides = vec![1usize; self.rank()];
         for i in (0..self.rank().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.0[i + 1];
+            strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
     }
@@ -63,13 +85,13 @@ impl Shape {
         let mut stride = 1usize;
         for i in (0..self.rank()).rev() {
             assert!(
-                index[i] < self.0[i],
+                index[i] < self.dims[i],
                 "index {} out of range for axis {i} of size {}",
                 index[i],
-                self.0[i]
+                self.dims[i]
             );
             off += index[i] * stride;
-            stride *= self.0[i];
+            stride *= self.dims[i];
         }
         off
     }
@@ -119,6 +141,12 @@ mod tests {
     }
 
     #[test]
+    fn equality_distinguishes_rank() {
+        assert_ne!(Shape::new(&[2, 3]), Shape::new(&[2, 3, 1]));
+        assert_eq!(Shape::new(&[2, 3]), Shape::new(&[2, 3]));
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn offset_rejects_out_of_range() {
         Shape::new(&[2, 2]).offset(&[0, 2]);
@@ -128,5 +156,11 @@ mod tests {
     #[should_panic(expected = "rank")]
     fn offset_rejects_rank_mismatch() {
         Shape::new(&[2, 2]).offset(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_RANK")]
+    fn rejects_excessive_rank() {
+        Shape::new(&[1, 1, 1, 1, 1]);
     }
 }

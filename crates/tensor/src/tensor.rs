@@ -1,17 +1,39 @@
 //! The dense `f32` tensor type.
 
+use crate::scratch;
 use crate::shape::Shape;
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
 /// Every tensor owns its buffer; operations either consume `self` or
-/// allocate a fresh result. In-place variants are provided for the hot
+/// produce a fresh result. In-place variants are provided for the hot
 /// paths the training loop uses (`add_assign_`, `scale_`, ...).
-#[derive(Clone, PartialEq)]
+///
+/// Buffers are recycled through [`crate::scratch`]: dropping a tensor
+/// parks its allocation in a global pool and constructing one reuses a
+/// pooled buffer when a compatible size is available. After a warm-up
+/// iteration, tensor-heavy loops (the training step in particular) stop
+/// touching the system allocator entirely.
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            data: scratch::take_copy(&self.data),
+            shape: self.shape,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        scratch::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -34,11 +56,7 @@ impl Tensor {
 
     /// All-zeros tensor.
     pub fn zeros(dims: &[usize]) -> Self {
-        let shape = Shape::new(dims);
-        Tensor {
-            data: vec![0.0; shape.len()],
-            shape,
-        }
+        Self::full(dims, 0.0)
     }
 
     /// All-ones tensor.
@@ -50,7 +68,7 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![value; shape.len()],
+            data: scratch::take_filled(shape.len(), value),
             shape,
         }
     }
@@ -66,7 +84,9 @@ impl Tensor {
 
     /// `[0, 1, 2, ..., n-1]` as a rank-1 tensor.
     pub fn arange(n: usize) -> Self {
-        Tensor::from_vec((0..n).map(|i| i as f32).collect(), &[n])
+        let mut data = scratch::take_cleared(n);
+        data.extend((0..n).map(|i| i as f32));
+        Tensor::from_vec(data, &[n])
     }
 
     // ------------------------------------------------------------------
@@ -113,9 +133,11 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning the flat buffer.
+    /// Consumes the tensor, returning the flat buffer (the buffer is *not*
+    /// returned to the scratch pool — the caller owns it now).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        let mut t = std::mem::ManuallyDrop::new(self);
+        std::mem::take(&mut t.data)
     }
 
     /// Element at a multi-dimensional index.
@@ -144,7 +166,7 @@ impl Tensor {
             self.len()
         );
         Tensor {
-            data: self.data.clone(),
+            data: scratch::take_copy(&self.data),
             shape,
         }
     }
@@ -160,7 +182,7 @@ impl Tensor {
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "transpose requires a matrix");
         let (r, c) = (self.dim(0), self.dim(1));
-        let mut out = vec![0.0f32; r * c];
+        let mut out = scratch::take_filled(r * c, 0.0);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
@@ -173,7 +195,7 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Tensor {
         assert_eq!(self.rank(), 2);
         let c = self.dim(1);
-        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+        Tensor::from_vec(scratch::take_copy(&self.data[i * c..(i + 1) * c]), &[c])
     }
 
     /// Borrow of row `i` of a rank-2 tensor.
@@ -187,7 +209,7 @@ impl Tensor {
     pub fn stack_rows(rows: &[Tensor]) -> Tensor {
         assert!(!rows.is_empty(), "cannot stack zero rows");
         let c = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * c);
+        let mut data = scratch::take_cleared(rows.len() * c);
         for r in rows {
             assert_eq!(r.len(), c, "ragged rows in stack_rows");
             data.extend_from_slice(r.data());
@@ -199,7 +221,8 @@ impl Tensor {
     pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
         assert!(!parts.is_empty());
         let c = parts[0].dim(1);
-        let mut data = Vec::new();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut data = scratch::take_cleared(total);
         let mut rows = 0;
         for p in parts {
             assert_eq!(p.rank(), 2);
@@ -214,7 +237,7 @@ impl Tensor {
     pub fn select_rows(&self, indices: &[usize]) -> Tensor {
         assert_eq!(self.rank(), 2);
         let c = self.dim(1);
-        let mut data = Vec::with_capacity(indices.len() * c);
+        let mut data = scratch::take_cleared(indices.len() * c);
         for &i in indices {
             data.extend_from_slice(self.row_slice(i));
         }
@@ -227,9 +250,11 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = scratch::take_cleared(self.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
+            data,
+            shape: self.shape,
         }
     }
 
@@ -243,14 +268,11 @@ impl Tensor {
     /// Combines two same-shape tensors element-wise.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in zip");
+        let mut data = scratch::take_cleared(self.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            shape: self.shape.clone(),
+            data,
+            shape: self.shape,
         }
     }
 
@@ -515,5 +537,29 @@ mod tests {
         assert!(t.all_finite());
         t.data_mut()[1] = f32::NAN;
         assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn into_vec_detaches_the_buffer() {
+        // `into_vec` must hand the buffer out rather than recycling it, so
+        // mutating the vec afterwards is sound and the contents survive.
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let mut v = t.into_vec();
+        v.push(4.0);
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn recycled_construction_is_always_clean() {
+        // Drop a poisoned tensor, then build fresh ones of the same size:
+        // whatever buffer the pool hands back must show no stale values.
+        for _ in 0..4 {
+            let poison = Tensor::full(&[64], f32::NAN);
+            drop(poison);
+            let z = Tensor::zeros(&[64]);
+            assert!(z.data().iter().all(|&x| x == 0.0));
+            let o = Tensor::ones(&[60]);
+            assert!(o.data().iter().all(|&x| x == 1.0));
+        }
     }
 }

@@ -8,3 +8,9 @@ cargo fmt --check
 cargo clippy --workspace -- -D warnings
 cargo build --release
 cargo test -q
+
+# Perf/bit-identity smoke gates: bench_gemm exits non-zero if the packed
+# GEMM differs from the seed kernel by a bit; train_step exits non-zero
+# if a steady-state training step heap-allocates.
+cargo run --release -q -p eos-bench --bin bench_gemm -- --smoke
+cargo run --release -q -p eos-bench --bin train_step -- --smoke
