@@ -67,13 +67,24 @@ impl Eos {
         }
     }
 
-    /// EOS with an explicit interpolation direction.
+    /// EOS with an explicit interpolation direction and the calibrated
+    /// `r ≤ 0.5` cap of [`Eos::new`]. (An earlier revision reset
+    /// `r_scale` to 1.0 here, so direction ablations silently also
+    /// un-capped `r` and measured two changes at once.)
     pub fn with_direction(k: usize, direction: Direction) -> Self {
-        assert!(k >= 1);
         Eos {
-            k,
             direction,
-            r_scale: 1.0,
+            ..Self::new(k)
+        }
+    }
+
+    /// EOS with an explicit interpolation-coefficient scale:
+    /// `r ~ U[0, r_scale]`. Use 1.0 for Algorithm 2's literal `R ∈ [0, 1]`.
+    pub fn with_r_scale(k: usize, r_scale: f32) -> Self {
+        assert!(r_scale > 0.0 && r_scale <= 1.0, "r_scale must be in (0, 1]");
+        Eos {
+            r_scale,
+            ..Self::new(k)
         }
     }
 
@@ -222,6 +233,30 @@ mod tests {
         let e = Eos::new(5);
         assert_eq!(e.direction, Direction::TowardEnemy);
         assert!((e.r_scale - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn every_constructor_pins_its_fields() {
+        // `with_direction` must vary *only* the direction — it used to
+        // reset `r_scale` to 1.0, so direction ablations also un-capped
+        // `r` and measured two changes at once. `with_r_scale` is the
+        // explicit opt-out.
+        for dir in [Direction::TowardEnemy, Direction::AwayFromEnemy] {
+            let e = Eos::with_direction(7, dir);
+            assert_eq!(e.k, 7);
+            assert_eq!(e.direction, dir);
+            assert!((e.r_scale - 0.5).abs() < 1e-6, "calibrated cap preserved");
+        }
+        let e = Eos::with_r_scale(3, 1.0);
+        assert_eq!(e.k, 3);
+        assert_eq!(e.direction, Direction::TowardEnemy);
+        assert!((e.r_scale - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_scale must be in (0, 1]")]
+    fn with_r_scale_rejects_zero() {
+        let _ = Eos::with_r_scale(3, 0.0);
     }
 
     #[test]

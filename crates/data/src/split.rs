@@ -23,7 +23,14 @@ pub fn stratified_split(data: &Dataset, held_fraction: f64, rng: &mut Rng64) -> 
         }
         rng.shuffle(&mut idx);
         let n_hold = ((idx.len() as f64) * held_fraction).round() as usize;
-        let n_hold = n_hold.min(idx.len() - 1); // keep at least one
+        // Keep at least one row, and — when anything is being held out at
+        // all — hold at least one too: `round()` would otherwise drop
+        // small classes from the held split entirely (4 samples at
+        // fraction 0.1 rounds to 0), so a validation cut would silently
+        // miss a minority class and BAC would average a phantom 0 recall.
+        let n_hold = n_hold
+            .max(usize::from(held_fraction > 0.0))
+            .min(idx.len() - 1);
         hold.extend_from_slice(&idx[..n_hold]);
         keep.extend_from_slice(&idx[n_hold..]);
     }
@@ -86,6 +93,27 @@ mod tests {
         firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expected: Vec<f32> = (0..10).map(|i| (i * 2) as f32).collect();
         assert_eq!(firsts, expected);
+    }
+
+    #[test]
+    fn small_classes_still_reach_the_held_split() {
+        // 4 samples at fraction 0.1 rounds to 0 held rows; the held cut
+        // would silently miss the minority class and BAC on it would
+        // average a phantom 0 recall. Every class with >= 2 samples must
+        // land at least one row on each side.
+        let d = toy(&[40, 4, 2]);
+        let (keep, hold) = stratified_split(&d, 0.1, &mut Rng64::new(7));
+        assert_eq!(hold.class_counts(), vec![4, 1, 1]);
+        assert_eq!(keep.class_counts(), vec![36, 3, 1]);
+        assert_eq!(keep.len() + hold.len(), d.len());
+    }
+
+    #[test]
+    fn zero_fraction_holds_nothing_out() {
+        let d = toy(&[6, 3]);
+        let (keep, hold) = stratified_split(&d, 0.0, &mut Rng64::new(8));
+        assert_eq!(hold.len(), 0);
+        assert_eq!(keep.len(), d.len());
     }
 
     #[test]

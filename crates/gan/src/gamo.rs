@@ -11,14 +11,16 @@ use eos_tensor::{normal, Rng64, Tensor};
 /// This is GAMO's core trick in miniature: the generator never leaves the
 /// convex hull of the real minority instances, so its samples are
 /// in-distribution by construction (and boundary-agnostic by the same
-/// token).
-struct ConvexMix {
+/// token). Public so the `check_numerics` gate can gradcheck its
+/// softmax-combination backward alongside the built-in layers.
+pub struct ConvexMix {
     anchors: Tensor,
     cache: Option<Tensor>, // softmax weights
 }
 
 impl ConvexMix {
-    fn new(anchors: Tensor) -> Self {
+    /// Mixing layer over a fixed `(m, features)` anchor matrix.
+    pub fn new(anchors: Tensor) -> Self {
         assert!(anchors.dim(0) > 0);
         ConvexMix {
             anchors,

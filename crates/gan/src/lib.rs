@@ -34,7 +34,7 @@ mod deepsmote;
 mod gamo;
 
 pub use adversarial::{bce_with_logits, train_gan, GanConfig};
-pub use bagan::BaganLite;
+pub use bagan::{mse_loss_and_grad, BaganLite};
 pub use cgan::CGan;
 pub use deepsmote::DeepSmote;
-pub use gamo::GamoLite;
+pub use gamo::{ConvexMix, GamoLite};

@@ -78,6 +78,9 @@ impl Layer for LeakyRelu {
             .mask
             .as_ref()
             .expect("LeakyRelu::backward before forward");
+        // Without this check a stale mask from a different batch size
+        // would zip-truncate and leave the tail at the positive slope.
+        assert_eq!(mask.len(), grad.len());
         let mut out = grad.clone();
         for (g, &m) in out.data_mut().iter_mut().zip(mask) {
             if !m {
@@ -192,6 +195,16 @@ mod tests {
     #[test]
     fn leaky_relu_gradcheck() {
         gradcheck_activation(|| Box::new(LeakyRelu::new(0.2)), -1.5, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn leaky_relu_rejects_stale_mask_from_a_smaller_batch() {
+        // A mask cached for 2 rows must not silently zip-truncate against
+        // a 3-row gradient (the tail would keep the positive slope).
+        let mut l = LeakyRelu::new(0.2);
+        let _ = l.forward(&Tensor::from_vec(vec![-1.0, 1.0], &[1, 2]), true);
+        let _ = l.backward(&Tensor::from_vec(vec![1.0; 6], &[3, 2]));
     }
 
     #[test]

@@ -378,6 +378,33 @@ mod tests {
     use eos_tensor::{central_difference, normal, rel_error, Rng64};
 
     #[test]
+    fn harness_gradcheck_bn1d_and_bn2d_train_mode() {
+        use crate::gradcheck::gradcheck_layer;
+        let x1 = normal(&[6, 3], 0.5, 1.2, &mut Rng64::new(70));
+        let c1 = normal(&[6, 3], 0.0, 1.0, &mut Rng64::new(71));
+        let check = gradcheck_layer(
+            "bn1d",
+            &mut || Box::new(BatchNorm1d::new(3)),
+            &x1,
+            &c1,
+            1e-2,
+        );
+        assert_eq!(check.checks.len(), 3, "input + gamma + beta");
+        check.assert_below(1e-2);
+
+        let x2 = normal(&[4, 2 * 4], 0.0, 1.0, &mut Rng64::new(72));
+        let c2 = normal(&[4, 2 * 4], 0.0, 1.0, &mut Rng64::new(73));
+        gradcheck_layer(
+            "bn2d",
+            &mut || Box::new(BatchNorm2d::new(2, 4)),
+            &x2,
+            &c2,
+            1e-2,
+        )
+        .assert_below(1e-2);
+    }
+
+    #[test]
     fn normalises_training_batch() {
         let mut bn = BatchNorm1d::new(2);
         let x = Tensor::from_vec(vec![1.0, 10.0, 3.0, 30.0, 5.0, 50.0], &[3, 2]);

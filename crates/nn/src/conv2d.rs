@@ -283,6 +283,36 @@ mod tests {
     }
 
     #[test]
+    fn harness_gradcheck_stride_and_padding_variants() {
+        use crate::gradcheck::gradcheck_layer;
+        // Unit stride + pad, stride 2, and no padding, on a non-square
+        // volume; every variant must pass on input, weight and bias.
+        for (g, name) in [
+            (geom(2, 5, 4, 3, 1, 1), "s1 p1"),
+            (geom(2, 5, 4, 3, 2, 1), "s2 p1"),
+            (geom(1, 4, 4, 2, 2, 0), "s2 p0"),
+        ] {
+            let x = normal(
+                &[2, g.in_channels * g.height * g.width],
+                0.0,
+                1.0,
+                &mut Rng64::new(60),
+            );
+            let probe = Conv2d::new(g, 3, true, &mut Rng64::new(61));
+            let c = normal(&[2, probe.out_len()], 0.0, 1.0, &mut Rng64::new(62));
+            let check = gradcheck_layer(
+                name,
+                &mut || Box::new(Conv2d::new(g, 3, true, &mut Rng64::new(61))),
+                &x,
+                &c,
+                1e-2,
+            );
+            assert_eq!(check.checks.len(), 3, "{name}: input + weight + bias");
+            check.assert_below(1e-2);
+        }
+    }
+
+    #[test]
     fn gradcheck_input_weight_bias() {
         let mut rng = Rng64::new(7);
         let g = geom(2, 4, 3, 3, 2, 1);

@@ -69,6 +69,27 @@ mod tests {
     use eos_tensor::normal;
 
     #[test]
+    fn harness_gradcheck_fixed_mask() {
+        // Rebuilding from the same seed replays the identical mask on
+        // every probe, so the piecewise-linear region is fixed and the
+        // inverted-scaling backward must match finite differences.
+        use crate::gradcheck::gradcheck_layer;
+        let mut rng = Rng64::new(90);
+        let x = normal(&[5, 6], 0.0, 1.0, &mut rng);
+        let c = normal(&[5, 6], 0.0, 1.0, &mut rng);
+        for p in [0.0, 0.25, 0.6] {
+            gradcheck_layer(
+                "dropout",
+                &mut || Box::new(Dropout::new(p, 123)),
+                &x,
+                &c,
+                1e-2,
+            )
+            .assert_below(1e-2);
+        }
+    }
+
+    #[test]
     fn inference_is_identity() {
         let mut d = Dropout::new(0.5, 1);
         let x = normal(&[4, 8], 0.0, 1.0, &mut Rng64::new(0));

@@ -31,6 +31,7 @@ mod activation;
 mod batchnorm;
 mod conv2d;
 mod dropout;
+mod gradcheck;
 mod layer;
 mod linear;
 mod loss;
@@ -47,6 +48,7 @@ pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
 pub use batchnorm::{BatchNorm1d, BatchNorm2d};
 pub use conv2d::Conv2d;
 pub use dropout::Dropout;
+pub use gradcheck::{gradcheck_fn, gradcheck_layer, gradcheck_loss, CheckResult, GradCheck};
 pub use layer::{Layer, Param};
 pub use linear::Linear;
 pub use loss::{
@@ -58,5 +60,7 @@ pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use resnet::{densenet_lite, resnet_cifar, wide_resnet, BasicBlock};
 pub use sequential::Sequential;
 pub use serialize::{load_weights, load_weights_file, save_weights, save_weights_file};
-pub use trainer::{train_epochs, train_with_early_stopping, EpochStats, TrainConfig};
+pub use trainer::{
+    train_epochs, train_with_early_stopping, try_train_epochs, EpochStats, TrainConfig, TrainError,
+};
 pub use workspace::Workspace;

@@ -147,6 +147,25 @@ mod tests {
         Tensor::from_vec(vec![0.7, -1.3, 0.2, 0.9, -0.4, 1.1], &[2, 3])
     }
 
+    #[test]
+    fn harness_gradcheck_with_and_without_bias() {
+        use crate::gradcheck::gradcheck_layer;
+        use eos_tensor::normal;
+        let x = normal(&[3, 4], 0.0, 1.0, &mut Rng64::new(50));
+        let c = normal(&[3, 2], 0.0, 1.0, &mut Rng64::new(51));
+        for bias in [true, false] {
+            let check = gradcheck_layer(
+                "linear",
+                &mut || Box::new(Linear::new(4, 2, bias, &mut Rng64::new(52))),
+                &x,
+                &c,
+                1e-2,
+            );
+            assert_eq!(check.checks.len(), if bias { 3 } else { 2 });
+            check.assert_below(1e-2);
+        }
+    }
+
     /// loss = <c, layer(x)> so dloss/dout = c; exercises all gradients.
     fn weighted_output_loss(layer: &mut Linear, x: &Tensor, c: &Tensor) -> f32 {
         layer.forward(x, true).dot(c)

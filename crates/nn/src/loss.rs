@@ -18,6 +18,11 @@ pub trait Loss {
     /// Installs (or clears) per-class weights. Used by deferred
     /// re-weighting (DRW): the trainer switches weights on at a late epoch.
     fn set_class_weights(&mut self, weights: Option<Vec<f32>>);
+
+    /// Short display name, used by the trainer's diagnostics.
+    fn name(&self) -> &'static str {
+        "loss"
+    }
 }
 
 fn check_inputs(logits: &Tensor, labels: &[usize]) {
@@ -29,6 +34,16 @@ fn check_inputs(logits: &Tensor, labels: &[usize]) {
 
 fn weight_of(weights: &Option<Vec<f32>>, y: usize) -> f32 {
     weights.as_ref().map_or(1.0, |w| w[y])
+}
+
+/// `ln Σ_j e^{row_j}`, max-shifted. `lse(row) − row[y]` is `−ln p_y`
+/// computed exactly — finite for any logit magnitude, unlike clamping the
+/// softmax output, which flattens the loss surface below the clamp while
+/// the analytic gradient keeps its slope (the check_numerics gate caught
+/// LDAM doing exactly that at its paper logit scale).
+fn log_sum_exp(row: &[f32]) -> f32 {
+    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    m + row.iter().map(|&z| (z - m).exp()).sum::<f32>().ln()
 }
 
 /// Smith-style class-balanced weights from Cui et al.:
@@ -76,8 +91,7 @@ impl Loss for CrossEntropyLoss {
         let c = logits.dim(1);
         for (i, &y) in labels.iter().enumerate() {
             let w = weight_of(&self.weights, y);
-            let py = p.at(&[i, y]).max(P_CLAMP);
-            loss += -w * py.ln();
+            loss += w * (log_sum_exp(logits.row_slice(i)) - logits.at(&[i, y]));
             let row = &mut grad.data_mut()[i * c..(i + 1) * c];
             row[y] -= 1.0;
             for g in row.iter_mut() {
@@ -89,6 +103,10 @@ impl Loss for CrossEntropyLoss {
 
     fn set_class_weights(&mut self, weights: Option<Vec<f32>>) {
         self.weights = weights;
+    }
+
+    fn name(&self) -> &'static str {
+        "CE"
     }
 }
 
@@ -126,15 +144,21 @@ impl Loss for FocalLoss {
         let mut loss = 0.0f32;
         for (i, &y) in labels.iter().enumerate() {
             let w = weight_of(&self.weights, y);
-            let pt = p.at(&[i, y]).clamp(P_CLAMP, 1.0 - P_CLAMP);
-            let one_minus = 1.0 - pt;
-            loss += -w * one_minus.powf(g) * pt.ln();
-            // dL/dp_t, then chain through softmax: dp_t/dz_j = p_t(δ − p_j).
-            let dl_dpt = g * one_minus.powf(g - 1.0) * pt.ln() - one_minus.powf(g) / pt;
+            let pt = p.at(&[i, y]);
+            // ln p_t via log-sum-exp: exact at any logit magnitude, where
+            // ln(softmax) saturates to ln(0) = −∞ / ln(1) = −0.
+            let ln_pt = logits.at(&[i, y]) - log_sum_exp(logits.row_slice(i));
+            // (1 − p_t) is floored only where a negative power needs it.
+            let one_minus = (1.0 - pt).max(P_CLAMP);
+            loss += -w * one_minus.powf(g) * ln_pt;
+            // dL/dp_t · dp_t/dz_j with dp_t/dz_j = p_t(δ − p_j); the
+            // 1/p_t in dL/dp_t cancels against that p_t analytically, so
+            // no division — the gradient stays finite as p_t → 0.
+            let factor = g * one_minus.powf(g - 1.0) * ln_pt * pt - one_minus.powf(g);
             let row = &mut grad.data_mut()[i * c..(i + 1) * c];
             for (j, gr) in row.iter_mut().enumerate() {
                 let delta = if j == y { 1.0 } else { 0.0 };
-                *gr = w * dl_dpt * pt * (delta - p.at(&[i, j])) / n as f32;
+                *gr = w * factor * (delta - p.at(&[i, j])) / n as f32;
             }
         }
         (loss / n as f32, grad)
@@ -142,6 +166,10 @@ impl Loss for FocalLoss {
 
     fn set_class_weights(&mut self, weights: Option<Vec<f32>>) {
         self.weights = weights;
+    }
+
+    fn name(&self) -> &'static str {
+        "Focal"
     }
 }
 
@@ -205,7 +233,7 @@ impl Loss for LdamLoss {
         let mut loss = 0.0f32;
         for (i, &y) in labels.iter().enumerate() {
             let w = weight_of(&self.weights, y);
-            loss += -w * p.at(&[i, y]).max(P_CLAMP).ln();
+            loss += w * (log_sum_exp(u.row_slice(i)) - u.at(&[i, y]));
             let row = &mut grad.data_mut()[i * c..(i + 1) * c];
             row[y] -= 1.0;
             for g in row.iter_mut() {
@@ -217,6 +245,10 @@ impl Loss for LdamLoss {
 
     fn set_class_weights(&mut self, weights: Option<Vec<f32>>) {
         self.weights = weights;
+    }
+
+    fn name(&self) -> &'static str {
+        "LDAM"
     }
 }
 
@@ -267,28 +299,44 @@ impl Loss for AsymmetricLoss {
             let row = logits.row_slice(i);
             let grow = &mut grad.data_mut()[i * c..(i + 1) * c];
             for (j, (&z, gr)) in row.iter().zip(grow.iter_mut()).enumerate() {
-                let p = (1.0 / (1.0 + (-z).exp())).clamp(P_CLAMP, 1.0 - P_CLAMP);
-                let dp_dz = p * (1.0 - p);
+                // ln σ(z) = −softplus(−z) and ln(1−σ(z)) = −softplus(z):
+                // exact where ln(sigmoid) saturates to ln(0)/ln(1), so the
+                // loss keeps the slope the gradient reports (clamping the
+                // probability flattened it — flagged by check_numerics).
+                let softplus = |t: f32| t.max(0.0) + (-t.abs()).exp().ln_1p();
+                let p = 1.0 / (1.0 + (-z).exp());
                 if j == y {
                     let g = self.gamma_pos;
                     let om = 1.0 - p;
-                    loss += -w * om.powf(g) * p.ln();
-                    let dl_dp = if g == 0.0 {
-                        -1.0 / p
-                    } else {
-                        g * om.powf(g - 1.0) * p.ln() - om.powf(g) / p
-                    };
-                    *gr = w * dl_dp * dp_dz / n as f32;
+                    let ln_p = -softplus(-z);
+                    loss += -w * om.powf(g) * ln_p;
+                    // dL/dp · dp/dz with dp/dz = p(1−p); the 1/p in dL/dp
+                    // cancels analytically, so no division and the
+                    // gradient stays finite as p → 0 or 1.
+                    let factor = g * om.powf(g) * ln_p * p - om.powf(g + 1.0);
+                    *gr = w * factor / n as f32;
                 } else {
                     let pm = (p - self.clip).max(0.0);
                     if pm <= 0.0 {
                         continue; // loss and gradient are exactly zero
                     }
                     let g = self.gamma_neg;
-                    let om = (1.0 - pm).max(P_CLAMP);
-                    loss += -w * pm.powf(g) * om.ln();
-                    let dl_dpm = -g * pm.powf(g - 1.0) * om.ln() + pm.powf(g) / om;
-                    *gr = w * dl_dpm * dp_dz / n as f32;
+                    let om = 1.0 - pm;
+                    let ln_om = if self.clip == 0.0 {
+                        -softplus(z)
+                    } else {
+                        om.ln() // bounded below by the clip margin
+                    };
+                    loss += -w * pm.powf(g) * ln_om;
+                    // With no clip, om = 1−p and the 1/om cancels against
+                    // dp/dz = p(1−p); with a clip, om ≥ clip bounds the
+                    // division away from zero.
+                    let grad_term = if self.clip == 0.0 {
+                        -g * pm.powf(g - 1.0) * ln_om * p * om + pm.powf(g) * p
+                    } else {
+                        (-g * pm.powf(g - 1.0) * ln_om + pm.powf(g) / om) * p * (1.0 - p)
+                    };
+                    *gr = w * grad_term / n as f32;
                 }
             }
         }
@@ -297,6 +345,10 @@ impl Loss for AsymmetricLoss {
 
     fn set_class_weights(&mut self, weights: Option<Vec<f32>>) {
         self.weights = weights;
+    }
+
+    fn name(&self) -> &'static str {
+        "ASL"
     }
 }
 
@@ -389,6 +441,155 @@ mod tests {
         let (lc, gc) = CrossEntropyLoss::new().loss_and_grad(&logits, &labels);
         assert!((lf - lc).abs() < 1e-5);
         assert!(rel_error(&gf, &gc) < 1e-4);
+    }
+
+    #[test]
+    fn focal_survives_pt_at_the_clamp() {
+        // A hugely confident correct prediction drives p_t to the
+        // 1 − P_CLAMP clamp, where `one_minus` bottoms out at its f32
+        // representation (~1.19e-7). `(1 − p_t)^{γ−1}` must stay finite
+        // there for every γ the experiments use, including γ < 1 where
+        // the exponent is negative.
+        let logits = Tensor::from_vec(vec![40.0, -40.0, -40.0], &[1, 3]);
+        for gamma in [0.0, 0.5, 1.0, 2.0] {
+            let (l, g) = FocalLoss::new(gamma).loss_and_grad(&logits, &[0]);
+            assert!(l.is_finite(), "γ={gamma}: loss {l}");
+            assert!(g.all_finite(), "γ={gamma}: non-finite gradient");
+            assert!(l >= 0.0 && l < 1e-4, "γ={gamma}: easy sample, tiny loss");
+        }
+    }
+
+    #[test]
+    fn focal_gamma_zero_equals_weighted_ce() {
+        // γ = 0 must degenerate to cross-entropy *including* the class
+        // weights installed by deferred re-weighting.
+        let mut rng = Rng64::new(14);
+        let logits = normal(&[5, 3], 0.0, 1.5, &mut rng);
+        let labels = vec![0, 1, 2, 0, 1];
+        let weights = vec![0.25, 1.0, 4.0];
+        let mut focal = FocalLoss::new(0.0);
+        focal.set_class_weights(Some(weights.clone()));
+        let mut ce = CrossEntropyLoss::new();
+        ce.set_class_weights(Some(weights));
+        let (lf, gf) = focal.loss_and_grad(&logits, &labels);
+        let (lc, gc) = ce.loss_and_grad(&logits, &labels);
+        assert!((lf - lc).abs() < 1e-5, "{lf} vs {lc}");
+        assert!(rel_error(&gf, &gc) < 1e-4);
+    }
+
+    #[test]
+    fn focal_single_class_batch_gradcheck() {
+        // Every label identical (the shape minority-only fine-tuning
+        // batches take): the gradient must still match finite differences
+        // and pull toward the one class everywhere.
+        let mut rng = Rng64::new(15);
+        let logits = normal(&[4, 3], 0.0, 1.0, &mut rng);
+        let labels = vec![2, 2, 2, 2];
+        let loss = FocalLoss::new(2.0);
+        let (_, grad) = loss.loss_and_grad(&logits, &labels);
+        let ngrad = central_difference(&logits, 1e-2, |z| loss.loss_and_grad(z, &labels).0);
+        assert!(rel_error(&grad, &ngrad) < 2e-2);
+        for i in 0..4 {
+            assert!(grad.at(&[i, 2]) < 0.0, "true-class pull in row {i}");
+        }
+    }
+
+    #[test]
+    fn ldam_gradcheck_in_the_saturated_regime() {
+        // At the paper's logit scale, softmax over s·z saturates easily.
+        // The old loss clamped p_y at 1e-7, flattening the loss surface
+        // while the gradient kept its −s/n slope; finite differences saw
+        // the flat clamp and the check_numerics gate flagged a rel error
+        // of 1.0. Computed via log-sum-exp the loss keeps its slope and
+        // the analytic gradient matches everywhere.
+        let mut rng = Rng64::new(16);
+        let logits = normal(&[5, 3], 0.0, 1.5, &mut rng);
+        let labels = vec![0, 2, 1, 1, 0];
+        let loss = LdamLoss::new(&[40, 10, 4], 0.5, 10.0);
+        let (l, grad) = loss.loss_and_grad(&logits, &labels);
+        assert!(l.is_finite());
+        let ngrad = central_difference(&logits, 1e-3, |z| loss.loss_and_grad(z, &labels).0);
+        assert!(
+            rel_error(&grad, &ngrad) < 1e-2,
+            "saturated LDAM gradient mismatch: {}",
+            rel_error(&grad, &ngrad)
+        );
+    }
+
+    #[test]
+    fn ce_loss_keeps_its_slope_under_saturated_logits() {
+        // Logit gaps > 16 push p_y below the old 1e-7 clamp; the clamped
+        // loss went flat there while the gradient stayed at p − e_y. The
+        // log-sum-exp form is exact: loss ≈ gap, slope matches.
+        let logits = Tensor::from_vec(vec![-20.0, 20.0, 0.0, 25.0, -25.0, 0.0], &[2, 3]);
+        let labels = vec![0, 1];
+        let ce = CrossEntropyLoss::new();
+        let (l, grad) = ce.loss_and_grad(&logits, &labels);
+        assert!((l - 45.0).abs() < 1e-3, "exact −ln p under saturation: {l}");
+        let ngrad = central_difference(&logits, 1e-2, |z| ce.loss_and_grad(z, &labels).0);
+        assert!(rel_error(&grad, &ngrad) < 1e-2);
+    }
+
+    #[test]
+    fn asl_is_finite_and_consistent_under_saturated_logits() {
+        // z = ±40 rounds sigmoid to exactly 0.0/1.0 in f32. The softplus
+        // forms keep the loss exact, and the division-free gradient terms
+        // stay finite (the old pm^γ/om hit 0/0 → NaN with clip = 0).
+        let logits = Tensor::from_vec(vec![-40.0, 40.0, 0.5, 40.0, -40.0, 0.5], &[2, 3]);
+        let labels = vec![0, 1];
+        for loss in [
+            AsymmetricLoss::paper_defaults(),
+            AsymmetricLoss::new(1.0, 2.0, 0.0),
+        ] {
+            let (l, g) = loss.loss_and_grad(&logits, &labels);
+            assert!(
+                l.is_finite() && l > 0.0,
+                "hard samples: big finite loss, got {l}"
+            );
+            assert!(g.all_finite(), "non-finite ASL gradient");
+            // The mispredicted true classes must still be pulled up.
+            assert!(g.at(&[0, 0]) < 0.0 && g.at(&[1, 1]) < 0.0);
+        }
+        // And in a merely-steep (not f32-saturated) regime the gradient
+        // must match finite differences.
+        let mid = Tensor::from_vec(vec![-8.0, 6.0, 0.5, 7.0, -5.0, 0.5], &[2, 3]);
+        for loss in [
+            AsymmetricLoss::paper_defaults(),
+            AsymmetricLoss::new(1.0, 2.0, 0.0),
+        ] {
+            let (_, grad) = loss.loss_and_grad(&mid, &labels);
+            let ngrad = central_difference(&mid, 1e-3, |z| loss.loss_and_grad(z, &labels).0);
+            assert!(
+                rel_error(&grad, &ngrad) < 1e-2,
+                "steep ASL gradient mismatch: {}",
+                rel_error(&grad, &ngrad)
+            );
+        }
+    }
+
+    #[test]
+    fn focal_loss_is_exact_under_saturated_logits() {
+        // A badly mispredicted sample (p_t ≈ e^{−40}): the old clamped
+        // ln(p_t) bottomed out at ln(1e-7) ≈ −16; the log-sum-exp form
+        // reports the true ≈ 40·(1−p_t)^γ ≈ 40.
+        let logits = Tensor::from_vec(vec![-20.0, 20.0, 0.0], &[1, 3]);
+        for gamma in [0.0, 2.0] {
+            let (l, g) = FocalLoss::new(gamma).loss_and_grad(&logits, &[0]);
+            assert!(
+                (l - 40.0).abs() < 1e-3,
+                "γ={gamma}: exact hard-sample loss, got {l}"
+            );
+            assert!(g.all_finite());
+            assert!(g.at(&[0, 0]) < 0.0, "true class pulled up");
+        }
+    }
+
+    #[test]
+    fn loss_names_are_stable() {
+        assert_eq!(CrossEntropyLoss::new().name(), "CE");
+        assert_eq!(FocalLoss::new(2.0).name(), "Focal");
+        assert_eq!(LdamLoss::new(&[10, 5], 0.5, 5.0).name(), "LDAM");
+        assert_eq!(AsymmetricLoss::paper_defaults().name(), "ASL");
     }
 
     #[test]

@@ -182,6 +182,32 @@ mod tests {
     use eos_tensor::{central_difference, normal, rel_error, Rng64};
 
     #[test]
+    fn harness_gradcheck_both_pools() {
+        use crate::gradcheck::gradcheck_layer;
+        // Normal draws make 2x2-window ties (the max-pool kinks) have
+        // probability zero, so central differences stay clean.
+        let x = normal(&[3, 2 * 4 * 4], 0.0, 1.0, &mut Rng64::new(80));
+        let c = normal(&[3, 2 * 2 * 2], 0.0, 1.0, &mut Rng64::new(81));
+        gradcheck_layer(
+            "maxpool",
+            &mut || Box::new(MaxPool2d::new(2, 4, 4)),
+            &x,
+            &c,
+            1e-3,
+        )
+        .assert_below(1e-2);
+        let cg = normal(&[3, 2], 0.0, 1.0, &mut Rng64::new(82));
+        gradcheck_layer(
+            "gap",
+            &mut || Box::new(GlobalAvgPool::new(2, 16)),
+            &x,
+            &cg,
+            1e-2,
+        )
+        .assert_below(1e-2);
+    }
+
+    #[test]
     fn maxpool_picks_maxima() {
         let mut mp = MaxPool2d::new(1, 2, 2);
         let x = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0], &[1, 4]);

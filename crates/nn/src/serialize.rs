@@ -12,6 +12,10 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"EOSW";
 const VERSION: u32 = 1;
+/// Upper bound on a stored tensor's rank. Nothing in the workspace goes
+/// past rank 2; the bound keeps a corrupt rank field from driving a
+/// multi-gigabyte dims allocation before the shape check can reject it.
+const MAX_RANK: usize = 8;
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -94,8 +98,13 @@ pub fn load_weights(layer: &mut dyn Layer, mut reader: impl Read) -> io::Result<
             params.len()
         )));
     }
-    for p in params.iter_mut() {
+    for (i, p) in params.iter_mut().enumerate() {
         let rank = read_u32(&mut reader)? as usize;
+        if rank > MAX_RANK {
+            return Err(bad(format!(
+                "parameter {i} claims rank {rank} (corrupt length field?)"
+            )));
+        }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
             dims.push(read_u64(&mut reader)? as usize);
@@ -107,6 +116,9 @@ pub fn load_weights(layer: &mut dyn Layer, mut reader: impl Read) -> io::Result<
             )));
         }
         let data = read_f32s(&mut reader, p.value.len())?;
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(bad(format!("non-finite value in parameter {i}")));
+        }
         p.value.data_mut().copy_from_slice(&data);
     }
     let extra_len = read_u64(&mut reader)? as usize;
@@ -117,8 +129,22 @@ pub fn load_weights(layer: &mut dyn Layer, mut reader: impl Read) -> io::Result<
         )));
     }
     let extra = read_f32s(&mut reader, extra_len)?;
+    if extra.iter().any(|v| !v.is_finite()) {
+        return Err(bad("non-finite value in extra state"));
+    }
     layer.load_extra_state(&extra);
-    Ok(())
+    // A well-formed file ends exactly at the extra state; anything after
+    // it means the file and the model disagree about the structure in a
+    // way the per-parameter checks happened not to catch.
+    let mut one = [0u8; 1];
+    loop {
+        match reader.read(&mut one) {
+            Ok(0) => return Ok(()),
+            Ok(_) => return Err(bad("trailing bytes after the last tensor")),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// [`save_weights`] to a file path.
@@ -221,6 +247,57 @@ mod tests {
                 arch.name()
             );
         }
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let mut net = tiny_net(1);
+        // Magic only, then EOF where the version should be.
+        let err = load_weights(&mut net, &b"EOSW"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut net = tiny_net(1);
+        let mut buf = Vec::new();
+        save_weights(&mut net, &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_rank_without_allocating_for_it() {
+        let mut net = tiny_net(1);
+        let mut buf = Vec::new();
+        save_weights(&mut net, &mut buf).unwrap();
+        // First parameter's rank field (after magic+version+count).
+        buf[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = load_weights(&mut net, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut a = tiny_net(1);
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        buf.push(0);
+        let mut b = tiny_net(2);
+        let err = load_weights(&mut b, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_parameter_values() {
+        let mut a = tiny_net(1);
+        a.params()[0].value.data_mut()[0] = f32::NAN;
+        let mut buf = Vec::new();
+        save_weights(&mut a, &mut buf).unwrap();
+        let mut b = tiny_net(2);
+        let err = load_weights(&mut b, buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]

@@ -49,12 +49,38 @@ pub struct EpochStats {
     pub accuracy: f32,
 }
 
+/// A training run diverged: the loss came back non-finite. Checked in
+/// release builds too — training on NaN silently corrupts every weight,
+/// and a `debug_assert` would let `--release` experiment runs do exactly
+/// that for the remaining epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainError {
+    /// Zero-based epoch of the offending batch.
+    pub epoch: usize,
+    /// Zero-based batch index within the epoch.
+    pub batch: usize,
+    /// [`Loss::name`] of the criterion in use.
+    pub loss_name: &'static str,
+    /// The non-finite loss value (NaN or ±∞).
+    pub value: f32,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite {} loss {} at epoch {}, batch {}",
+            self.loss_name, self.value, self.epoch, self.batch
+        )
+    }
+}
+
+impl std::error::Error for TrainError {}
+
 /// Trains `net` on `(x, y)` with mini-batch SGD.
 ///
-/// The generic `forward`/`backward` come from [`Layer`], so the same loop
-/// trains a full [`crate::ConvNet`]'s `Sequential`+head composition (via a
-/// wrapper) or a bare classifier head on embeddings. `drw_weights` are the
-/// class weights installed at `cfg.drw_epoch`.
+/// Convenience wrapper over [`try_train_epochs`] that panics (with the
+/// epoch/batch/loss diagnostics of [`TrainError`]) if the run diverges.
 pub fn train_epochs(
     net: &mut dyn Layer,
     loss: &mut dyn Loss,
@@ -64,6 +90,26 @@ pub fn train_epochs(
     drw_weights: Option<Vec<f32>>,
     rng: &mut Rng64,
 ) -> Vec<EpochStats> {
+    try_train_epochs(net, loss, x, y, cfg, drw_weights, rng).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Trains `net` on `(x, y)` with mini-batch SGD.
+///
+/// The generic `forward`/`backward` come from [`Layer`], so the same loop
+/// trains a full [`crate::ConvNet`]'s `Sequential`+head composition (via a
+/// wrapper) or a bare classifier head on embeddings. `drw_weights` are the
+/// class weights installed at `cfg.drw_epoch`. Stops with [`TrainError`]
+/// on the first non-finite batch loss, before the poisoned gradients
+/// reach the optimiser.
+pub fn try_train_epochs(
+    net: &mut dyn Layer,
+    loss: &mut dyn Loss,
+    x: &Tensor,
+    y: &[usize],
+    cfg: &TrainConfig,
+    drw_weights: Option<Vec<f32>>,
+    rng: &mut Rng64,
+) -> Result<Vec<EpochStats>, TrainError> {
     assert_eq!(x.dim(0), y.len(), "sample/label count mismatch");
     assert!(cfg.batch_size > 0 && cfg.epochs > 0);
     let n = y.len();
@@ -94,7 +140,14 @@ pub fn train_epochs(
             net.zero_grad();
             let logits = net.forward(&bx, true);
             let (l, dlogits) = loss.loss_and_grad(&logits, &by);
-            debug_assert!(l.is_finite(), "non-finite loss at epoch {epoch}");
+            if !l.is_finite() {
+                return Err(TrainError {
+                    epoch,
+                    batch: batches,
+                    loss_name: loss.name(),
+                    value: l,
+                });
+            }
             let _ = net.backward(&dlogits);
             opt.step_visit(net);
             total_loss += l as f64;
@@ -108,7 +161,7 @@ pub fn train_epochs(
             accuracy: correct as f32 / n as f32,
         });
     }
-    history
+    Ok(history)
 }
 
 /// Trains like [`train_epochs`] but evaluates balanced-accuracy-style
@@ -280,6 +333,72 @@ mod tests {
             train_with_early_stopping(&mut net, &mut loss, &x, &y, &vx, &vy, &cfg, 8, &mut rng);
         assert_eq!(history.len(), 8);
         assert!(best > 0.9, "best val acc {best}");
+    }
+
+    /// Returns a finite loss for `poison_after` batches, then NaN.
+    struct PoisonedLoss {
+        calls: std::cell::Cell<usize>,
+        poison_after: usize,
+    }
+    impl crate::loss::Loss for PoisonedLoss {
+        fn loss_and_grad(&self, logits: &Tensor, _labels: &[usize]) -> (f32, Tensor) {
+            let call = self.calls.get();
+            self.calls.set(call + 1);
+            let l = if call < self.poison_after {
+                1.0
+            } else {
+                f32::NAN
+            };
+            (l, Tensor::zeros(logits.dims()))
+        }
+        fn set_class_weights(&mut self, _weights: Option<Vec<f32>>) {}
+        fn name(&self) -> &'static str {
+            "Poisoned"
+        }
+    }
+
+    #[test]
+    fn non_finite_loss_surfaces_a_structured_error_in_release_too() {
+        // 20 samples / batch 8 = 3 batches per epoch; poison call 4
+        // (epoch 1, batch 1) and check the error pinpoints it. This path
+        // must not depend on debug assertions.
+        let mut rng = Rng64::new(30);
+        let (x, y) = blobs(10, &mut rng);
+        let mut net = mlp(&[2, 2], &mut rng);
+        let mut loss = PoisonedLoss {
+            calls: std::cell::Cell::new(0),
+            poison_after: 4,
+        };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            ..TrainConfig::default()
+        };
+        let err = try_train_epochs(&mut net, &mut loss, &x, &y, &cfg, None, &mut rng)
+            .expect_err("NaN loss must abort training");
+        assert_eq!(err.epoch, 1);
+        assert_eq!(err.batch, 1);
+        assert_eq!(err.loss_name, "Poisoned");
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("epoch 1, batch 1"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite Poisoned loss")]
+    fn train_epochs_panics_on_divergence() {
+        let mut rng = Rng64::new(31);
+        let (x, y) = blobs(6, &mut rng);
+        let mut net = mlp(&[2, 2], &mut rng);
+        let mut loss = PoisonedLoss {
+            calls: std::cell::Cell::new(0),
+            poison_after: 0,
+        };
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let _ = train_epochs(&mut net, &mut loss, &x, &y, &cfg, None, &mut rng);
     }
 
     #[test]

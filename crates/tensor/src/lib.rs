@@ -40,6 +40,6 @@ mod tensor;
 pub use conv::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use gradcheck::{central_difference, max_abs_diff, rel_error};
 pub use init::{kaiming_uniform, normal, uniform, Rng64};
-pub use matmul::{gemm_into, gemm_nt_into, gemm_tn_into};
+pub use matmul::{gemm_into, gemm_nt_into, gemm_tn_into, set_force_scalar_kernel};
 pub use shape::Shape;
 pub use tensor::Tensor;

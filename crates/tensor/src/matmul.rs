@@ -21,6 +21,7 @@ use crate::par;
 use crate::scratch;
 use crate::tensor::Tensor;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 const BLOCK_K: usize = 64;
 
@@ -199,6 +200,20 @@ fn tile_kernel_avx2(
     tile_kernel(apack, packed_b, rows, it, h, k, n);
 }
 
+/// When set, [`tile_kernel_dispatch`] ignores CPU feature detection and
+/// runs the portable scalar micro-kernel. The wide and portable paths are
+/// designed to be bit-identical; this switch lets the `check_numerics`
+/// gate *prove* it on the host CPU instead of trusting the argument.
+static FORCE_SCALAR_KERNEL: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or stops forcing) the portable scalar micro-kernel regardless
+/// of detected CPU features. Verification-harness use only: the toggle is
+/// process-global, so flip it around a comparison, not concurrently with
+/// unrelated GEMMs whose performance matters.
+pub fn set_force_scalar_kernel(on: bool) {
+    FORCE_SCALAR_KERNEL.store(on, Ordering::Relaxed);
+}
+
 /// Runs the widest bit-identical micro-kernel the CPU supports. Feature
 /// detection is cached by `std`, so the check is one relaxed atomic load.
 #[inline]
@@ -212,7 +227,7 @@ fn tile_kernel_dispatch(
     n: usize,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
+    if !FORCE_SCALAR_KERNEL.load(Ordering::Relaxed) && std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: the avx2 requirement was just checked at runtime.
         unsafe {
             return tile_kernel_avx2(apack, packed_b, rows, it, h, k, n);
@@ -527,5 +542,24 @@ mod tests {
     #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_rejects_mismatch() {
         seq(&[2, 3]).matmul(&seq(&[4, 2]));
+    }
+
+    #[test]
+    fn forced_scalar_kernel_is_bit_identical_to_dispatch() {
+        // Shapes chosen to exercise full tiles, edge tiles and the
+        // parallel path. A concurrent test racing the global toggle can
+        // only swap which (bit-identical) kernel runs, so the assertion
+        // stays sound either way.
+        for (m, k, n) in [(3, 7, 5), (17, 33, 12), (96, 96, 96)] {
+            let a = seq(&[m, k]);
+            let b = seq(&[k, n]);
+            let auto = a.matmul(&b);
+            set_force_scalar_kernel(true);
+            let scalar = a.matmul(&b);
+            set_force_scalar_kernel(false);
+            for (x, y) in auto.data().iter().zip(scalar.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+            }
+        }
     }
 }

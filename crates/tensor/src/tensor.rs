@@ -415,6 +415,27 @@ impl Tensor {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
     }
+
+    /// FNV-1a digest over the exact bit patterns of the elements (shape
+    /// included), for golden-determinism gates: two tensors digest equal
+    /// iff they are bit-for-bit identical, including NaN payloads and
+    /// signed zeros that `==` would conflate.
+    pub fn bits_digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for &d in self.dims() {
+            eat(&(d as u64).to_le_bytes());
+        }
+        for x in &self.data {
+            eat(&x.to_bits().to_le_bytes());
+        }
+        h
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -450,6 +471,20 @@ mod tests {
     #[should_panic(expected = "cannot have shape")]
     fn from_vec_rejects_bad_len() {
         Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn bits_digest_separates_values_shapes_and_signed_zero() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.bits_digest(), a.clone().bits_digest());
+        assert_ne!(a.bits_digest(), a.reshape(&[4]).bits_digest());
+        let mut b = a.clone();
+        b.data_mut()[3] = 4.0 + 1e-6;
+        assert_ne!(a.bits_digest(), b.bits_digest());
+        // -0.0 == 0.0 but the bit patterns differ; the digest must see it.
+        let z = Tensor::from_vec(vec![0.0], &[1]);
+        let nz = Tensor::from_vec(vec![-0.0], &[1]);
+        assert_ne!(z.bits_digest(), nz.bits_digest());
     }
 
     #[test]

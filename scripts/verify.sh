@@ -14,3 +14,8 @@ cargo test -q
 # if a steady-state training step heap-allocates.
 cargo run --release -q -p eos-bench --bin bench_gemm -- --smoke
 cargo run --release -q -p eos-bench --bin train_step -- --smoke
+
+# Numerical correctness gate: gradchecks every Layer and every loss,
+# spot-checks the gap/metric formulas, and pins a golden-determinism
+# digest of a training step across thread counts and kernel dispatch.
+cargo run --release -q -p eos-bench --bin check_numerics -- --smoke
