@@ -6,8 +6,10 @@
 //! training step must perform **zero** heap allocations — the audit runs
 //! single-threaded so the count is deterministic, and the binary exits
 //! non-zero if any allocation sneaks back into the hot path. Timing is
-//! then measured at the ambient thread budget and written to
-//! `results/BENCH_train_step.json`.
+//! then measured at the ambient thread budget — with tracing disabled
+//! (the configuration the acceptance gate compares against the pre-trace
+//! baseline) and again with tracing enabled, reporting the overhead —
+//! and written to `results/BENCH_train_step.json`.
 //!
 //! `--smoke` trims the sample counts for `scripts/verify.sh`.
 
@@ -163,6 +165,26 @@ fn main() {
         state.step()
     });
 
+    // --- Tracing overhead: the same step with the trace registry live.
+    // The audit and the timings above ran with tracing disabled (its
+    // default), so `parallel` is the number the acceptance gate compares
+    // against the pre-trace baseline; this block quantifies what enabling
+    // spans/counters costs on top.
+    eos_trace::set_enabled(true);
+    for _ in 0..warmup {
+        std::hint::black_box(state.step());
+    }
+    let traced = bench_stats(
+        &format!("train step ({ambient} threads, traced)"),
+        samples,
+        || state.step(),
+    );
+    eos_trace::set_enabled(false);
+    eos_trace::reset();
+    let overhead_pct =
+        100.0 * (traced.min.as_nanos() as f64 / parallel.min.as_nanos().max(1) as f64 - 1.0);
+    println!("tracing-enabled overhead: {overhead_pct:+.2}% (min-over-min)");
+
     let mut rec = JsonRecord::new();
     rec.str("bench", "train_step")
         .str("arch", "resnet-1x8")
@@ -175,7 +197,10 @@ fn main() {
         .int("serial_min_ns", serial.min.as_nanos() as u64)
         .int("threads", ambient as u64)
         .int("parallel_mean_ns", parallel.mean.as_nanos() as u64)
-        .int("parallel_min_ns", parallel.min.as_nanos() as u64);
+        .int("parallel_min_ns", parallel.min.as_nanos() as u64)
+        .int("traced_mean_ns", traced.mean.as_nanos() as u64)
+        .int("traced_min_ns", traced.min.as_nanos() as u64)
+        .num("tracing_overhead_pct", overhead_pct);
     rec.write("BENCH_train_step");
 
     if allocs > 0 {

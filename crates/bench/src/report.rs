@@ -1,7 +1,6 @@
 //! Markdown / CSV report output.
 
 use std::fmt::Write as _;
-use std::path::Path;
 
 /// A simple aligned markdown table builder.
 pub struct MarkdownTable {
@@ -84,18 +83,11 @@ impl MarkdownTable {
     }
 }
 
-/// Writes a table's CSV form under `results/<name>.csv` (creating the
-/// directory), and reports where it went.
+/// Writes a table's CSV form under `results/<name>.csv` via the shared
+/// `eos-trace` results writer, and reports where it went.
 pub fn write_csv(table: &MarkdownTable, name: &str) {
-    let dir = Path::new("results");
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: cannot create results/: {e}");
-        return;
-    }
-    let path = dir.join(format!("{name}.csv"));
-    match std::fs::write(&path, table.to_csv()) {
-        Ok(()) => println!("\n[csv written to {}]", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    if let Some(path) = eos_trace::write_results(&format!("{name}.csv"), &table.to_csv()) {
+        println!("\n[csv written to {}]", path.display());
     }
 }
 

@@ -5,10 +5,16 @@
 //! warm-up, a fixed sample count, and mean/min reporting. Bench targets are
 //! declared with `harness = false` and call [`bench`] from a plain
 //! `fn main()`.
+//!
+//! JSON rendering and duration formatting come from `eos-trace` (re-exported
+//! below), so `results/BENCH_*.json` and `results/TRACE_*.json` share one
+//! writer and cannot drift apart in format. Every timed sample is also fed
+//! into the trace histogram `bench.sample_ns`, putting bench measurements
+//! and trace spans in the same registry.
 
-use std::fmt::Write as _;
-use std::path::Path;
 use std::time::{Duration, Instant};
+
+pub use eos_trace::{format_duration, JsonRecord};
 
 /// Mean/min over a benchmark's samples.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +53,7 @@ pub fn bench_stats<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> B
         let t0 = Instant::now();
         std::hint::black_box(f());
         let dt = t0.elapsed();
+        eos_trace::hist!("bench.sample_ns", dt.as_nanos() as u64);
         total += dt;
         min = min.min(dt);
     }
@@ -57,94 +64,6 @@ pub fn bench_stats<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> B
         format_duration(min),
     );
     BenchStats { mean, min, samples }
-}
-
-/// A flat, ordered JSON object rendered by hand (the build is offline, so
-/// no serde). Values are appended pre-typed; [`JsonRecord::render`] emits
-/// one pretty-printed object.
-#[derive(Default)]
-pub struct JsonRecord {
-    fields: Vec<(String, String)>,
-}
-
-impl JsonRecord {
-    /// Empty record.
-    pub fn new() -> Self {
-        JsonRecord::default()
-    }
-
-    /// Appends a string field.
-    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
-        let escaped: String = value
-            .chars()
-            .flat_map(|c| match c {
-                '"' | '\\' => vec!['\\', c],
-                '\n' => vec!['\\', 'n'],
-                _ => vec![c],
-            })
-            .collect();
-        self.fields
-            .push((key.to_string(), format!("\"{escaped}\"")));
-        self
-    }
-
-    /// Appends a boolean field.
-    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
-        self.fields.push((key.to_string(), value.to_string()));
-        self
-    }
-
-    /// Appends an integer field.
-    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
-        self.fields.push((key.to_string(), value.to_string()));
-        self
-    }
-
-    /// Appends a float field (fixed 4-decimal form, valid JSON).
-    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
-        assert!(value.is_finite(), "JSON cannot carry NaN/inf ({key})");
-        self.fields.push((key.to_string(), format!("{value:.4}")));
-        self
-    }
-
-    /// Renders the object with one field per line.
-    pub fn render(&self) -> String {
-        let mut out = String::from("{\n");
-        for (i, (k, v)) in self.fields.iter().enumerate() {
-            let comma = if i + 1 < self.fields.len() { "," } else { "" };
-            let _ = writeln!(out, "  \"{k}\": {v}{comma}");
-        }
-        out.push_str("}\n");
-        out
-    }
-
-    /// Writes the record to `results/<name>.json`, creating the directory.
-    pub fn write(&self, name: &str) {
-        let dir = Path::new("results");
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("warning: cannot create results/: {e}");
-            return;
-        }
-        let path = dir.join(format!("{name}.json"));
-        match std::fs::write(&path, self.render()) {
-            Ok(()) => println!("[json written to {}]", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        }
-    }
-}
-
-/// Human-readable duration: `1.234 ms`, `56.7 µs`, `2.345 s`.
-pub fn format_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns >= 1_000_000_000 {
-        format!("{:.3} s", ns as f64 / 1e9)
-    } else if ns >= 1_000_000 {
-        format!("{:.3} ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.1} µs", ns as f64 / 1e3)
-    } else {
-        format!("{ns} ns")
-    }
 }
 
 #[cfg(test)]
@@ -169,17 +88,17 @@ mod tests {
     }
 
     #[test]
-    fn json_record_renders_valid_flat_object() {
+    fn json_record_is_the_trace_renderer() {
+        // The re-export must behave exactly like the old local copy (and
+        // its output now also passes the trace crate's JSON validator).
         let mut r = JsonRecord::new();
         r.str("bench", "gemm \"256\"")
             .int("threads", 8)
             .num("gflops", 1.25);
         let s = r.render();
-        assert!(s.starts_with("{\n"));
         assert!(s.contains("\"bench\": \"gemm \\\"256\\\"\","));
-        assert!(s.contains("\"threads\": 8,"));
         assert!(s.contains("\"gflops\": 1.2500\n"));
-        assert!(s.ends_with("}\n"));
+        eos_trace::validate(&s).expect("BENCH records must be valid JSON");
     }
 
     #[test]

@@ -130,6 +130,7 @@ impl Oversampler for Eos {
         rng: &mut Rng64,
     ) -> (Tensor, Vec<usize>) {
         assert_eq!(x.dim(0), y.len());
+        let _span = eos_trace::span("eos.oversample");
         let needs = deficits(y, num_classes);
         let idx = indices_by_class(y, num_classes);
         let width = x.dim(1);
@@ -144,7 +145,14 @@ impl Oversampler for Eos {
                 !idx[class].is_empty(),
                 "cannot oversample empty class {class}"
             );
+            eos_trace::count!("eos.synthetic_samples", need as u64);
+            if eos_trace::enabled() {
+                // Dynamic name: resolve per call (this loop runs once per
+                // deficient class per oversample, never in a hot loop).
+                eos_trace::counter(&format!("eos.synthetic.class{class}")).add(need as u64);
+            }
             let table = self.enemy_table(&index, y, class, &idx[class]);
+            eos_trace::count!("eos.borderline_bases", table.len() as u64);
             if table.is_empty() {
                 // No borderline samples at all (isolated class): fall back
                 // to intra-class interpolation so balancing still happens.

@@ -140,8 +140,17 @@ impl ThreePhase {
         let mut loss = loss_kind.build(&counts);
         let tc = backbone_schedule(cfg, loss_kind, &counts);
         let drw = (loss_kind == LossKind::Ldam).then(|| effective_number_weights(0.999, &counts));
-        let history = train_epochs(&mut net, loss.as_mut(), &train.x, &train.y, &tc, drw, rng);
-        let train_fe = extract_embeddings(&mut net, &train.x);
+        let history = {
+            let _phase1 = eos_trace::span("eos.phase1");
+            train_epochs(&mut net, loss.as_mut(), &train.x, &train.y, &tc, drw, rng)
+        };
+        let train_fe = {
+            // Phase two starts with embedding extraction; the augmentation
+            // half lives in [`ThreePhase::finetune_head`] and aggregates
+            // into the same span node.
+            let _phase2 = eos_trace::span("eos.phase2");
+            extract_embeddings(&mut net, &train.x)
+        };
         ThreePhase {
             net,
             train_fe,
@@ -177,10 +186,15 @@ impl ThreePhase {
         rng: &mut Rng64,
     ) -> f64 {
         let t0 = Instant::now();
-        let (bx, by) = match sampler {
-            Some(s) => balance_with(s, &self.train_fe, &self.train_y, self.num_classes, rng),
-            None => (self.train_fe.clone(), self.train_y.clone()),
+        let (bx, by) = {
+            // The augmentation half of phase two (same node as extraction).
+            let _phase2 = eos_trace::span("eos.phase2");
+            match sampler {
+                Some(s) => balance_with(s, &self.train_fe, &self.train_y, self.num_classes, rng),
+                None => (self.train_fe.clone(), self.train_y.clone()),
+            }
         };
+        let _phase3 = eos_trace::span("eos.phase3");
         let mut head = Linear::new(self.net.feature_dim(), self.num_classes, true, rng);
         let mut ce = CrossEntropyLoss::new();
         let tc = TrainConfig {

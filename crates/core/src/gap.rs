@@ -72,6 +72,7 @@ pub fn generalization_gap(
     num_classes: usize,
 ) -> ClassGaps {
     assert_eq!(train_fe.dim(1), test_fe.dim(1), "embedding width mismatch");
+    let _scan = eos_trace::span("gap.scan");
     let tr = class_ranges(train_fe, train_y, num_classes);
     let te = class_ranges(test_fe, test_y, num_classes);
     let per_class: Vec<f64> = tr

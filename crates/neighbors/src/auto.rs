@@ -36,9 +36,19 @@ impl AutoIndex {
         }
     }
 
+    /// Counts `n` resolved queries against whichever backend this index
+    /// routes to, so traces show how the dimensionality split behaves.
+    fn trace_queries(&self, n: usize) {
+        match self {
+            AutoIndex::Tree(_) => eos_trace::count!("neighbors.tree_queries", n as u64),
+            AutoIndex::Brute(_) => eos_trace::count!("neighbors.brute_queries", n as u64),
+        }
+    }
+
     /// [`NnIndex::query`] for every row of a `(q, d)` query matrix, fanned
     /// out across the worker pool; identical to a query-at-a-time loop.
     pub fn query_batch(&self, queries: &Tensor, k: usize) -> Vec<Vec<Neighbor>> {
+        self.trace_queries(queries.dim(0));
         match self {
             AutoIndex::Tree(t) => t.query_batch(queries, k),
             AutoIndex::Brute(b) => b.query_batch(queries, k),
@@ -48,6 +58,7 @@ impl AutoIndex {
     /// [`NnIndex::query_row`] for many indexed rows at once, fanned out
     /// across the worker pool; identical to the serial loop.
     pub fn query_rows_batch(&self, rows: &[usize], k: usize) -> Vec<Vec<Neighbor>> {
+        self.trace_queries(rows.len());
         match self {
             AutoIndex::Tree(t) => t.query_rows_batch(rows, k),
             AutoIndex::Brute(b) => b.query_rows_batch(rows, k),
@@ -57,6 +68,7 @@ impl AutoIndex {
 
 impl NnIndex for AutoIndex {
     fn query(&self, point: &[f32], k: usize) -> Vec<Neighbor> {
+        self.trace_queries(1);
         match self {
             AutoIndex::Tree(t) => t.query(point, k),
             AutoIndex::Brute(b) => b.query(point, k),
@@ -64,6 +76,7 @@ impl NnIndex for AutoIndex {
     }
 
     fn query_row(&self, row: usize, k: usize) -> Vec<Neighbor> {
+        self.trace_queries(1);
         match self {
             AutoIndex::Tree(t) => t.query_row(row, k),
             AutoIndex::Brute(b) => b.query_row(row, k),

@@ -1,0 +1,134 @@
+//! Randomized backend-equivalence sweep: KdTree and AutoIndex must return
+//! exactly what the brute-force scan returns — same neighbours, same
+//! order, bit-identical distances — across dimensionalities 2..=32,
+//! duplicate-heavy data, oversized `k`, and worker-pool budgets 1/2/4/8.
+
+use eos_neighbors::{AutoIndex, BruteForceKnn, KdTree, Metric, Neighbor, NnIndex, TREE_MAX_DIM};
+use eos_tensor::{normal, par, Rng64, Tensor};
+use std::sync::Mutex;
+
+/// `set_num_threads` is process-global; every test in this binary that
+/// touches the budget must hold this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+const DIMS: [usize; 6] = [2, 3, 8, 16, 17, 32];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bits(lists: &[Vec<Neighbor>]) -> Vec<(usize, u32)> {
+    lists
+        .iter()
+        .flat_map(|l| l.iter().map(|n| (n.index, n.distance.to_bits())))
+        .collect()
+}
+
+#[test]
+fn auto_index_matches_brute_force_across_dims_and_threads() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let restore = par::num_threads();
+    for (case, &d) in DIMS.iter().enumerate() {
+        let mut rng = Rng64::new(40 + case as u64);
+        let n = 50 + rng.below(70);
+        let data = normal(&[n, d], 0.0, 1.0, &mut rng);
+        let queries = normal(&[20, d], 0.0, 1.0, &mut rng);
+        let k = 1 + rng.below(9);
+        let rows: Vec<usize> = (0..n).step_by(3).collect();
+        let auto = AutoIndex::new(&data, Metric::Euclidean);
+        let brute = BruteForceKnn::new(&data, Metric::Euclidean);
+        let want_batch = bits(&brute.query_batch(&queries, k));
+        let want_rows = bits(&brute.query_rows_batch(&rows, k));
+        for &threads in &THREADS {
+            par::set_num_threads(threads);
+            assert_eq!(
+                bits(&auto.query_batch(&queries, k)),
+                want_batch,
+                "d = {d}, {threads} threads"
+            );
+            assert_eq!(
+                bits(&auto.query_rows_batch(&rows, k)),
+                want_rows,
+                "d = {d}, {threads} threads"
+            );
+            if d <= TREE_MAX_DIM {
+                let tree = KdTree::new(&data, Metric::Euclidean);
+                assert_eq!(
+                    bits(&tree.query_batch(&queries, k)),
+                    want_batch,
+                    "kd-tree, d = {d}, {threads} threads"
+                );
+            }
+        }
+    }
+    par::set_num_threads(restore);
+}
+
+#[test]
+fn duplicate_heavy_data_ties_break_identically() {
+    // Every point duplicated many times: all-tie neighbourhoods are the
+    // harshest test of (distance, index) ordering parity.
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let restore = par::num_threads();
+    for &d in &[2usize, 8, TREE_MAX_DIM, 24] {
+        let mut v = Vec::new();
+        for i in 0..60 {
+            let spot = (i % 5) as f32; // 5 distinct locations, 12 copies each
+            v.extend((0..d).map(|j| spot + (j % 2) as f32));
+        }
+        let data = Tensor::from_vec(v, &[60, d]);
+        let auto = AutoIndex::new(&data, Metric::Euclidean);
+        let brute = BruteForceKnn::new(&data, Metric::Euclidean);
+        let rows: Vec<usize> = (0..60).collect();
+        let want = bits(&brute.query_rows_batch(&rows, 15));
+        for &threads in &THREADS {
+            par::set_num_threads(threads);
+            assert_eq!(
+                bits(&auto.query_rows_batch(&rows, 15)),
+                want,
+                "d = {d}, {threads} threads"
+            );
+        }
+        for row in [0usize, 13, 59] {
+            assert_eq!(auto.query_row(row, 15), brute.query_row(row, 15));
+        }
+    }
+    par::set_num_threads(restore);
+}
+
+#[test]
+fn oversized_k_returns_everything_in_agreement() {
+    // k at or above the indexed size (the k >= class-size case the
+    // oversamplers hit on tiny classes): both backends must return all
+    // available neighbours, fully sorted, and agree exactly.
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let restore = par::num_threads();
+    for (case, &d) in DIMS.iter().enumerate() {
+        let mut rng = Rng64::new(70 + case as u64);
+        let n = 6 + rng.below(6);
+        let data = normal(&[n, d], 0.0, 1.0, &mut rng);
+        let auto = AutoIndex::new(&data, Metric::Euclidean);
+        let brute = BruteForceKnn::new(&data, Metric::Euclidean);
+        for k in [n - 1, n, n + 7] {
+            let q: Vec<f32> = (0..d).map(|_| rng.normal_f32(0.0, 1.0)).collect();
+            let a = auto.query(&q, k);
+            assert_eq!(a, brute.query(&q, k), "d = {d}, k = {k}");
+            assert_eq!(a.len(), k.min(n), "d = {d}, k = {k}");
+            for pair in a.windows(2) {
+                assert!(pair[0].distance <= pair[1].distance);
+            }
+            // Self-excluding row queries cap at n - 1 hits.
+            let r = auto.query_row(0, k);
+            assert_eq!(r, brute.query_row(0, k), "d = {d}, k = {k}");
+            assert_eq!(r.len(), k.min(n - 1));
+            assert!(r.iter().all(|h| h.index != 0));
+        }
+        for &threads in &THREADS {
+            par::set_num_threads(threads);
+            let rows: Vec<usize> = (0..n).collect();
+            assert_eq!(
+                bits(&auto.query_rows_batch(&rows, n + 3)),
+                bits(&brute.query_rows_batch(&rows, n + 3)),
+                "d = {d}, {threads} threads"
+            );
+        }
+    }
+    par::set_num_threads(restore);
+}

@@ -455,7 +455,10 @@ mod tests {
             let (l, g) = FocalLoss::new(gamma).loss_and_grad(&logits, &[0]);
             assert!(l.is_finite(), "γ={gamma}: loss {l}");
             assert!(g.all_finite(), "γ={gamma}: non-finite gradient");
-            assert!(l >= 0.0 && l < 1e-4, "γ={gamma}: easy sample, tiny loss");
+            assert!(
+                (0.0..1e-4).contains(&l),
+                "γ={gamma}: easy sample, tiny loss"
+            );
         }
     }
 

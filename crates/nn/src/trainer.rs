@@ -117,6 +117,7 @@ pub fn try_train_epochs(
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = eos_trace::span("train.epoch");
         if let Some(s) = &cfg.schedule {
             opt.lr = s.lr_at(epoch);
         }
@@ -125,6 +126,8 @@ pub fn try_train_epochs(
                 loss.set_class_weights(Some(w.clone()));
             }
         }
+        // Learning rate in microunits (histograms are integer-valued).
+        eos_trace::hist!("train.lr_micro", (opt.lr as f64 * 1e6) as u64);
         rng.shuffle(&mut order);
         let mut total_loss = 0.0f64;
         let mut correct = 0usize;
@@ -134,6 +137,7 @@ pub fn try_train_epochs(
         let mut by: Vec<usize> = Vec::with_capacity(cfg.batch_size);
         let mut preds: Vec<usize> = Vec::with_capacity(cfg.batch_size);
         for chunk in order.chunks(cfg.batch_size) {
+            let _batch_span = eos_trace::span("train.batch");
             let bx = x.select_rows(chunk);
             by.clear();
             by.extend(chunk.iter().map(|&i| y[i]));
@@ -152,6 +156,9 @@ pub fn try_train_epochs(
             opt.step_visit(net);
             total_loss += l as f64;
             batches += 1;
+            eos_trace::count!("train.batches", 1);
+            // Loss in milliunits, clamped at zero (log2 buckets are u64).
+            eos_trace::hist!("train.batch_loss_milli", (l.max(0.0) as f64 * 1e3) as u64);
             logits.argmax_rows_into(&mut preds);
             correct += preds.iter().zip(&by).filter(|(p, t)| p == t).count();
         }

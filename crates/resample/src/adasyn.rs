@@ -49,6 +49,8 @@ impl Oversampler for Adasyn {
                 "cannot oversample empty class {class}"
             );
             let class_rows = x.select_rows(&idx[class]);
+            eos_trace::count!("resample.neighbor_queries", idx[class].len() as u64);
+            eos_trace::count!("resample.interpolations", need as u64);
             // Difficulty ratios over the full dataset; the per-member
             // neighbourhood scans fan out across the worker pool.
             let ratios: Vec<f32> = full_index

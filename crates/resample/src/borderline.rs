@@ -37,6 +37,7 @@ impl BorderlineSmote {
         // One neighbourhood scan per class member, fanned out in parallel;
         // the DANGER filter itself is order-preserving and serial.
         let hits_per_row = index.query_rows_batch(class_rows, self.m);
+        eos_trace::count!("resample.neighbor_queries", class_rows.len() as u64);
         let mut danger = Vec::new();
         for (local, hits) in hits_per_row.iter().enumerate() {
             let enemies = hits.iter().filter(|h| y[h.index] != class).count();

@@ -48,6 +48,8 @@ impl Smote {
         // RNG call sequence — and the output — is identical to querying
         // inside the loop.
         let neighbor_lists = index.query_rows_batch(base_pool, k);
+        eos_trace::count!("resample.neighbor_queries", base_pool.len() as u64);
+        eos_trace::count!("resample.interpolations", need as u64);
         let mut list_of = vec![usize::MAX; n];
         for (pi, &row) in base_pool.iter().enumerate() {
             list_of[row] = pi;

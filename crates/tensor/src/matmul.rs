@@ -214,6 +214,30 @@ pub fn set_force_scalar_kernel(on: bool) {
     FORCE_SCALAR_KERNEL.store(on, Ordering::Relaxed);
 }
 
+/// Records one GEMM call: total count, which micro-kernel the per-tile
+/// dispatch will select (the toggle and CPU features cannot change
+/// mid-call in any supported use), and the flop count distribution.
+/// Counted once per entry point, not per tile — the tile loop is far too
+/// hot to touch even a relaxed atomic.
+#[inline]
+fn trace_gemm(m: usize, k: usize, n: usize) {
+    if !eos_trace::enabled() {
+        return;
+    }
+    eos_trace::count!("gemm.calls", 1);
+    #[cfg(target_arch = "x86_64")]
+    let wide =
+        !FORCE_SCALAR_KERNEL.load(Ordering::Relaxed) && std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let wide = false;
+    if wide {
+        eos_trace::count!("gemm.dispatch.avx2", 1);
+    } else {
+        eos_trace::count!("gemm.dispatch.scalar", 1);
+    }
+    eos_trace::hist!("gemm.flops", 2 * (m as u64) * (k as u64) * (n as u64));
+}
+
 /// Runs the widest bit-identical micro-kernel the CPU supports. Feature
 /// detection is cached by `std`, so the check is one relaxed atomic load.
 #[inline]
@@ -244,6 +268,7 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (k2, n) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+        trace_gemm(m, k, n);
         let mut out = scratch::take_zeroed(m * n);
         if m > 0 && n > 0 {
             let (a, b) = (self.data(), other.data());
@@ -266,6 +291,7 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (n, k2) = (other.dim(0), other.dim(1));
         assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+        trace_gemm(m, k, n);
         let mut out = scratch::take_zeroed(m * n);
         if m > 0 && n > 0 {
             let (a, b) = (self.data(), other.data());
@@ -288,6 +314,7 @@ impl Tensor {
         let (m, k) = (self.dim(0), self.dim(1));
         let (m2, n) = (other.dim(0), other.dim(1));
         assert_eq!(m, m2, "inner dimension mismatch: {m} vs {m2}");
+        trace_gemm(k, m, n);
         let mut out = scratch::take_zeroed(k * n);
         if k > 0 && n > 0 {
             let (a, b) = (self.data(), other.data());
@@ -326,6 +353,7 @@ pub fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     assert_eq!(out.len() % n.max(1), 0, "output not a whole number of rows");
     assert_eq!(a.len(), (out.len() / n.max(1)) * k, "lhs size mismatch");
     assert_eq!(b.len(), k * n, "rhs size mismatch");
+    trace_gemm(out.len() / n.max(1), k, n);
     out.fill(0.0);
     let packed_b = pack_b(|p, j| b[p * n + j], k, n);
     packed_gemm_rows(&|i, p| a[i * k + p], &packed_b, out, 0, k, n);
@@ -339,6 +367,7 @@ pub fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     assert_eq!(out.len() % n.max(1), 0, "output not a whole number of rows");
     assert_eq!(a.len(), (out.len() / n.max(1)) * k, "lhs size mismatch");
     assert_eq!(b.len(), n * k, "rhs size mismatch");
+    trace_gemm(out.len() / n.max(1), k, n);
     out.fill(0.0);
     let packed_b = pack_b(|p, j| b[j * k + p], k, n);
     packed_gemm_rows(&|i, p| a[i * k + p], &packed_b, out, 0, k, n);
@@ -353,6 +382,7 @@ pub fn gemm_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
     assert_eq!(out.len(), k * n, "output size mismatch");
     assert_eq!(a.len(), m * k, "lhs size mismatch");
     assert_eq!(b.len(), m * n, "rhs size mismatch");
+    trace_gemm(k, m, n);
     out.fill(0.0);
     let packed_b = pack_b(|i, j| b[i * n + j], m, n);
     packed_gemm_rows(&|r, i| a[i * k + r], &packed_b, out, 0, m, n);

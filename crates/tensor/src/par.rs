@@ -90,7 +90,12 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    // Per-worker busy-time counter, resolved once per thread. Interning is
+    // unconditional (it is one lock + map insert at spawn time); recording
+    // only happens while tracing is enabled.
+    let busy_self = eos_trace::counter(&format!("pool.worker{idx}.busy_ns"));
+    let busy_all = eos_trace::counter("pool.worker_busy_ns");
     let mut last_gen = 0u64;
     loop {
         let job = {
@@ -114,9 +119,15 @@ fn worker_loop(shared: Arc<Shared>) {
                 _ => continue,
             }
         };
+        let t0 = eos_trace::enabled().then(std::time::Instant::now);
         // SAFETY: we attached above, so `Pool::run` cannot return (and the
         // pointees cannot die) until we detach below.
         unsafe { execute_chunks(&job) };
+        if let Some(t0) = t0 {
+            let ns = t0.elapsed().as_nanos() as u64;
+            busy_self.add(ns);
+            busy_all.add(ns);
+        }
         let mut slot = lock(&shared.slot);
         slot.active -= 1;
         if slot.active == 0 {
@@ -193,11 +204,15 @@ impl Pool {
         {
             // Serial switch, trivial job, or the pool is already running a
             // job (nested/concurrent submission): execute inline.
+            eos_trace::count!("pool.jobs.inline", 1);
             for i in 0..n_chunks {
                 f(i);
             }
             return;
         }
+        eos_trace::count!("pool.jobs.dispatched", 1);
+        eos_trace::hist!("pool.job.chunks", n_chunks as u64);
+        eos_trace::hist!("pool.job.participants", (threads - 1) as u64);
 
         let next = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
@@ -218,9 +233,10 @@ impl Pool {
             let mut slot = lock(&self.shared.slot);
             while slot.spawned < threads - 1 {
                 let shared = Arc::clone(&self.shared);
+                let idx = slot.spawned;
                 std::thread::Builder::new()
-                    .name(format!("eos-par-{}", slot.spawned))
-                    .spawn(move || worker_loop(shared))
+                    .name(format!("eos-par-{idx}"))
+                    .spawn(move || worker_loop(shared, idx))
                     .expect("failed to spawn eos-par worker");
                 slot.spawned += 1;
             }
@@ -228,9 +244,13 @@ impl Pool {
             slot.job = Some(job);
             self.shared.work.notify_all();
         }
+        let t0 = eos_trace::enabled().then(std::time::Instant::now);
         // The submitter drains the chunk counter itself, so every chunk
         // runs even if no worker wakes in time to help.
         unsafe { execute_chunks(&job) };
+        if let Some(t0) = t0 {
+            eos_trace::count!("pool.submitter_busy_ns", t0.elapsed().as_nanos() as u64);
+        }
         // Unpublish first (no new attachments), then wait for attached
         // workers to finish their claimed chunks and detach.
         let mut slot = lock(&self.shared.slot);

@@ -1,0 +1,362 @@
+//! Hand-rendered JSON (the build is offline, so no serde) plus a strict
+//! syntax validator used by the verification gates to prove the exporters
+//! emit well-formed output.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A flat, ordered JSON object rendered by hand. Values are appended
+/// pre-typed; [`JsonRecord::render`] emits one pretty-printed object.
+/// Shared by the bench harness (`results/BENCH_*.json`) and the trace
+/// exporter so machine-readable outputs cannot drift apart in format.
+#[derive(Default)]
+pub struct JsonRecord {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonRecord {
+    /// Empty record.
+    pub fn new() -> Self {
+        JsonRecord::default()
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a float field (fixed 4-decimal form, valid JSON).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        assert!(value.is_finite(), "JSON cannot carry NaN/inf ({key})");
+        self.fields.push((key.to_string(), format!("{value:.4}")));
+        self
+    }
+
+    /// Appends a pre-rendered JSON value (object, array, …) verbatim.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the object with one field per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the record to `results/<name>.json`, creating the directory.
+    pub fn write(&self, name: &str) {
+        if let Some(path) = write_results(&format!("{name}.json"), &self.render()) {
+            println!("[json written to {}]", path.display());
+        }
+    }
+}
+
+/// Writes `contents` to `results/<filename>`, creating the directory.
+/// Returns the path on success; failures print a warning and return
+/// `None` (observability must never abort the computation it observes).
+pub fn write_results(filename: &str, contents: &str) -> Option<PathBuf> {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return None;
+    }
+    let path = dir.join(filename);
+    match std::fs::write(&path, contents) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Validates that `s` is one complete, syntactically well-formed JSON
+/// value (RFC 8259 grammar; no extensions, no trailing content). Returns
+/// the byte offset and a short message on the first error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing content at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("expected a value at byte {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => self.i += 1,
+                    Some(b'u') => {
+                        self.i += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.i)),
+                },
+                0x00..=0x1f => {
+                    return Err(format!("raw control byte in string at byte {}", self.i - 1))
+                }
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(format!("bad number at byte {}", self.i)),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return Err(format!("bad fraction at byte {}", self.i));
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return Err(format!("bad exponent at byte {}", self.i));
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_record_renders_valid_flat_object() {
+        let mut r = JsonRecord::new();
+        r.str("bench", "gemm \"256\"")
+            .int("threads", 8)
+            .num("gflops", 1.25);
+        let s = r.render();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"bench\": \"gemm \\\"256\\\"\","));
+        assert!(s.contains("\"threads\": 8,"));
+        assert!(s.contains("\"gflops\": 1.2500\n"));
+        assert!(s.ends_with("}\n"));
+        validate(&s).expect("record must be valid JSON");
+    }
+
+    #[test]
+    fn escape_handles_specials_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("naïve ✓"), "naïve ✓");
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+10",
+            "\"a\\u00e9\\n\"",
+            "{\"a\": [1, 2.5, {\"b\": null}], \"c\": \"x\"}",
+            "  [ {\"nested\": [[]]} ]  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "{} {}",
+            "nul",
+            "[1] trailing",
+        ] {
+            assert!(validate(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn raw_embeds_prerendered_values() {
+        let mut r = JsonRecord::new();
+        r.raw("list", "[1, 2, 3]").raw("obj", "{\"k\": true}");
+        let s = r.render();
+        assert!(s.contains("\"list\": [1, 2, 3],"));
+        validate(&s).unwrap();
+    }
+}

@@ -1,0 +1,502 @@
+//! Global aggregation registry: interned span nodes, named counters and
+//! log2-bucketed histograms, plus a bounded span-event buffer for the
+//! JSONL exporter.
+//!
+//! Recording never blocks on anything slower than a short uncontended
+//! mutex (span interning, event append) or a relaxed atomic add (counter
+//! and histogram updates, repeat span visits). All aggregate storage is
+//! leaked on first use — the registry lives for the whole process, which
+//! is what lets hot paths hold `&'static` handles and record lock-free.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Identifier of the implicit root span node.
+pub(crate) const ROOT: usize = 0;
+
+/// Sentinel parent of the root node.
+pub(crate) const NO_PARENT: usize = usize::MAX;
+
+/// Events kept for the JSONL export; completions beyond the cap are
+/// counted in [`EventBuf::dropped`] instead of growing without bound.
+const EVENT_CAP: usize = 1 << 16;
+
+/// Number of log2 histogram buckets: bucket `b` holds values whose bit
+/// length is `b` (bucket 0 holds exactly the value 0, bucket 64 holds
+/// values with the top bit set).
+pub const HIST_BUCKETS: usize = 65;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Aggregated statistics of one span node — one `(parent, name)` pair in
+/// the span tree. Updated lock-free after interning.
+pub(crate) struct SpanStat {
+    pub(crate) id: usize,
+    pub(crate) parent: usize,
+    pub(crate) name: &'static str,
+    pub(crate) count: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) min_ns: AtomicU64,
+    pub(crate) max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    fn new(id: usize, parent: usize, name: &'static str) -> &'static SpanStat {
+        Box::leak(Box::new(SpanStat {
+            id,
+            parent,
+            name,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }))
+    }
+
+    pub(crate) fn record(&self, dur_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(dur_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named monotonic counter. Obtain with [`crate::counter`]; the handle
+/// is `'static`, so hot paths can cache it and add with a single relaxed
+/// atomic operation.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `delta`. Unconditional — pair with [`crate::enabled`] (the
+    /// [`crate::count!`] macro does this) to keep disabled runs free.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named log2-bucketed histogram with exact count/sum/min/max, so
+/// summaries report both the distribution shape and the true mean.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(name: &'static str) -> &'static Histogram {
+        Box::leak(Box::new(Histogram {
+            name,
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// The histogram's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index of `value`: its bit length (0 for 0).
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation. Unconditional, like [`Counter::add`];
+    /// the [`crate::hist!`] macro adds the enabled check.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One completed span occurrence, kept for the JSONL export.
+#[derive(Clone, Copy)]
+pub(crate) struct Event {
+    pub(crate) span: usize,
+    pub(crate) start_ns: u64,
+    pub(crate) dur_ns: u64,
+    pub(crate) thread: u64,
+}
+
+pub(crate) struct EventBuf {
+    pub(crate) events: Vec<Event>,
+    pub(crate) dropped: u64,
+}
+
+struct SpanTable {
+    nodes: Vec<&'static SpanStat>,
+    /// Per-node child lookup by name; index-aligned with `nodes`. `String`
+    /// keys so dynamic span names work, looked up by `&str` (no allocation
+    /// on the hit path).
+    children: Vec<HashMap<String, usize>>,
+}
+
+pub(crate) struct Registry {
+    spans: Mutex<SpanTable>,
+    counters: Mutex<HashMap<String, &'static Counter>>,
+    hists: Mutex<HashMap<String, &'static Histogram>>,
+    pub(crate) events: Mutex<EventBuf>,
+    /// Zero point of event timestamps; replaced on [`reset`].
+    epoch: Mutex<Instant>,
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| {
+        let root = SpanStat::new(ROOT, NO_PARENT, "root");
+        Registry {
+            spans: Mutex::new(SpanTable {
+                nodes: vec![root],
+                children: vec![HashMap::new()],
+            }),
+            counters: Mutex::new(HashMap::new()),
+            hists: Mutex::new(HashMap::new()),
+            events: Mutex::new(EventBuf {
+                events: Vec::new(),
+                dropped: 0,
+            }),
+            epoch: Mutex::new(Instant::now()),
+        }
+    })
+}
+
+thread_local! {
+    /// Innermost open span on this thread (the parent of the next one).
+    pub(crate) static CURRENT: Cell<usize> = const { Cell::new(ROOT) };
+}
+
+/// Small monotonically-assigned thread id for the JSONL export (the std
+/// `ThreadId` has no stable numeric accessor).
+pub(crate) fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+/// Interns (or finds) the span node `name` under `parent`.
+pub(crate) fn intern_span(parent: usize, name: &str) -> &'static SpanStat {
+    let mut t = lock(&registry().spans);
+    if let Some(&id) = t.children[parent].get(name) {
+        return t.nodes[id];
+    }
+    let id = t.nodes.len();
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let stat = SpanStat::new(id, parent, leaked);
+    t.nodes.push(stat);
+    t.children.push(HashMap::new());
+    t.children[parent].insert(leaked.to_string(), id);
+    stat
+}
+
+/// Interns (or finds) the counter `name`.
+pub(crate) fn intern_counter(name: &str) -> &'static Counter {
+    let mut c = lock(&registry().counters);
+    if let Some(&h) = c.get(name) {
+        return h;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let h: &'static Counter = Box::leak(Box::new(Counter {
+        name: leaked,
+        value: AtomicU64::new(0),
+    }));
+    c.insert(leaked.to_string(), h);
+    h
+}
+
+/// Interns (or finds) the histogram `name`.
+pub(crate) fn intern_hist(name: &str) -> &'static Histogram {
+    let mut h = lock(&registry().hists);
+    if let Some(&handle) = h.get(name) {
+        return handle;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let handle = Histogram::new(leaked);
+    h.insert(leaked.to_string(), handle);
+    handle
+}
+
+/// Appends a span-completion event (bounded; excess is counted, not kept).
+pub(crate) fn push_event(e: Event) {
+    let mut buf = lock(&registry().events);
+    if buf.events.len() < EVENT_CAP {
+        buf.events.push(e);
+    } else {
+        buf.dropped += 1;
+    }
+}
+
+/// Nanoseconds of `t` since the trace epoch (0 if `t` predates a reset).
+pub(crate) fn since_epoch_ns(t: Instant) -> u64 {
+    let epoch = *lock(&registry().epoch);
+    t.checked_duration_since(epoch)
+        .map_or(0, |d| d.as_nanos() as u64)
+}
+
+/// Zeroes every aggregate, clears the event buffer, and restarts the
+/// epoch. Interned nodes and handles stay valid (they are `'static`).
+pub(crate) fn reset_all() {
+    let reg = registry();
+    for node in &lock(&reg.spans).nodes {
+        node.reset();
+    }
+    for c in lock(&reg.counters).values() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in lock(&reg.hists).values() {
+        h.reset();
+    }
+    let mut buf = lock(&reg.events);
+    buf.events.clear();
+    buf.dropped = 0;
+    drop(buf);
+    *lock(&reg.epoch) = Instant::now();
+}
+
+/// Point-in-time copy of one span node's aggregates, with its full
+/// `/`-joined path from the root.
+#[derive(Debug, Clone)]
+pub struct SpanSnapshot {
+    /// Slash-joined path from the root, e.g. `eos.phase1/train.epoch`.
+    pub path: String,
+    /// Leaf name, e.g. `train.epoch`.
+    pub name: String,
+    /// Path of the parent span (`None` for direct children of the root).
+    pub parent: Option<String>,
+    /// Completed occurrences.
+    pub count: u64,
+    /// Total time across occurrences, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest occurrence, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest occurrence, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty `(bucket_index, count)` pairs; bucket `b` covers values
+    /// of bit length `b`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of the whole registry, used by both the JSON
+/// exporter and tests (tests assert on this instead of parsing JSON).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Every span node with at least one completed occurrence, in
+    /// interning order (parents before children).
+    pub spans: Vec<SpanSnapshot>,
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Every histogram with at least one observation, sorted by name.
+    pub histograms: Vec<HistSnapshot>,
+    /// Span-completion events dropped because the buffer was full.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// The span at `path` (slash-joined from the root), if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Spans whose parent is the root.
+    pub fn root_spans(&self) -> Vec<&SpanSnapshot> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Direct children of the span at `path`.
+    pub fn children_of(&self, path: &str) -> Vec<&SpanSnapshot> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent.as_deref() == Some(path))
+            .collect()
+    }
+
+    /// Value of the counter `name` (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The histogram `name`, if it has observations.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+pub(crate) fn take_snapshot() -> Snapshot {
+    let reg = registry();
+    let spans = {
+        let t = lock(&reg.spans);
+        let mut paths: Vec<String> = Vec::with_capacity(t.nodes.len());
+        let mut spans = Vec::new();
+        for node in &t.nodes {
+            let path = if node.id == ROOT {
+                String::new()
+            } else if node.parent == ROOT {
+                node.name.to_string()
+            } else {
+                format!("{}/{}", paths[node.parent], node.name)
+            };
+            paths.push(path.clone());
+            if node.id == ROOT {
+                continue;
+            }
+            let count = node.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            spans.push(SpanSnapshot {
+                path,
+                name: node.name.to_string(),
+                parent: (node.parent != ROOT).then(|| paths[node.parent].clone()),
+                count,
+                total_ns: node.total_ns.load(Ordering::Relaxed),
+                min_ns: node.min_ns.load(Ordering::Relaxed),
+                max_ns: node.max_ns.load(Ordering::Relaxed),
+            });
+        }
+        spans
+    };
+    let mut counters: Vec<(String, u64)> = lock(&reg.counters)
+        .values()
+        .map(|c| (c.name.to_string(), c.value()))
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistSnapshot> = lock(&reg.hists)
+        .values()
+        .filter_map(|h| {
+            let s = h.snapshot();
+            (s.count > 0).then_some(s)
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let events_dropped = lock(&reg.events).dropped;
+    Snapshot {
+        spans,
+        counters,
+        histograms,
+        events_dropped,
+    }
+}
+
+/// Resolves every recorded event to `(path, start_ns, dur_ns, thread)`,
+/// in completion order.
+pub(crate) fn take_events() -> Vec<(String, u64, u64, u64)> {
+    let reg = registry();
+    let paths: Vec<String> = {
+        let t = lock(&reg.spans);
+        let mut paths: Vec<String> = Vec::with_capacity(t.nodes.len());
+        for node in &t.nodes {
+            let path = if node.id == ROOT {
+                String::new()
+            } else if node.parent == ROOT {
+                node.name.to_string()
+            } else {
+                format!("{}/{}", paths[node.parent], node.name)
+            };
+            paths.push(path);
+        }
+        paths
+    };
+    lock(&reg.events)
+        .events
+        .iter()
+        .map(|e| (paths[e.span].clone(), e.start_ns, e.dur_ns, e.thread))
+        .collect()
+}

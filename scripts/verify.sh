@@ -19,3 +19,10 @@ cargo run --release -q -p eos-bench --bin train_step -- --smoke
 # spot-checks the gap/metric formulas, and pins a golden-determinism
 # digest of a training step across thread counts and kernel dispatch.
 cargo run --release -q -p eos-bench --bin check_numerics -- --smoke
+
+# Observability gate: a traced three-phase training run must emit
+# results/TRACE_train.json with three well-nested phase spans, GEMM
+# dispatch counters that sum, worker-pool utilisation, and byte-valid
+# JSON/JSONL. (train_step above already audits that tracing, disabled,
+# adds no allocations to the steady-state step.)
+cargo run --release -q -p eos-bench --bin trace_train -- --smoke

@@ -1,0 +1,193 @@
+//! End-to-end traced run of the three-phase pipeline: the trace must show
+//! exactly three phase spans with plausible nesting, the phase-2 set must
+//! come out balanced with minority feature ranges only ever growing, and
+//! the whole pipeline must be byte-identical on rerun — with tracing
+//! enabled or disabled, proving observation never perturbs computation.
+
+use eos_repro::core::{Eos, PipelineConfig, ThreePhase};
+use eos_repro::data::{Dataset, SynthSpec};
+use eos_repro::nn::{Architecture, LossKind};
+use eos_repro::resample::{balance_with, class_counts, indices_by_class};
+use eos_repro::tensor::Rng64;
+use eos_repro::trace;
+use std::sync::Mutex;
+
+/// The trace registry is process-global; tests that reset and assert on
+/// it must not interleave.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small();
+    cfg.arch = Architecture::ResNet {
+        blocks_per_stage: 1,
+        width: 4,
+    };
+    cfg.backbone_epochs = 4;
+    cfg.head_epochs = 3;
+    cfg
+}
+
+fn tiny_data() -> (Dataset, Dataset) {
+    let mut spec = SynthSpec::celeba_like(1);
+    spec.n_max_train = 32;
+    spec.imbalance_ratio = 8.0;
+    spec.n_test_per_class = 8;
+    let (mut train, mut test) = spec.generate(11);
+    let (mean, std) = train.feature_stats();
+    train.standardize(&mean, &std);
+    test.standardize(&mean, &std);
+    (train, test)
+}
+
+/// Runs phase 1-3 end to end and returns the pipeline plus its test-set
+/// predictions. Deterministic given the fixed seeds inside.
+fn run_pipeline(train: &Dataset, test: &Dataset) -> (ThreePhase, Vec<usize>) {
+    let cfg = tiny_cfg();
+    let mut rng = Rng64::new(1);
+    let mut tp = ThreePhase::train(train, LossKind::Ce, &cfg, &mut rng);
+    let r = tp.finetune_and_eval(&Eos::new(10), test, &cfg, &mut rng);
+    (tp, r.predictions)
+}
+
+/// Pulls `"key": <u64>` out of one JSONL event line.
+fn field(line: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\": ");
+    let rest = &line[line.find(&tag).expect("field present") + tag.len()..];
+    rest.chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+#[test]
+fn traced_run_emits_three_nested_phases() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::reset();
+    trace::set_enabled(true);
+    let (train, test) = tiny_data();
+    let (tp, predictions) = run_pipeline(&train, &test);
+    let snap = trace::snapshot();
+    let events = trace::events_jsonl();
+    trace::set_enabled(false);
+
+    // Losses stay finite and the run actually predicted something.
+    assert!(tp.history.iter().all(|e| e.loss.is_finite()));
+    assert_eq!(predictions.len(), test.len());
+
+    // Exactly the three phase spans at the root, each once (phase 2 spans
+    // both embedding extraction and augmentation, aggregating to count 2).
+    let mut roots: Vec<&str> = snap.root_spans().iter().map(|s| s.name.as_str()).collect();
+    roots.sort_unstable();
+    assert_eq!(roots, ["eos.phase1", "eos.phase2", "eos.phase3"]);
+    let span_count = |p: &str| snap.span(p).map_or(0, |s| s.count);
+    assert_eq!(span_count("eos.phase1"), 1);
+    assert_eq!(span_count("eos.phase2"), 2);
+    assert_eq!(span_count("eos.phase3"), 1);
+    assert_eq!(
+        span_count("eos.phase1/train.epoch"),
+        tiny_cfg().backbone_epochs as u64
+    );
+    assert_eq!(
+        span_count("eos.phase3/train.epoch"),
+        tiny_cfg().head_epochs as u64
+    );
+    assert!(span_count("eos.phase1/train.epoch/train.batch") > 0);
+    assert_eq!(span_count("eos.phase2/eos.oversample"), 1);
+
+    // Aggregated child time cannot exceed its parent's.
+    let phase1 = snap.span("eos.phase1").unwrap();
+    let epochs = snap.span("eos.phase1/train.epoch").unwrap();
+    assert!(phase1.total_ns >= epochs.total_ns);
+
+    // Event-level nesting: every epoch completion falls inside the one
+    // phase-1 window.
+    let phase1_line = events
+        .lines()
+        .find(|l| l.contains("\"eos.phase1\""))
+        .expect("phase-1 event");
+    let (p_start, p_end) = (
+        field(phase1_line, "start_ns"),
+        field(phase1_line, "start_ns") + field(phase1_line, "dur_ns"),
+    );
+    let mut epoch_events = 0;
+    for line in events
+        .lines()
+        .filter(|l| l.contains("\"eos.phase1/train.epoch\""))
+    {
+        let start = field(line, "start_ns");
+        assert!(start >= p_start, "epoch starts before its phase");
+        assert!(
+            start + field(line, "dur_ns") <= p_end,
+            "epoch ends after its phase"
+        );
+        epoch_events += 1;
+    }
+    assert_eq!(epoch_events, tiny_cfg().backbone_epochs);
+}
+
+#[test]
+fn phase_two_balances_and_only_expands_minority_ranges() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    trace::set_enabled(false);
+    let (train, test) = tiny_data();
+    let (tp, _) = run_pipeline(&train, &test);
+
+    let eos = Eos::new(10);
+    let (bx, by) = balance_with(
+        &eos,
+        &tp.train_fe,
+        &tp.train_y,
+        tp.num_classes,
+        &mut Rng64::new(2),
+    );
+    let counts = class_counts(&by, tp.num_classes);
+    let max = counts.iter().copied().max().unwrap();
+    assert!(
+        counts.iter().all(|&c| c == max),
+        "phase-2 set not balanced: {counts:?}"
+    );
+
+    // Originals are a prefix of the balanced set, so each class's
+    // per-feature range in embedding space can only stay or widen — the
+    // minority "generalization gap" (range deficit) never increases.
+    let before = indices_by_class(&tp.train_y, tp.num_classes);
+    let after = indices_by_class(&by, tp.num_classes);
+    for class in 0..tp.num_classes {
+        let orig = tp.train_fe.select_rows(&before[class]);
+        let bal = bx.select_rows(&after[class]);
+        let (olo, ohi) = (orig.min_rows(), orig.max_rows());
+        let (blo, bhi) = (bal.min_rows(), bal.max_rows());
+        for j in 0..tp.train_fe.dim(1) {
+            assert!(
+                blo.data()[j] <= olo.data()[j] && bhi.data()[j] >= ohi.data()[j],
+                "class {class} feature {j} range shrank"
+            );
+        }
+    }
+}
+
+#[test]
+fn rerun_is_byte_identical_with_or_without_tracing() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (train, test) = tiny_data();
+
+    trace::reset();
+    trace::set_enabled(true);
+    let (tp_traced, preds_traced) = run_pipeline(&train, &test);
+    trace::set_enabled(false);
+    trace::reset();
+    let (tp_plain, preds_plain) = run_pipeline(&train, &test);
+
+    let bits =
+        |t: &eos_repro::tensor::Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&tp_traced.train_fe),
+        bits(&tp_plain.train_fe),
+        "embeddings drifted between traced and untraced runs"
+    );
+    assert_eq!(
+        preds_traced, preds_plain,
+        "predictions drifted between traced and untraced runs"
+    );
+}
