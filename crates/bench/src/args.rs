@@ -3,7 +3,11 @@
 use eos_core::Scale;
 use eos_data::DATASET_NAMES;
 
-/// Parsed command line: `--scale small|medium --seed N --datasets a,b`.
+/// The flags every experiment binary accepts, in usage order.
+const FLAGS: [&str; 4] = ["--scale", "--seed", "--datasets", "--no-cache"];
+
+/// Parsed command line:
+/// `--scale smoke|small|medium --seed N --datasets a,b --no-cache`.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// Experiment scale.
@@ -12,6 +16,9 @@ pub struct Args {
     pub seed: u64,
     /// Dataset analogues to run (defaults to all four).
     pub datasets: Vec<&'static str>,
+    /// Skip the on-disk artifact cache: train every backbone fresh and
+    /// store nothing.
+    pub no_cache: bool,
 }
 
 impl Default for Args {
@@ -20,6 +27,7 @@ impl Default for Args {
             scale: Scale::Small,
             seed: 42,
             datasets: DATASET_NAMES.to_vec(),
+            no_cache: false,
         }
     }
 }
@@ -32,7 +40,9 @@ impl Args {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: <bin> [--scale small|medium] [--seed N] [--datasets cifar10,svhn,cifar100,celeba]"
+                    "usage: <bin> [--scale {}] [--seed N] [--datasets {}] [--no-cache]",
+                    Scale::NAMES.join("|"),
+                    DATASET_NAMES.join(",")
                 );
                 std::process::exit(2);
             }
@@ -48,7 +58,9 @@ impl Args {
             match flag.as_str() {
                 "--scale" => {
                     let v = value("--scale")?;
-                    out.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale '{v}'"))?;
+                    out.scale = Scale::parse(&v).ok_or_else(|| {
+                        format!("unknown scale '{v}' (choices: {})", Scale::NAMES.join(", "))
+                    })?;
                 }
                 "--seed" => {
                     let v = value("--seed")?;
@@ -58,10 +70,13 @@ impl Args {
                     let v = value("--datasets")?;
                     let mut names = Vec::new();
                     for part in v.split(',') {
-                        let canonical = DATASET_NAMES
-                            .iter()
-                            .find(|&&n| n == part)
-                            .ok_or_else(|| format!("unknown dataset '{part}'"))?;
+                        let canonical =
+                            DATASET_NAMES.iter().find(|&&n| n == part).ok_or_else(|| {
+                                format!(
+                                    "unknown dataset '{part}' (choices: {})",
+                                    DATASET_NAMES.join(", ")
+                                )
+                            })?;
                         names.push(*canonical);
                     }
                     if names.is_empty() {
@@ -69,7 +84,13 @@ impl Args {
                     }
                     out.datasets = names;
                 }
-                other => return Err(format!("unknown flag '{other}'")),
+                "--no-cache" => out.no_cache = true,
+                other => {
+                    return Err(format!(
+                        "unknown flag '{other}' (expected one of: {})",
+                        FLAGS.join(", ")
+                    ))
+                }
             }
         }
         Ok(out)
@@ -90,6 +111,7 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert_eq!(a.datasets.len(), 4);
         assert_eq!(a.scale, Scale::Small);
+        assert!(!a.no_cache);
     }
 
     #[test]
@@ -101,21 +123,43 @@ mod tests {
             "7",
             "--datasets",
             "svhn,celeba",
+            "--no-cache",
         ]))
         .unwrap();
         assert_eq!(a.scale, Scale::Medium);
         assert_eq!(a.seed, 7);
         assert_eq!(a.datasets, vec!["svhn", "celeba"]);
+        assert!(a.no_cache);
     }
 
     #[test]
-    fn rejects_unknown_dataset() {
-        assert!(Args::try_parse(strings(&["--datasets", "mnist"])).is_err());
+    fn smoke_scale_parses() {
+        let a = Args::try_parse(strings(&["--scale", "smoke"])).unwrap();
+        assert_eq!(a.scale, Scale::Smoke);
     }
 
     #[test]
-    fn rejects_unknown_flag() {
-        assert!(Args::try_parse(strings(&["--fast"])).is_err());
+    fn rejects_unknown_dataset_listing_choices() {
+        let e = Args::try_parse(strings(&["--datasets", "mnist"])).unwrap_err();
+        assert!(e.contains("mnist"));
+        for name in DATASET_NAMES {
+            assert!(e.contains(name), "choices missing {name}: {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_scale_listing_choices() {
+        let e = Args::try_parse(strings(&["--scale", "huge"])).unwrap_err();
+        assert!(e.contains("huge") && e.contains("smoke") && e.contains("medium"));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_listing_flags() {
+        let e = Args::try_parse(strings(&["--fast"])).unwrap_err();
+        assert!(e.contains("--fast"));
+        for flag in FLAGS {
+            assert!(e.contains(flag), "flag list missing {flag}: {e}");
+        }
     }
 
     #[test]

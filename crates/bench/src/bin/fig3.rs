@@ -1,90 +1,10 @@
-//! Figure 3 — Per-class generalization gap, four losses × datasets,
-//! baseline vs embedding-space oversamplers vs EOS.
-//!
-//! Paper shape: the gap rises with class imbalance (class index); the
-//! interpolative oversamplers' curves overlap the baseline (they cannot
-//! change embedding ranges); only EOS flattens the minority tail. The
-//! binary also prints the mean-based feature-deviation alternative for
-//! the gap-definition ablation.
+//! Figure 3 binary — see [`eos_bench::tables::fig3`].
 
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{feature_deviation, generalization_gap, Eos, ThreePhase};
-use eos_nn::LossKind;
-use eos_resample::{balance_with, Oversampler, Smote};
-use eos_tensor::{Rng64, Tensor};
-
-/// Gap per class after augmenting the train embeddings with a sampler
-/// (`None` = baseline).
-fn gap_with(
-    tp: &ThreePhase,
-    test_fe: &Tensor,
-    test_y: &[usize],
-    sampler: Option<&dyn Oversampler>,
-    rng: &mut Rng64,
-) -> Vec<f64> {
-    let (fe, y) = match sampler {
-        Some(s) => balance_with(s, &tp.train_fe, &tp.train_y, tp.num_classes, rng),
-        None => (tp.train_fe.clone(), tp.train_y.clone()),
-    };
-    generalization_gap(&fe, &y, test_fe, test_y, tp.num_classes).per_class
-}
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&[
-        "Dataset",
-        "Algo",
-        "Class",
-        "TrainCount",
-        "Baseline",
-        "SMOTE",
-        "EOS",
-        "FeatDev",
-    ]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        let counts = train.class_counts();
-        for loss in LossKind::ALL {
-            let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ loss as u64);
-            eprintln!("[fig3] {dataset} / {} ...", loss.name());
-            let mut tp = ThreePhase::train(&train, loss, &cfg, &mut rng);
-            let test_fe = tp.embed(&test);
-            let base = gap_with(&tp, &test_fe, &test.y, None, &mut rng);
-            let smote = gap_with(&tp, &test_fe, &test.y, Some(&Smote::new(5)), &mut rng);
-            let eos = gap_with(&tp, &test_fe, &test.y, Some(&Eos::new(10)), &mut rng);
-            let dev =
-                feature_deviation(&tp.train_fe, &tp.train_y, &test_fe, &test.y, tp.num_classes)
-                    .per_class;
-            for c in 0..tp.num_classes {
-                table.row(vec![
-                    dataset.to_string(),
-                    loss.name().into(),
-                    c.to_string(),
-                    counts[c].to_string(),
-                    format!("{:.3}", base[c]),
-                    format!("{:.3}", smote[c]),
-                    format!("{:.3}", eos[c]),
-                    format!("{:.3}", dev[c]),
-                ]);
-            }
-            // Summary line: does EOS flatten the minority tail?
-            let minority = tp.num_classes / 2..tp.num_classes;
-            let tail = |v: &[f64]| -> f64 {
-                minority.clone().map(|c| v[c]).sum::<f64>() / minority.len() as f64
-            };
-            eprintln!(
-                "  minority-tail gap: baseline {:.3}, SMOTE {:.3}, EOS {:.3}",
-                tail(&base),
-                tail(&smote),
-                tail(&eos)
-            );
-        }
-    }
-    println!(
-        "\nFigure 3 reproduction — per-class generalization gap (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "fig3");
+    let mut eng = Engine::new(&args);
+    tables::fig3::run(&mut eng, &args);
+    eng.finish("fig3");
 }

@@ -1,49 +1,10 @@
-//! Figure 4 — Generalization gap of test false positives vs true
-//! positives, per dataset.
-//!
-//! Paper shape: the FP gap is 2–4× the TP gap on every dataset — models
-//! generalize (TPs) exactly where train and test embedding ranges align.
+//! Figure 4 binary — see [`eos_bench::tables::fig4`].
 
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{evaluate, tp_fp_gap, ThreePhase};
-use eos_nn::LossKind;
-use eos_tensor::Rng64;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&["Dataset", "TP gap", "FP gap", "FP/TP"]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        let mut rng = Rng64::new(args.seed ^ name_hash(dataset));
-        eprintln!("[fig4] {dataset} ...");
-        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-        let test_fe = tp.embed(&test);
-        let preds = evaluate(&mut tp.net, &test).predictions;
-        let report = tp_fp_gap(
-            &tp.train_fe,
-            &tp.train_y,
-            &test_fe,
-            &test.y,
-            &preds,
-            tp.num_classes,
-        );
-        let ratio = if report.tp_gap > 0.0 {
-            report.fp_gap / report.tp_gap
-        } else {
-            f64::INFINITY
-        };
-        table.row(vec![
-            dataset.to_string(),
-            format!("{:.3}", report.tp_gap),
-            format!("{:.3}", report.fp_gap),
-            format!("{:.2}x", ratio),
-        ]);
-    }
-    println!(
-        "\nFigure 4 reproduction — FP vs TP generalization gap (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "fig4");
+    let mut eng = Engine::new(&args);
+    tables::fig4::run(&mut eng, &args);
+    eng.finish("fig4");
 }

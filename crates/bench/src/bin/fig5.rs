@@ -1,50 +1,10 @@
-//! Figure 5 — Classifier weight norms per class, before and after
-//! embedding-space oversampling.
-//!
-//! Paper shape: cost-sensitive baselines leave monotonically shrinking
-//! norms toward the minority classes; oversampled heads flatten them, and
-//! EOS usually shows the largest, most even norms.
+//! Figure 5 binary — see [`eos_bench::tables::fig5`].
 
-use eos_bench::{name_hash, prepared_dataset, samplers_for_table2, write_csv, Args, MarkdownTable};
-use eos_core::{head_weight_norms, Eos, ThreePhase};
-use eos_nn::LossKind;
-use eos_tensor::Rng64;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "Class", "Norm"]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        let _ = &test;
-        for loss in LossKind::ALL {
-            let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ loss as u64);
-            eprintln!("[fig5] {dataset} / {} ...", loss.name());
-            let mut tp = ThreePhase::train(&train, loss, &cfg, &mut rng);
-            let record = |method: &str, norms: &[f32], table: &mut MarkdownTable| {
-                for (c, &n) in norms.iter().enumerate() {
-                    table.row(vec![
-                        dataset.to_string(),
-                        loss.name().into(),
-                        method.into(),
-                        c.to_string(),
-                        format!("{n:.4}"),
-                    ]);
-                }
-            };
-            record("Baseline", &head_weight_norms(&tp.net), &mut table);
-            for sampler in samplers_for_table2() {
-                let _ = tp.finetune_head(Some(sampler.as_ref()), &cfg, &mut rng);
-                record(sampler.name(), &head_weight_norms(&tp.net), &mut table);
-            }
-            let _ = tp.finetune_head(Some(&Eos::new(10)), &cfg, &mut rng);
-            record("EOS", &head_weight_norms(&tp.net), &mut table);
-        }
-    }
-    println!(
-        "\nFigure 5 reproduction — classifier weight norms per class (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "fig5");
+    let mut eng = Engine::new(&args);
+    tables::fig5::run(&mut eng, &args);
+    eng.finish("fig5");
 }

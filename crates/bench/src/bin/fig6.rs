@@ -1,104 +1,10 @@
-//! Figure 6 — t-SNE of the majority/minority pair's embeddings under each
-//! oversampling method (the paper's auto-vs-truck visualisation).
-//!
-//! The synthetic cifar10-like analogue pairs classes 2k/2k+1 by a shared
-//! texture; we take the most imbalanced such pair (classes 0 and 9 are
-//! not paired, so we use 8 vs 9: majority-ish vs extreme minority — the
-//! auto/truck analogue). For each method the binary embeds the real +
-//! synthetic minority embeddings with t-SNE, writes the 2-D coordinates
-//! to CSV for plotting, and prints a separation score (inter-centroid
-//! distance over intra-class spread). Paper shape: EOS yields the
-//! densest, most uniform minority structure with the widest margin.
+//! Figure 6 binary — see [`eos_bench::tables::fig6`].
 
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{Eos, ThreePhase};
-use eos_nn::LossKind;
-use eos_resample::{balance_with, BalancedSvm, BorderlineSmote, Oversampler, Smote};
-use eos_tensor::{Rng64, Tensor};
-use eos_tsne::{density_uniformity, separation_score, tsne, TsneConfig};
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let (train, _test) = prepared_dataset("cifar10", args.scale, args.seed);
-    let mut rng = Rng64::new(args.seed ^ name_hash("fig6"));
-    eprintln!("[fig6] training backbone ...");
-    let tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-
-    // The paired classes with the largest imbalance between them.
-    let (maj, min) = (8usize, 9usize);
-    let counts = train.class_counts();
-    eprintln!(
-        "[fig6] pair: class {maj} ({} samples) vs class {min} ({} samples)",
-        counts[maj], counts[min]
-    );
-
-    let methods: Vec<(&str, Option<Box<dyn Oversampler>>)> = vec![
-        ("Baseline", None),
-        ("SMOTE", Some(Box::new(Smote::new(5)))),
-        ("B-SMOTE", Some(Box::new(BorderlineSmote::new(5, 5)))),
-        ("Bal-SVM", Some(Box::new(BalancedSvm::new(5)))),
-        ("EOS", Some(Box::new(Eos::new(10)))),
-    ];
-    let mut summary =
-        MarkdownTable::new(&["Method", "Points", "Separation", "Minority density CV"]);
-    let mut coords = MarkdownTable::new(&["Method", "Class", "x", "y"]);
-    for (name, sampler) in methods {
-        let (fe, y) = match &sampler {
-            Some(s) => balance_with(
-                s.as_ref(),
-                &tp.train_fe,
-                &tp.train_y,
-                tp.num_classes,
-                &mut rng,
-            ),
-            None => (tp.train_fe.clone(), tp.train_y.clone()),
-        };
-        // Slice out the two classes of interest.
-        let rows: Vec<usize> = (0..y.len())
-            .filter(|&i| y[i] == maj || y[i] == min)
-            .collect();
-        let pair_fe = fe.select_rows(&rows);
-        let pair_y: Vec<usize> = rows.iter().map(|&i| (y[i] == min) as usize).collect();
-        // Cap the point count so t-SNE stays quadratic-cheap.
-        let cap = 250.min(pair_fe.dim(0));
-        let keep: Vec<usize> = (0..cap).collect();
-        let pair_fe = pair_fe.select_rows(&keep);
-        let pair_y: Vec<usize> = pair_y[..cap].to_vec();
-        eprintln!("[fig6] t-SNE for {name} ({cap} points) ...");
-        let y2d: Tensor = tsne(
-            &pair_fe,
-            &TsneConfig {
-                iterations: 300,
-                ..TsneConfig::default()
-            },
-            &mut Rng64::new(args.seed ^ name_hash(name)),
-        );
-        let score = separation_score(&y2d, &pair_y, 2);
-        // The paper's Figure 6 claim is about *local structure*: EOS
-        // yields a denser, more uniform minority manifold. Lower CV of
-        // nearest-neighbour distances = more uniform.
-        let cv = density_uniformity(&y2d, &pair_y, 1);
-        summary.row(vec![
-            name.into(),
-            cap.to_string(),
-            format!("{score:.3}"),
-            format!("{cv:.3}"),
-        ]);
-        for (i, label) in pair_y.iter().enumerate() {
-            coords.row(vec![
-                name.into(),
-                label.to_string(),
-                format!("{:.4}", y2d.at(&[i, 0])),
-                format!("{:.4}", y2d.at(&[i, 1])),
-            ]);
-        }
-    }
-    println!(
-        "\nFigure 6 reproduction — t-SNE of majority/minority pair (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", summary.render());
-    write_csv(&summary, "fig6_summary");
-    write_csv(&coords, "fig6_coords");
+    let mut eng = Engine::new(&args);
+    tables::fig6::run(&mut eng, &args);
+    eng.finish("fig6");
 }

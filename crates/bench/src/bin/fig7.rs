@@ -1,57 +1,10 @@
-//! Figure 7 — Balanced accuracy vs classifier-retraining epoch, EOS vs
-//! SMOTE, cross-entropy on the cifar10 analogue, 30 epochs.
-//!
-//! Paper shape: both methods plateau by roughly epoch 10 (the framework's
-//! chosen budget); EOS gains marginally from longer retraining, SMOTE
-//! does not.
+//! Figure 7 binary — see [`eos_bench::tables::fig7`].
 
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{Eos, ThreePhase};
-use eos_nn::LossKind;
-use eos_resample::Smote;
-use eos_tensor::Rng64;
-
-const EPOCHS: usize = 30;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let (train, test) = prepared_dataset("cifar10", args.scale, args.seed);
-    let mut rng = Rng64::new(args.seed ^ name_hash("fig7"));
-    eprintln!("[fig7] training backbone ...");
-    let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-    eprintln!("[fig7] tracing SMOTE ...");
-    let smote = tp.finetune_trace(&Smote::new(5), &test, EPOCHS, &cfg, &mut rng);
-    eprintln!("[fig7] tracing EOS ...");
-    let eos = tp.finetune_trace(&Eos::new(10), &test, EPOCHS, &cfg, &mut rng);
-    let mut table = MarkdownTable::new(&[
-        "Epoch",
-        "SMOTE train BAC",
-        "SMOTE test BAC",
-        "EOS train BAC",
-        "EOS test BAC",
-    ]);
-    for e in 0..EPOCHS {
-        table.row(vec![
-            (e + 1).to_string(),
-            format!("{:.4}", smote[e].0),
-            format!("{:.4}", smote[e].1),
-            format!("{:.4}", eos[e].0),
-            format!("{:.4}", eos[e].1),
-        ]);
-    }
-    println!(
-        "\nFigure 7 reproduction — retraining-epoch trace (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    let at = |trace: &[(f64, f64)], e: usize| trace[e.min(trace.len() - 1)].1;
-    println!(
-        "plateau check — test BAC at epoch 10 vs 30: SMOTE {:.4} -> {:.4}, EOS {:.4} -> {:.4}",
-        at(&smote, 9),
-        at(&smote, 29),
-        at(&eos, 9),
-        at(&eos, 29)
-    );
-    write_csv(&table, "fig7");
+    let mut eng = Engine::new(&args);
+    tables::fig7::run(&mut eng, &args);
+    eng.finish("fig7");
 }

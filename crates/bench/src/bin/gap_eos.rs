@@ -1,50 +1,10 @@
-//! Future-work extension experiment: gap-aware EOS (budget allocation
-//! proportional to each class's measured generalization gap) versus plain
-//! EOS and SMOTE across the dataset analogues (CE loss).
-//!
-//! This operationalises the paper's §VII future-work direction: "we
-//! envision creating complementary measures will lead to a better
-//! understanding ... the generalization gap can lead to effective
-//! over-sampling".
+//! Gap-aware EOS extension binary — see [`eos_bench::tables::gap_eos`].
 
-use eos_bench::report::paper_fmt;
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{Eos, GapAwareEos, ThreePhase};
-use eos_nn::LossKind;
-use eos_resample::Smote;
-use eos_tensor::Rng64;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&["Dataset", "Method", "BAC", "GM", "FM"]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ name_hash("gap_eos"));
-        eprintln!("[gap_eos] {dataset} backbone ...");
-        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-        let base = tp.baseline_eval(&test);
-        let push = |m: &str, bac: f64, gm: f64, f1: f64, t: &mut MarkdownTable| {
-            t.row(vec![
-                dataset.to_string(),
-                m.into(),
-                paper_fmt(bac),
-                paper_fmt(gm),
-                paper_fmt(f1),
-            ]);
-        };
-        push("Baseline", base.bac, base.gm, base.f1, &mut table);
-        let r = tp.finetune_and_eval(&Smote::new(5), &test, &cfg, &mut rng);
-        push("SMOTE", r.bac, r.gm, r.f1, &mut table);
-        let r = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
-        push("EOS", r.bac, r.gm, r.f1, &mut table);
-        let r = tp.finetune_and_eval(&GapAwareEos::new(10), &test, &cfg, &mut rng);
-        push("GapEOS", r.bac, r.gm, r.f1, &mut table);
-    }
-    println!(
-        "\nExtension — gap-aware EOS (future work, §VII) (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "gap_eos");
+    let mut eng = Engine::new(&args);
+    tables::gap_eos::run(&mut eng, &args);
+    eng.finish("gap_eos");
 }

@@ -1,74 +1,10 @@
-//! §V-E3 — EOS in pixel space vs feature-embedding space (cifar10
-//! analogue, CE loss). Includes the interpolation-direction ablation.
-//!
-//! Paper shape: pixel-space EOS trails embedding-space EOS by a wide
-//! margin (~7 BAC points in the paper) because pixel-space nearest
-//! adversaries are far less discriminative than embedding-space ones.
-//! The direction ablation contrasts the paper's prose (toward-enemy
-//! convex combination) with the literal Algorithm 2 formula
-//! (away-from-enemy extrapolation).
+//! §V-E3 pixel-vs-embedding binary — see [`eos_bench::tables::pixel_eos`].
 
-use eos_bench::report::paper_fmt;
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{preprocess_and_train, Direction, Eos, ThreePhase};
-use eos_nn::LossKind;
-use eos_tensor::Rng64;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let (train, test) = prepared_dataset("cifar10", args.scale, args.seed);
-    let mut table = MarkdownTable::new(&["Variant", "BAC", "GM", "FM"]);
-    let mut rng = Rng64::new(args.seed ^ name_hash("pixel_eos"));
-
-    eprintln!("[pixel_eos] EOS as pixel-space pre-processing ...");
-    let pixel = preprocess_and_train(
-        &train,
-        &test,
-        LossKind::Ce,
-        Some(&Eos::new(10)),
-        &cfg,
-        &mut rng,
-    );
-    table.row(vec![
-        "EOS in pixel space (pre-processing)".into(),
-        paper_fmt(pixel.bac),
-        paper_fmt(pixel.gm),
-        paper_fmt(pixel.f1),
-    ]);
-
-    eprintln!("[pixel_eos] EOS in embedding space ...");
-    let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-    let fe = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
-    table.row(vec![
-        "EOS in embedding space (three-phase)".into(),
-        paper_fmt(fe.bac),
-        paper_fmt(fe.gm),
-        paper_fmt(fe.f1),
-    ]);
-
-    eprintln!("[pixel_eos] direction ablation ...");
-    let away = tp.finetune_and_eval(
-        &Eos::with_direction(10, Direction::AwayFromEnemy),
-        &test,
-        &cfg,
-        &mut rng,
-    );
-    table.row(vec![
-        "EOS embedding, away-from-enemy (literal Alg. 2)".into(),
-        paper_fmt(away.bac),
-        paper_fmt(away.gm),
-        paper_fmt(away.f1),
-    ]);
-
-    println!(
-        "\n§V-E3 reproduction — EOS pixel vs embedding space (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    println!(
-        "embedding-space advantage: {:+.1} BAC points (paper: ~+7)",
-        (fe.bac - pixel.bac) * 100.0
-    );
-    write_csv(&table, "pixel_eos");
+    let mut eng = Engine::new(&args);
+    tables::pixel_eos::run(&mut eng, &args);
+    eng.finish("pixel_eos");
 }

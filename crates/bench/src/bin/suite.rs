@@ -1,0 +1,63 @@
+//! The full paper reproduction in one command: every table, every
+//! figure, the ablations and the run-time study.
+//!
+//! The suite first collects every table's backbone plan, dedupes the
+//! shared trainings and prewarms the artifact cache (e.g. the per-dataset
+//! × per-loss backbones of Tables II/III and Figures 3/5 are each trained
+//! once, not four times), then runs the tables in paper order. On a rerun
+//! every backbone comes out of the cache and only the cheap head
+//! fine-tunes execute; outputs are byte-identical either way.
+//!
+//! ```text
+//! cargo run --release --bin suite -- --scale small --seed 42
+//! ```
+
+use eos_bench::{tables, Args, BackbonePlan, Engine};
+
+fn main() {
+    let args = Args::parse();
+    let mut eng = Engine::new(&args);
+
+    let mut plans: Vec<BackbonePlan> = Vec::new();
+    for plan in [
+        tables::table1::plan,
+        tables::table2::plan,
+        tables::table3::plan,
+        tables::table4::plan,
+        tables::table5::plan,
+        tables::fig3::plan,
+        tables::fig4::plan,
+        tables::fig5::plan,
+        tables::fig6::plan,
+        tables::fig7::plan,
+        tables::gap_eos::plan,
+        tables::pixel_eos::plan,
+        tables::ablations::plan,
+    ] {
+        plans.extend(plan(&args));
+    }
+    eprintln!(
+        "[suite] prewarming {} planned backbones (deduped through the cache) ...",
+        plans.len()
+    );
+    eng.prewarm(&plans);
+    eprintln!("[suite] backbones ready; producing tables and figures ...");
+
+    tables::table1::run(&mut eng, &args);
+    tables::table2::run(&mut eng, &args);
+    tables::table3::run(&mut eng, &args);
+    tables::table4::run(&mut eng, &args);
+    tables::table5::run(&mut eng, &args);
+    tables::fig3::run(&mut eng, &args);
+    tables::fig4::run(&mut eng, &args);
+    tables::fig5::run(&mut eng, &args);
+    tables::fig6::run(&mut eng, &args);
+    tables::fig7::run(&mut eng, &args);
+    tables::gap_eos::run(&mut eng, &args);
+    tables::pixel_eos::run(&mut eng, &args);
+    tables::ablations::run(&mut eng, &args);
+    // Last: the run-time study times fresh trainings by design.
+    tables::runtime::run(&args);
+
+    eng.finish("suite");
+}

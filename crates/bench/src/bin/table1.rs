@@ -1,66 +1,10 @@
-//! Table I — Pre-processing (pixel-space) vs feature-embedding-space
-//! over-sampling, cross-entropy loss.
-//!
-//! "Pre-" rows oversample raw pixels and train the full CNN on the
-//! enlarged set; "Post-" rows use the three-phase framework with the same
-//! oversampler applied to feature embeddings. Paper shape: the Post-
-//! variant wins in most dataset × method cells (7 of 9); Remix appears
-//! only as pre-processing (balancing twice would be double-counting).
+//! Table I binary — see [`eos_bench::tables::table1`].
 
-use eos_bench::report::paper_fmt;
-use eos_bench::{name_hash, prepared_dataset, samplers_for_table2, write_csv, Args, MarkdownTable};
-use eos_core::{preprocess_and_train, ThreePhase};
-use eos_nn::LossKind;
-use eos_resample::Remix;
-use eos_tensor::Rng64;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&["Dataset", "Descr", "BAC", "GM", "FM"]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        // Pre-processing arm: one full training run per oversampler.
-        let mut pre: Vec<Box<dyn eos_resample::Oversampler>> = samplers_for_table2();
-        pre.push(Box::new(Remix::new()));
-        for sampler in &pre {
-            let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ name_hash(sampler.name()));
-            eprintln!("[table1] {dataset} / Pre-{} ...", sampler.name());
-            let r = preprocess_and_train(
-                &train,
-                &test,
-                LossKind::Ce,
-                Some(sampler.as_ref()),
-                &cfg,
-                &mut rng,
-            );
-            table.row(vec![
-                dataset.to_string(),
-                format!("Pre-{}", sampler.name()),
-                paper_fmt(r.bac),
-                paper_fmt(r.gm),
-                paper_fmt(r.f1),
-            ]);
-        }
-        // Post arm: one backbone, one head fine-tune per oversampler.
-        let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ name_hash("post"));
-        eprintln!("[table1] {dataset} / Post backbone ...");
-        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-        for sampler in samplers_for_table2() {
-            let r = tp.finetune_and_eval(sampler.as_ref(), &test, &cfg, &mut rng);
-            table.row(vec![
-                dataset.to_string(),
-                format!("Post-{}", sampler.name()),
-                paper_fmt(r.bac),
-                paper_fmt(r.gm),
-                paper_fmt(r.f1),
-            ]);
-        }
-    }
-    println!(
-        "\nTable I reproduction — pixel vs embedding-space oversampling (CE, scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "table1");
+    let mut eng = Engine::new(&args);
+    tables::table1::run(&mut eng, &args);
+    eng.finish("table1");
 }

@@ -1,52 +1,10 @@
-//! Table II — Baseline algorithms & over-sampling accuracy.
-//!
-//! For every dataset analogue and every loss (CE, ASL, Focal, LDAM):
-//! train the backbone once, then compare the end-to-end baseline against
-//! head fine-tuning with SMOTE / Borderline-SMOTE / Balanced-SVM / EOS in
-//! feature-embedding space. Paper shape: EOS wins most cells; the
-//! backbone loss matters (LDAM embeddings are the strongest pairing).
+//! Table II binary — see [`eos_bench::tables::table2`].
 
-use eos_bench::report::paper_fmt;
-use eos_bench::runner::name_hash;
-use eos_bench::{prepared_dataset, samplers_for_table2, write_csv, Args, MarkdownTable};
-use eos_core::{Eos, EvalResult, ThreePhase};
-use eos_nn::LossKind;
-use eos_tensor::Rng64;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "BAC", "GM", "FM"]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        for loss in LossKind::ALL {
-            let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ loss as u64);
-            eprintln!("[table2] {dataset} / {} ...", loss.name());
-            let mut tp = ThreePhase::train(&train, loss, &cfg, &mut rng);
-            let mut push = |method: &str, r: &EvalResult| {
-                table.row(vec![
-                    dataset.to_string(),
-                    loss.name().into(),
-                    method.into(),
-                    paper_fmt(r.bac),
-                    paper_fmt(r.gm),
-                    paper_fmt(r.f1),
-                ]);
-            };
-            let base = tp.baseline_eval(&test);
-            push("Baseline", &base);
-            for sampler in samplers_for_table2() {
-                let r = tp.finetune_and_eval(sampler.as_ref(), &test, &cfg, &mut rng);
-                push(sampler.name(), &r);
-            }
-            let r = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
-            push("EOS", &r);
-        }
-    }
-    println!(
-        "\nTable II reproduction (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "table2");
+    let mut eng = Engine::new(&args);
+    tables::table2::run(&mut eng, &args);
+    eng.finish("table2");
 }

@@ -1,72 +1,10 @@
-//! Table III — GAN-based over-sampling (GAMO, BAGAN, CGAN) vs EOS.
-//!
-//! GAN samplers act as pre-processing in *embedding space* for a fair
-//! apples-to-apples comparison of sample placement (the paper's GANs
-//! generate images; placement quality, not pixel fidelity, is what the
-//! table measures). The binary also reports per-method oversampling
-//! wall-clock, exposing CGAN's per-class model cost. Paper shape:
-//! GAMO/BAGAN clearly below EOS; CGAN competitive but far more expensive,
-//! especially on the many-class dataset.
+//! Table III binary — see [`eos_bench::tables::table3`].
 
-use eos_bench::report::paper_fmt;
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{Eos, ThreePhase};
-use eos_gan::{BaganLite, CGan, DeepSmote, GamoLite};
-use eos_nn::LossKind;
-use eos_resample::Oversampler;
-use eos_tensor::Rng64;
-use std::time::Instant;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&[
-        "Dataset",
-        "Algo",
-        "Method",
-        "BAC",
-        "GM",
-        "FM",
-        "Oversample s",
-    ]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        for loss in LossKind::ALL {
-            let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ loss as u64);
-            eprintln!("[table3] {dataset} / {} ...", loss.name());
-            let mut tp = ThreePhase::train(&train, loss, &cfg, &mut rng);
-            let methods: Vec<Box<dyn Oversampler>> = vec![
-                Box::new(GamoLite::new()),
-                Box::new(BaganLite::new()),
-                // DeepSMOTE (the authors' prior work, ref [48]) added as
-                // an extension column beyond the paper's table.
-                Box::new(DeepSmote::new()),
-                Box::new(CGan::new()),
-                Box::new(Eos::new(10)),
-            ];
-            for sampler in methods {
-                // Time the oversampling itself (the model-induction cost).
-                let t0 = Instant::now();
-                let _ =
-                    sampler.oversample(&tp.train_fe, &tp.train_y, tp.num_classes, &mut rng.fork());
-                let os_seconds = t0.elapsed().as_secs_f64();
-                let r = tp.finetune_and_eval(sampler.as_ref(), &test, &cfg, &mut rng);
-                table.row(vec![
-                    dataset.to_string(),
-                    loss.name().into(),
-                    sampler.name().into(),
-                    paper_fmt(r.bac),
-                    paper_fmt(r.gm),
-                    paper_fmt(r.f1),
-                    format!("{os_seconds:.3}"),
-                ]);
-            }
-        }
-    }
-    println!(
-        "\nTable III reproduction — GAN-based oversampling vs EOS (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "table3");
+    let mut eng = Engine::new(&args);
+    tables::table3::run(&mut eng, &args);
+    eng.finish("table3");
 }

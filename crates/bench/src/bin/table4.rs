@@ -1,43 +1,10 @@
-//! Table IV — EOS nearest-neighbour size (K) sensitivity.
-//!
-//! K ∈ {10, 50, 100, 200, 300} with cross-entropy. Paper shape: BAC
-//! improves with K and plateaus by K ≈ 200–300 (a larger enemy
-//! neighbourhood gives a more diverse range expansion).
+//! Table IV binary — see [`eos_bench::tables::table4`].
 
-use eos_bench::report::paper_fmt;
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{Eos, ThreePhase};
-use eos_nn::LossKind;
-use eos_tensor::Rng64;
-
-const KS: [usize; 5] = [10, 50, 100, 200, 300];
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let cfg = args.scale.pipeline();
-    let mut table = MarkdownTable::new(&["Dataset", "K", "BAC", "GM", "FM"]);
-    for dataset in &args.datasets {
-        let (train, test) = prepared_dataset(dataset, args.scale, args.seed);
-        let mut rng = Rng64::new(args.seed ^ name_hash(dataset) ^ name_hash("table4"));
-        eprintln!("[table4] {dataset} backbone ...");
-        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-        for k in KS {
-            // K cannot exceed the number of other samples.
-            let k_eff = k.min(train.len().saturating_sub(1)).max(1);
-            let r = tp.finetune_and_eval(&Eos::new(k_eff), &test, &cfg, &mut rng);
-            table.row(vec![
-                dataset.to_string(),
-                k.to_string(),
-                paper_fmt(r.bac),
-                paper_fmt(r.gm),
-                paper_fmt(r.f1),
-            ]);
-        }
-    }
-    println!(
-        "\nTable IV reproduction — EOS neighbourhood-size sweep (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "table4");
+    let mut eng = Engine::new(&args);
+    tables::table4::run(&mut eng, &args);
+    eng.finish("table4");
 }

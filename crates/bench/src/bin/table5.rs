@@ -1,61 +1,10 @@
-//! Table V — Alternative CNN architectures with and without EOS
-//! (cifar10 analogue, K = 10).
-//!
-//! Paper shape: EOS improves every architecture family (ResNet-56,
-//! WideResNet, DenseNet) over its end-to-end baseline.
+//! Table V binary — see [`eos_bench::tables::table5`].
 
-use eos_bench::report::paper_fmt;
-use eos_bench::{name_hash, prepared_dataset, write_csv, Args, MarkdownTable};
-use eos_core::{Eos, ThreePhase};
-use eos_nn::{Architecture, LossKind};
-use eos_tensor::Rng64;
+use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let mut cfg = args.scale.pipeline();
-    let (train, test) = prepared_dataset("cifar10", args.scale, args.seed);
-    let mut table = MarkdownTable::new(&["Network", "BAC", "GM", "FM"]);
-    let archs: Vec<(&str, Architecture)> = vec![
-        (
-            "ResNet (deeper)",
-            Architecture::ResNet {
-                blocks_per_stage: 2,
-                width: 8,
-            },
-        ),
-        ("WideResNet", Architecture::WideResNet { k: 2 }),
-        (
-            "DenseNet",
-            Architecture::DenseNet {
-                growth: 6,
-                layers_per_block: 2,
-            },
-        ),
-    ];
-    for (name, arch) in &archs {
-        cfg.arch = *arch;
-        let mut rng = Rng64::new(args.seed ^ name_hash(name));
-        eprintln!("[table5] {name} ...");
-        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut rng);
-        let base = tp.baseline_eval(&test);
-        table.row(vec![
-            name.to_string(),
-            paper_fmt(base.bac),
-            paper_fmt(base.gm),
-            paper_fmt(base.f1),
-        ]);
-        let eos = tp.finetune_and_eval(&Eos::new(10), &test, &cfg, &mut rng);
-        table.row(vec![
-            format!("EOS: {name}"),
-            paper_fmt(eos.bac),
-            paper_fmt(eos.gm),
-            paper_fmt(eos.f1),
-        ]);
-    }
-    println!(
-        "\nTable V reproduction — architectures with & without EOS (scale {:?}, seed {})\n",
-        args.scale, args.seed
-    );
-    println!("{}", table.render());
-    write_csv(&table, "table5");
+    let mut eng = Engine::new(&args);
+    tables::table5::run(&mut eng, &args);
+    eng.finish("table5");
 }

@@ -1,0 +1,287 @@
+//! Content-addressed on-disk artifact store.
+//!
+//! One file per trained backbone under `results/cache/` (override with
+//! `EOS_CACHE_DIR`), named by the backbone fingerprint:
+//! `bb_<fp>.eosc`. Each entry holds the EOSW weight blob of the trained
+//! network plus the extracted train-set embeddings and labels, and ends
+//! with an FNV-1a checksum of everything before it. A truncated,
+//! bit-flipped or structurally impossible entry fails the load with an
+//! `Err` — callers treat that as a miss and retrain, so a corrupt cache
+//! can cost time but never correctness.
+
+use crate::exp::spec::Fnv;
+use eos_core::{PipelineConfig, ThreePhase};
+use eos_data::Dataset;
+use eos_nn::{load_weights, read_tensor, save_weights_bytes, write_tensor, ConvNet};
+use eos_tensor::Rng64;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"EOSC";
+const VERSION: u32 = 1;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// The artifact store rooted at one directory.
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Store at the default location: `$EOS_CACHE_DIR` if set, else
+    /// `results/cache/`.
+    pub fn at_default() -> Self {
+        let dir = std::env::var_os("EOS_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| Path::new("results").join("cache"));
+        ArtifactCache { dir }
+    }
+
+    /// Store rooted at an explicit directory (tests, tooling).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        ArtifactCache { dir: dir.into() }
+    }
+
+    /// The directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the backbone entry with the given fingerprint.
+    pub fn backbone_path(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("bb_{fp:016x}.eosc"))
+    }
+
+    /// Serialises a trained pipeline (weights + train embeddings +
+    /// labels) under `fp`. The write is atomic (temp + rename), so a
+    /// crashed run never leaves a torn entry under the content address.
+    /// Returns the entry size in bytes.
+    pub fn store_backbone(&self, fp: u64, tp: &mut ThreePhase) -> io::Result<u64> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(MAGIC);
+        payload.extend_from_slice(&VERSION.to_le_bytes());
+        payload.extend_from_slice(&fp.to_le_bytes());
+        payload.extend_from_slice(&(tp.num_classes as u64).to_le_bytes());
+        let weights = save_weights_bytes(&mut tp.net);
+        payload.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&weights);
+        write_tensor(&mut payload, &tp.train_fe).expect("writing to a Vec cannot fail");
+        payload.extend_from_slice(&(tp.train_y.len() as u64).to_le_bytes());
+        for &label in &tp.train_y {
+            payload.extend_from_slice(&(label as u32).to_le_bytes());
+        }
+        let mut h = Fnv::new();
+        h.bytes(&payload);
+        payload.extend_from_slice(&h.finish().to_le_bytes());
+        std::fs::create_dir_all(&self.dir)?;
+        eos_trace::write_atomic(&self.backbone_path(fp), &payload)?;
+        Ok(payload.len() as u64)
+    }
+
+    /// Loads the entry stored under `fp` and re-assembles the pipeline
+    /// against `train` (which supplies the input shape and the labels to
+    /// cross-check). `Ok(None)` means no entry exists; `Err` means an
+    /// entry exists but is truncated, corrupt, or inconsistent with the
+    /// requested configuration — the caller retrains in both cases.
+    /// On success also returns the entry size in bytes.
+    pub fn load_backbone(
+        &self,
+        fp: u64,
+        cfg: &PipelineConfig,
+        train: &Dataset,
+    ) -> io::Result<Option<(ThreePhase, u64)>> {
+        let path = self.backbone_path(fp);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let tp = self.parse_backbone(fp, &bytes, cfg, train)?;
+        Ok(Some((tp, bytes.len() as u64)))
+    }
+
+    fn parse_backbone(
+        &self,
+        fp: u64,
+        bytes: &[u8],
+        cfg: &PipelineConfig,
+        train: &Dataset,
+    ) -> io::Result<ThreePhase> {
+        if bytes.len() < 8 {
+            return Err(bad("entry shorter than its checksum"));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let stored_sum = u64::from_le_bytes(tail.try_into().unwrap());
+        let mut h = Fnv::new();
+        h.bytes(payload);
+        if h.finish() != stored_sum {
+            return Err(bad("checksum mismatch (truncated or corrupt entry)"));
+        }
+        let mut r = payload;
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an EOSC cache entry"));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported EOSC version {version}")));
+        }
+        let stored_fp = read_u64(&mut r)?;
+        if stored_fp != fp {
+            return Err(bad("fingerprint mismatch (entry stored under wrong name)"));
+        }
+        let num_classes = read_u64(&mut r)? as usize;
+        if num_classes != train.num_classes {
+            return Err(bad(format!(
+                "entry has {num_classes} classes, dataset has {}",
+                train.num_classes
+            )));
+        }
+        let weights_len = read_u64(&mut r)? as usize;
+        if weights_len > r.len() {
+            return Err(bad("weight blob length exceeds entry"));
+        }
+        let (weights, rest) = r.split_at(weights_len);
+        // Structure the network exactly as training would have, then
+        // restore the trained parameters and batch-norm statistics.
+        let mut net = ConvNet::new(cfg.arch, train.shape, num_classes, &mut Rng64::new(fp));
+        load_weights(&mut net, weights)?;
+        let mut r = rest;
+        let train_fe = read_tensor(&mut r)?;
+        let n_labels = read_u64(&mut r)? as usize;
+        if n_labels != train.len() {
+            return Err(bad(format!(
+                "entry has {n_labels} samples, dataset has {}",
+                train.len()
+            )));
+        }
+        let mut train_y = Vec::with_capacity(n_labels);
+        for _ in 0..n_labels {
+            train_y.push(read_u32(&mut r)? as usize);
+        }
+        if !r.is_empty() {
+            return Err(bad("trailing bytes after the label block"));
+        }
+        if train_y != train.y {
+            return Err(bad("cached labels disagree with the dataset"));
+        }
+        Ok(ThreePhase::from_parts(net, train_fe, train_y, num_classes))
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eos_data::SynthSpec;
+    use eos_nn::LossKind;
+
+    fn tiny_setup() -> (Dataset, Dataset, PipelineConfig) {
+        let mut spec = SynthSpec::celeba_like(1);
+        spec.n_max_train = 30;
+        spec.imbalance_ratio = 4.0;
+        spec.n_test_per_class = 8;
+        let (mut train, mut test) = spec.generate(17);
+        let (mean, std) = train.feature_stats();
+        train.standardize(&mean, &std);
+        test.standardize(&mean, &std);
+        let mut cfg = PipelineConfig::smoke();
+        cfg.backbone_epochs = 2;
+        (train, test, cfg)
+    }
+
+    fn temp_cache(tag: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("eos_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::at(dir)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let (train, test, cfg) = tiny_setup();
+        let cache = temp_cache("roundtrip");
+        let fp = 0xABCD_EF01_2345_6789;
+        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut Rng64::new(fp));
+        let stored = cache.store_backbone(fp, &mut tp).unwrap();
+        assert!(stored > 0);
+        let (mut back, loaded) = cache.load_backbone(fp, &cfg, &train).unwrap().unwrap();
+        assert_eq!(stored, loaded);
+        assert_eq!(back.train_fe.data(), tp.train_fe.data(), "embeddings");
+        assert_eq!(back.train_y, tp.train_y);
+        // Inference through the restored network is bit-exact.
+        assert_eq!(
+            back.embed(&test).data(),
+            tp.embed(&test).data(),
+            "test embeddings"
+        );
+        assert_eq!(
+            back.baseline_eval(&test).predictions,
+            tp.baseline_eval(&test).predictions
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn missing_entry_is_a_clean_miss() {
+        let (train, _, cfg) = tiny_setup();
+        let cache = temp_cache("miss");
+        assert!(cache.load_backbone(7, &cfg, &train).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_entries_fail_loudly_not_fatally() {
+        let (train, _, cfg) = tiny_setup();
+        let cache = temp_cache("corrupt");
+        let fp = 99;
+        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut Rng64::new(fp));
+        cache.store_backbone(fp, &mut tp).unwrap();
+        let path = cache.backbone_path(fp);
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncation at several depths, including inside the checksum.
+        for cut in [4, good.len() / 2, good.len() - 3] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                cache.load_backbone(fp, &cfg, &train).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        // A single flipped bit in the weight blob.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(cache.load_backbone(fp, &cfg, &train).is_err());
+        // Restored intact entry loads again.
+        std::fs::write(&path, &good).unwrap();
+        assert!(cache.load_backbone(fp, &cfg, &train).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn rejects_entry_inconsistent_with_the_dataset() {
+        let (train, _, cfg) = tiny_setup();
+        let cache = temp_cache("mismatch");
+        let fp = 5;
+        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut Rng64::new(fp));
+        cache.store_backbone(fp, &mut tp).unwrap();
+        // Same file asked for under a different dataset (fewer rows).
+        let subset = train.subset(&(0..train.len() / 2).collect::<Vec<_>>());
+        assert!(cache.load_backbone(fp, &cfg, &subset).is_err());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

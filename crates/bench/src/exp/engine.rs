@@ -1,0 +1,259 @@
+//! The run-plan executor: prepared-dataset memoisation, cache-backed
+//! backbone acquisition, and the trace counters the verification gates
+//! assert on.
+
+use crate::exp::cache::ArtifactCache;
+use crate::exp::spec::Fnv;
+use crate::runner::prepared_dataset;
+use eos_core::{PipelineConfig, Scale, ThreePhase};
+use eos_data::Dataset;
+use eos_nn::{Architecture, LossKind};
+use eos_tensor::Rng64;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One backbone a table needs: which dataset analogue, which training
+/// loss, and (for Table V) which architecture if not the scale default.
+/// Tables expose their full list via a `plan()` function so the suite can
+/// dedupe trainings across tables before running any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackbonePlan {
+    /// Dataset analogue name.
+    pub dataset: &'static str,
+    /// Backbone training loss.
+    pub loss: LossKind,
+    /// Architecture override; `None` uses the scale's default.
+    pub arch: Option<Architecture>,
+}
+
+impl BackbonePlan {
+    /// The common case: scale-default architecture.
+    pub fn new(dataset: &'static str, loss: LossKind) -> Self {
+        BackbonePlan {
+            dataset,
+            loss,
+            arch: None,
+        }
+    }
+}
+
+fn mix_arch(h: &mut Fnv, arch: Architecture) {
+    h.str(arch.name());
+    match arch {
+        Architecture::ResNet {
+            blocks_per_stage,
+            width,
+        } => {
+            h.u64(blocks_per_stage as u64).u64(width as u64);
+        }
+        Architecture::WideResNet { k } => {
+            h.u64(k as u64);
+        }
+        Architecture::DenseNet {
+            growth,
+            layers_per_block,
+        } => {
+            h.u64(growth as u64).u64(layers_per_block as u64);
+        }
+    }
+}
+
+/// Content-addressed identity of a trained backbone: dataset bits, loss,
+/// every configuration field that phase one reads, and the master seed.
+/// Head-only fields (`head_epochs`, `head_lr`) are deliberately excluded —
+/// they do not affect the artifact being cached.
+pub fn backbone_fingerprint(
+    train: &Dataset,
+    loss: LossKind,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.str("backbone/v1")
+        .u64(train.fingerprint())
+        .str(loss.name());
+    mix_arch(&mut h, cfg.arch);
+    h.u64(cfg.backbone_epochs as u64)
+        .u64(cfg.batch_size as u64)
+        .f32(cfg.lr)
+        .f32(cfg.momentum)
+        .f32(cfg.weight_decay)
+        .u64(cfg.drw_epoch as u64)
+        .u64(seed);
+    h.finish()
+}
+
+/// Executes a run plan: hands out prepared datasets (memoised per
+/// process) and trained backbones (deduplicated through the on-disk
+/// artifact cache, so a warm rerun trains nothing). All cache traffic is
+/// recorded on `exp.*` trace counters regardless of whether tracing
+/// output is enabled, and [`Engine::finish`] prints the totals the
+/// verification gates grep for.
+pub struct Engine {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    cache: Option<ArtifactCache>,
+    datasets: HashMap<&'static str, Rc<(Dataset, Dataset)>>,
+}
+
+impl Engine {
+    /// Engine for the parsed command line: scale and seed from the flags,
+    /// cache at the default location unless `--no-cache` was given.
+    pub fn new(args: &crate::Args) -> Self {
+        let cache = (!args.no_cache).then(ArtifactCache::at_default);
+        Engine::with_cache(args.scale, args.seed, cache)
+    }
+
+    /// Engine with an explicit cache (or `None` to always train fresh).
+    pub fn with_cache(scale: Scale, seed: u64, cache: Option<ArtifactCache>) -> Self {
+        Engine {
+            scale,
+            seed,
+            cache,
+            datasets: HashMap::new(),
+        }
+    }
+
+    /// The scale's pipeline configuration.
+    pub fn cfg(&self) -> PipelineConfig {
+        self.scale.pipeline()
+    }
+
+    /// The prepared (generated + standardised) train/test pair for a
+    /// dataset analogue, memoised for the life of the process.
+    pub fn dataset(&mut self, name: &'static str) -> Rc<(Dataset, Dataset)> {
+        let (scale, seed) = (self.scale, self.seed);
+        Rc::clone(
+            self.datasets
+                .entry(name)
+                .or_insert_with(|| Rc::new(prepared_dataset(name, scale, seed))),
+        )
+    }
+
+    /// A trained backbone for `(train, loss, cfg)`: loaded from the cache
+    /// when an intact entry exists, trained (and stored) otherwise. The
+    /// backbone's RNG stream is seeded by its own fingerprint, so the
+    /// trained weights — and everything derived from them — are identical
+    /// whether this call hit or missed.
+    pub fn backbone(
+        &mut self,
+        train: &Dataset,
+        loss: LossKind,
+        cfg: &PipelineConfig,
+    ) -> ThreePhase {
+        let fp = backbone_fingerprint(train, loss, cfg, self.seed);
+        if let Some(cache) = &self.cache {
+            match cache.load_backbone(fp, cfg, train) {
+                Ok(Some((tp, bytes))) => {
+                    eos_trace::counter("exp.backbone.hit").add(1);
+                    eos_trace::counter("exp.cache.bytes_read").add(bytes);
+                    return tp;
+                }
+                Ok(None) => {
+                    eos_trace::counter("exp.backbone.miss").add(1);
+                }
+                Err(e) => {
+                    eos_trace::counter("exp.backbone.corrupt").add(1);
+                    eprintln!(
+                        "[exp] discarding cache entry {}: {e}",
+                        cache.backbone_path(fp).display()
+                    );
+                }
+            }
+        }
+        let mut tp = {
+            let _span = eos_trace::span("exp.backbone_train");
+            ThreePhase::train(train, loss, cfg, &mut Rng64::new(fp))
+        };
+        eos_trace::counter("exp.backbone.trained").add(1);
+        if let Some(cache) = &self.cache {
+            match cache.store_backbone(fp, &mut tp) {
+                Ok(bytes) => {
+                    eos_trace::counter("exp.cache.bytes_written").add(bytes);
+                }
+                // A failed store costs the next run a retrain, nothing else.
+                Err(e) => eprintln!("[exp] could not store cache entry {fp:016x}: {e}"),
+            }
+        }
+        tp
+    }
+
+    /// Trains every backbone in `plans` that the cache does not already
+    /// hold, deduplicating by fingerprint first — the suite collects the
+    /// plans of all tables and pays each shared training exactly once.
+    pub fn prewarm(&mut self, plans: &[BackbonePlan]) {
+        let mut seen = Vec::new();
+        for plan in plans {
+            let pair = self.dataset(plan.dataset);
+            let mut cfg = self.cfg();
+            if let Some(arch) = plan.arch {
+                cfg.arch = arch;
+            }
+            let fp = backbone_fingerprint(&pair.0, plan.loss, &cfg, self.seed);
+            if seen.contains(&fp) {
+                continue;
+            }
+            seen.push(fp);
+            drop(self.backbone(&pair.0, plan.loss, &cfg));
+        }
+    }
+
+    /// Prints the cache-traffic totals for this process to stderr in the
+    /// fixed format the verification gates parse:
+    /// `[exp:tag] backbones trained: N, cache hits: H, ...`.
+    pub fn finish(&self, tag: &str) {
+        let snap = eos_trace::snapshot();
+        eprintln!(
+            "[exp:{tag}] backbones trained: {}, cache hits: {}, misses: {}, corrupt: {}, \
+             bytes read: {}, bytes written: {}",
+            snap.counter("exp.backbone.trained"),
+            snap.counter("exp.backbone.hit"),
+            snap.counter("exp.backbone.miss"),
+            snap.counter("exp.backbone.corrupt"),
+            snap.counter("exp.cache.bytes_read"),
+            snap.counter("exp.cache.bytes_written"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_separates_backbone_inputs() {
+        let (train, _) = prepared_dataset("celeba", Scale::Smoke, 1);
+        let cfg = Scale::Smoke.pipeline();
+        let base = backbone_fingerprint(&train, LossKind::Ce, &cfg, 42);
+        assert_eq!(base, backbone_fingerprint(&train, LossKind::Ce, &cfg, 42));
+        assert_ne!(base, backbone_fingerprint(&train, LossKind::Ldam, &cfg, 42));
+        assert_ne!(base, backbone_fingerprint(&train, LossKind::Ce, &cfg, 43));
+        let mut wide = cfg;
+        wide.arch = Architecture::WideResNet { k: 1 };
+        assert_ne!(base, backbone_fingerprint(&train, LossKind::Ce, &wide, 42));
+        let mut longer = cfg;
+        longer.backbone_epochs += 1;
+        assert_ne!(
+            base,
+            backbone_fingerprint(&train, LossKind::Ce, &longer, 42)
+        );
+        // Head-only knobs do NOT move the backbone fingerprint.
+        let mut head = cfg;
+        head.head_epochs += 5;
+        head.head_lr *= 2.0;
+        assert_eq!(base, backbone_fingerprint(&train, LossKind::Ce, &head, 42));
+        // Different data, different identity.
+        let (other, _) = prepared_dataset("svhn", Scale::Smoke, 1);
+        assert_ne!(base, backbone_fingerprint(&other, LossKind::Ce, &cfg, 42));
+    }
+
+    #[test]
+    fn dataset_memo_returns_the_same_instance() {
+        let mut eng = Engine::with_cache(Scale::Smoke, 1, None);
+        let a = eng.dataset("celeba");
+        let b = eng.dataset("celeba");
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,29 @@
+//! The spec-driven experiment engine.
+//!
+//! The paper's efficiency claim (§V-E2) rests on training one backbone
+//! and reusing it across many oversampler evaluations. The per-table
+//! binaries share backbones *within* a process; this module extends the
+//! reuse *across* processes and across tables:
+//!
+//! - [`spec`] — declarative experiment cells ([`ExperimentSpec`]:
+//!   dataset × loss × sampler × scale × seed) with stable FNV
+//!   fingerprints. Every cell derives its own RNG stream from its
+//!   fingerprint, so a cell's result depends only on its spec — not on
+//!   which cells ran before it, and not on whether its backbone came out
+//!   of the cache or a fresh training run.
+//! - [`cache`] — a content-addressed on-disk artifact store under
+//!   `results/cache/` holding trained backbone weights (EOSW encoding)
+//!   plus the extracted train-set embeddings, checksummed so truncated
+//!   or corrupt entries are detected and fall back to retraining.
+//! - [`engine`] — the run-plan executor: memoises prepared datasets
+//!   in-process, dedupes backbone trainings through the cache, exposes
+//!   trace counters for hit/miss/bytes, and prints a summary the
+//!   verification gates assert on.
+
+pub mod cache;
+pub mod engine;
+pub mod spec;
+
+pub use cache::ArtifactCache;
+pub use engine::{BackbonePlan, Engine};
+pub use spec::{mix_rng, ExperimentSpec, Fnv, SamplerSpec};

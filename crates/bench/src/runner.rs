@@ -8,7 +8,15 @@ use eos_resample::{BalancedSvm, BorderlineSmote, Oversampler, Smote};
 /// Generates and standardises a dataset analogue: train statistics are
 /// applied to both splits, matching the paper's normalised-input setup.
 pub fn prepared_dataset(name: &str, scale: Scale, seed: u64) -> (Dataset, Dataset) {
-    let spec = SynthSpec::by_name(name, scale.data_scale());
+    let mut spec = SynthSpec::by_name(name, scale.data_scale());
+    if scale == Scale::Smoke {
+        // Smoke gates must exercise every code path in seconds: shrink the
+        // per-class budget and flatten extreme imbalance so even the rare
+        // classes keep a handful of samples.
+        spec.n_max_train = (spec.n_max_train / 8).max(40);
+        spec.imbalance_ratio = spec.imbalance_ratio.min(10.0);
+        spec.n_test_per_class = (spec.n_test_per_class / 5).max(20);
+    }
     let (mut train, mut test) = spec.generate(seed);
     let (mean, std) = train.feature_stats();
     train.standardize(&mean, &std);

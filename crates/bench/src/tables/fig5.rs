@@ -1,0 +1,66 @@
+//! Figure 5 — Classifier weight norms per class, before and after
+//! embedding-space oversampling.
+//!
+//! Paper shape: cost-sensitive baselines leave monotonically shrinking
+//! norms toward the minority classes; oversampled heads flatten them, and
+//! EOS usually shows the largest, most even norms.
+
+use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::{write_csv, Args, MarkdownTable};
+use eos_core::head_weight_norms;
+use eos_nn::LossKind;
+
+/// Standard backbones: every dataset × every loss.
+pub fn plan(args: &Args) -> Vec<BackbonePlan> {
+    args.datasets
+        .iter()
+        .flat_map(|&d| LossKind::ALL.map(|loss| BackbonePlan::new(d, loss)))
+        .collect()
+}
+
+/// Produces the figure's CSV.
+pub fn run(eng: &mut Engine, args: &Args) {
+    let cfg = eng.cfg();
+    let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "Class", "Norm"]);
+    for &dataset in &args.datasets {
+        let pair = eng.dataset(dataset);
+        let train = &pair.0;
+        for loss in LossKind::ALL {
+            eprintln!("[fig5] {dataset} / {} ...", loss.name());
+            let mut tp = eng.backbone(train, loss, &cfg);
+            let record = |method: &str, norms: &[f32], table: &mut MarkdownTable| {
+                for (c, &n) in norms.iter().enumerate() {
+                    table.row(vec![
+                        dataset.to_string(),
+                        loss.name().into(),
+                        method.into(),
+                        c.to_string(),
+                        format!("{n:.4}"),
+                    ]);
+                }
+            };
+            record("Baseline", &head_weight_norms(&tp.net), &mut table);
+            let mut methods: Vec<SamplerSpec> = SamplerSpec::classic_lineup().to_vec();
+            methods.push(SamplerSpec::eos(10));
+            for sampler in methods {
+                let spec = ExperimentSpec {
+                    table: "fig5",
+                    dataset,
+                    loss,
+                    sampler,
+                    scale: eng.scale,
+                    seed: eng.seed,
+                };
+                let built = sampler.build().expect("non-baseline");
+                let _ = tp.finetune_head(Some(built.as_ref()), &cfg, &mut spec.rng());
+                record(sampler.name(), &head_weight_norms(&tp.net), &mut table);
+            }
+        }
+    }
+    println!(
+        "\nFigure 5 reproduction — classifier weight norms per class (scale {:?}, seed {})\n",
+        eng.scale, eng.seed
+    );
+    println!("{}", table.render());
+    write_csv(&table, "fig5");
+}

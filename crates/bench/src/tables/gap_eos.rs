@@ -1,0 +1,67 @@
+//! Future-work extension experiment: gap-aware EOS (budget allocation
+//! proportional to each class's measured generalization gap) versus plain
+//! EOS and SMOTE across the dataset analogues (CE loss).
+//!
+//! This operationalises the paper's §VII future-work direction: "we
+//! envision creating complementary measures will lead to a better
+//! understanding ... the generalization gap can lead to effective
+//! over-sampling".
+
+use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::report::paper_fmt;
+use crate::{write_csv, Args, MarkdownTable};
+use eos_nn::LossKind;
+
+/// Standard backbones: one CE backbone per dataset.
+pub fn plan(args: &Args) -> Vec<BackbonePlan> {
+    args.datasets
+        .iter()
+        .map(|&d| BackbonePlan::new(d, LossKind::Ce))
+        .collect()
+}
+
+/// Produces the table.
+pub fn run(eng: &mut Engine, args: &Args) {
+    let cfg = eng.cfg();
+    let mut table = MarkdownTable::new(&["Dataset", "Method", "BAC", "GM", "FM"]);
+    for &dataset in &args.datasets {
+        let pair = eng.dataset(dataset);
+        let (train, test) = (&pair.0, &pair.1);
+        eprintln!("[gap_eos] {dataset} backbone ...");
+        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+        let base = tp.baseline_eval(test);
+        let mut push = |m: &str, bac: f64, gm: f64, f1: f64| {
+            table.row(vec![
+                dataset.to_string(),
+                m.into(),
+                paper_fmt(bac),
+                paper_fmt(gm),
+                paper_fmt(f1),
+            ]);
+        };
+        push("Baseline", base.bac, base.gm, base.f1);
+        for sampler in [
+            SamplerSpec::Smote { k: 5 },
+            SamplerSpec::eos(10),
+            SamplerSpec::GapAwareEos { k: 10 },
+        ] {
+            let spec = ExperimentSpec {
+                table: "gap_eos",
+                dataset,
+                loss: LossKind::Ce,
+                sampler,
+                scale: eng.scale,
+                seed: eng.seed,
+            };
+            let built = sampler.build().expect("non-baseline");
+            let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+            push(sampler.name(), r.bac, r.gm, r.f1);
+        }
+    }
+    println!(
+        "\nExtension — gap-aware EOS (future work, §VII) (scale {:?}, seed {})\n",
+        eng.scale, eng.seed
+    );
+    println!("{}", table.render());
+    write_csv(&table, "gap_eos");
+}

@@ -1,0 +1,58 @@
+//! Declarative table/figure reproductions over the experiment engine.
+//!
+//! Every table or figure of the paper lives here as a module with two
+//! entry points:
+//!
+//! - `plan(&Args) -> Vec<BackbonePlan>` — the standard backbones the
+//!   table needs, so the `suite` binary can collect every table's plan,
+//!   dedupe shared trainings and prewarm the cache before running
+//!   anything. Derived backbones (oversampled pixel sets, the step
+//!   ablation) are not in the plan; they still go through
+//!   [`Engine::backbone`](crate::exp::Engine::backbone) inside `run` and
+//!   are cached by dataset content like everything else.
+//! - `run(&mut Engine, &Args)` — produces the table: prints the rendered
+//!   markdown to stdout and writes the CSV under `results/`.
+//!
+//! The per-table binaries are thin wrappers (`Engine::new` → `run` →
+//! `Engine::finish`). Each experiment cell derives its RNG from its
+//! [`ExperimentSpec`](crate::exp::ExperimentSpec) fingerprint, so CSV
+//! output is byte-identical between cold and warm-cache runs.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod gap_eos;
+pub mod pixel_eos;
+pub mod runtime;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use crate::exp::ExperimentSpec;
+use eos_data::Dataset;
+use eos_resample::balance_with;
+
+/// The pre-processing arm's input: the train set enlarged by the cell's
+/// oversampler in **pixel space**. Training the full network on this set
+/// is exactly the paper's pre-processing pipeline, and because the engine
+/// fingerprints datasets by content, those trainings cache like any
+/// other backbone.
+pub(crate) fn oversampled_pixels(train: &Dataset, spec: &ExperimentSpec) -> Dataset {
+    let sampler = spec
+        .sampler
+        .build()
+        .expect("the pre-processing arm needs a real oversampler");
+    let (bx, by) = balance_with(
+        sampler.as_ref(),
+        &train.x,
+        &train.y,
+        train.num_classes,
+        &mut spec.rng(),
+    );
+    Dataset::new(bx, by, train.shape, train.num_classes)
+}

@@ -1,0 +1,89 @@
+//! §V-E3 — EOS in pixel space vs feature-embedding space (cifar10
+//! analogue, CE loss). Includes the interpolation-direction ablation.
+//!
+//! Paper shape: pixel-space EOS trails embedding-space EOS by a wide
+//! margin (~7 BAC points in the paper) because pixel-space nearest
+//! adversaries are far less discriminative than embedding-space ones.
+//! The direction ablation contrasts the paper's prose (toward-enemy
+//! convex combination) with the literal Algorithm 2 formula
+//! (away-from-enemy extrapolation).
+
+use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::report::paper_fmt;
+use crate::{write_csv, Args, MarkdownTable};
+use eos_core::Direction;
+use eos_nn::LossKind;
+
+/// Standard backbones: cifar10 / CE (the embedding-space arm).
+pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
+    vec![BackbonePlan::new("cifar10", LossKind::Ce)]
+}
+
+/// Produces the table.
+pub fn run(eng: &mut Engine, _args: &Args) {
+    let cfg = eng.cfg();
+    let pair = eng.dataset("cifar10");
+    let (train, test) = (&pair.0, &pair.1);
+    let mut table = MarkdownTable::new(&["Variant", "BAC", "GM", "FM"]);
+    let (scale, seed) = (eng.scale, eng.seed);
+    let cell = move |table_tag, sampler| ExperimentSpec {
+        table: table_tag,
+        dataset: "cifar10",
+        loss: LossKind::Ce,
+        sampler,
+        scale,
+        seed,
+    };
+
+    eprintln!("[pixel_eos] EOS as pixel-space pre-processing ...");
+    let enlarged = super::oversampled_pixels(train, &cell("pixel_eos-pre", SamplerSpec::eos(10)));
+    let mut pixel_tp = eng.backbone(&enlarged, LossKind::Ce, &cfg);
+    let pixel = pixel_tp.baseline_eval(test);
+    table.row(vec![
+        "EOS in pixel space (pre-processing)".into(),
+        paper_fmt(pixel.bac),
+        paper_fmt(pixel.gm),
+        paper_fmt(pixel.f1),
+    ]);
+
+    eprintln!("[pixel_eos] EOS in embedding space ...");
+    let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+    let toward = cell("pixel_eos", SamplerSpec::eos(10));
+    let built = toward.sampler.build().expect("EOS");
+    let fe = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut toward.rng());
+    table.row(vec![
+        "EOS in embedding space (three-phase)".into(),
+        paper_fmt(fe.bac),
+        paper_fmt(fe.gm),
+        paper_fmt(fe.f1),
+    ]);
+
+    eprintln!("[pixel_eos] direction ablation ...");
+    let away_spec = cell(
+        "pixel_eos",
+        SamplerSpec::Eos {
+            k: 10,
+            direction: Direction::AwayFromEnemy,
+            r_scale: 0.5,
+        },
+    );
+    let built = away_spec.sampler.build().expect("EOS");
+    let away = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut away_spec.rng());
+    table.row(vec![
+        "EOS embedding, away-from-enemy (literal Alg. 2)".into(),
+        paper_fmt(away.bac),
+        paper_fmt(away.gm),
+        paper_fmt(away.f1),
+    ]);
+
+    println!(
+        "\n§V-E3 reproduction — EOS pixel vs embedding space (scale {:?}, seed {})\n",
+        eng.scale, eng.seed
+    );
+    println!("{}", table.render());
+    println!(
+        "embedding-space advantage: {:+.1} BAC points (paper: ~+7)",
+        (fe.bac - pixel.bac) * 100.0
+    );
+    write_csv(&table, "pixel_eos");
+}

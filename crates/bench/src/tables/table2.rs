@@ -1,0 +1,67 @@
+//! Table II — Baseline algorithms & over-sampling accuracy.
+//!
+//! For every dataset analogue and every loss (CE, ASL, Focal, LDAM):
+//! train the backbone once, then compare the end-to-end baseline against
+//! head fine-tuning with SMOTE / Borderline-SMOTE / Balanced-SVM / EOS in
+//! feature-embedding space. Paper shape: EOS wins most cells; the
+//! backbone loss matters (LDAM embeddings are the strongest pairing).
+
+use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::report::paper_fmt;
+use crate::{write_csv, Args, MarkdownTable};
+use eos_nn::LossKind;
+
+/// Standard backbones: every dataset × every loss.
+pub fn plan(args: &Args) -> Vec<BackbonePlan> {
+    args.datasets
+        .iter()
+        .flat_map(|&d| LossKind::ALL.map(|loss| BackbonePlan::new(d, loss)))
+        .collect()
+}
+
+/// Produces the table.
+pub fn run(eng: &mut Engine, args: &Args) {
+    let cfg = eng.cfg();
+    let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "BAC", "GM", "FM"]);
+    for &dataset in &args.datasets {
+        let pair = eng.dataset(dataset);
+        let (train, test) = (&pair.0, &pair.1);
+        for loss in LossKind::ALL {
+            eprintln!("[table2] {dataset} / {} ...", loss.name());
+            let mut tp = eng.backbone(train, loss, &cfg);
+            let mut push = |method: &str, bac: f64, gm: f64, f1: f64| {
+                table.row(vec![
+                    dataset.to_string(),
+                    loss.name().into(),
+                    method.into(),
+                    paper_fmt(bac),
+                    paper_fmt(gm),
+                    paper_fmt(f1),
+                ]);
+            };
+            let base = tp.baseline_eval(test);
+            push("Baseline", base.bac, base.gm, base.f1);
+            let mut methods: Vec<SamplerSpec> = SamplerSpec::classic_lineup().to_vec();
+            methods.push(SamplerSpec::eos(10));
+            for sampler in methods {
+                let spec = ExperimentSpec {
+                    table: "table2",
+                    dataset,
+                    loss,
+                    sampler,
+                    scale: eng.scale,
+                    seed: eng.seed,
+                };
+                let built = sampler.build().expect("non-baseline");
+                let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                push(sampler.name(), r.bac, r.gm, r.f1);
+            }
+        }
+    }
+    println!(
+        "\nTable II reproduction (scale {:?}, seed {})\n",
+        eng.scale, eng.seed
+    );
+    println!("{}", table.render());
+    write_csv(&table, "table2");
+}

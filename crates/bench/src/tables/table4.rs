@@ -1,0 +1,59 @@
+//! Table IV — EOS nearest-neighbour size (K) sensitivity.
+//!
+//! K ∈ {10, 50, 100, 200, 300} with cross-entropy. Paper shape: BAC
+//! improves with K and plateaus by K ≈ 200–300 (a larger enemy
+//! neighbourhood gives a more diverse range expansion).
+
+use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::report::paper_fmt;
+use crate::{write_csv, Args, MarkdownTable};
+use eos_nn::LossKind;
+
+const KS: [usize; 5] = [10, 50, 100, 200, 300];
+
+/// Standard backbones: one CE backbone per dataset.
+pub fn plan(args: &Args) -> Vec<BackbonePlan> {
+    args.datasets
+        .iter()
+        .map(|&d| BackbonePlan::new(d, LossKind::Ce))
+        .collect()
+}
+
+/// Produces the table.
+pub fn run(eng: &mut Engine, args: &Args) {
+    let cfg = eng.cfg();
+    let mut table = MarkdownTable::new(&["Dataset", "K", "BAC", "GM", "FM"]);
+    for &dataset in &args.datasets {
+        let pair = eng.dataset(dataset);
+        let (train, test) = (&pair.0, &pair.1);
+        eprintln!("[table4] {dataset} backbone ...");
+        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+        for k in KS {
+            // K cannot exceed the number of other samples.
+            let k_eff = k.min(train.len().saturating_sub(1)).max(1);
+            let spec = ExperimentSpec {
+                table: "table4",
+                dataset,
+                loss: LossKind::Ce,
+                sampler: SamplerSpec::eos(k_eff),
+                scale: eng.scale,
+                seed: eng.seed,
+            };
+            let built = spec.sampler.build().expect("EOS");
+            let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+            table.row(vec![
+                dataset.to_string(),
+                k.to_string(),
+                paper_fmt(r.bac),
+                paper_fmt(r.gm),
+                paper_fmt(r.f1),
+            ]);
+        }
+    }
+    println!(
+        "\nTable IV reproduction — EOS neighbourhood-size sweep (scale {:?}, seed {})\n",
+        eng.scale, eng.seed
+    );
+    println!("{}", table.render());
+    write_csv(&table, "table4");
+}

@@ -1,0 +1,91 @@
+//! Table V — Alternative CNN architectures with and without EOS
+//! (cifar10 analogue, K = 10).
+//!
+//! Paper shape: EOS improves every architecture family (ResNet-56,
+//! WideResNet, DenseNet) over its end-to-end baseline.
+
+use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::report::paper_fmt;
+use crate::{write_csv, Args, MarkdownTable};
+use eos_nn::{Architecture, LossKind};
+
+/// Display label, cell tag, architecture.
+fn archs() -> [(&'static str, &'static str, Architecture); 3] {
+    [
+        (
+            "ResNet (deeper)",
+            "table5/resnet",
+            Architecture::ResNet {
+                blocks_per_stage: 2,
+                width: 8,
+            },
+        ),
+        (
+            "WideResNet",
+            "table5/wrn",
+            Architecture::WideResNet { k: 2 },
+        ),
+        (
+            "DenseNet",
+            "table5/densenet",
+            Architecture::DenseNet {
+                growth: 6,
+                layers_per_block: 2,
+            },
+        ),
+    ]
+}
+
+/// Standard backbones: three architecture overrides on cifar10 / CE.
+pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
+    archs()
+        .iter()
+        .map(|&(_, _, arch)| BackbonePlan {
+            dataset: "cifar10",
+            loss: LossKind::Ce,
+            arch: Some(arch),
+        })
+        .collect()
+}
+
+/// Produces the table.
+pub fn run(eng: &mut Engine, _args: &Args) {
+    let mut cfg = eng.cfg();
+    let pair = eng.dataset("cifar10");
+    let (train, test) = (&pair.0, &pair.1);
+    let mut table = MarkdownTable::new(&["Network", "BAC", "GM", "FM"]);
+    for (name, tag, arch) in archs() {
+        cfg.arch = arch;
+        eprintln!("[table5] {name} ...");
+        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+        let base = tp.baseline_eval(test);
+        table.row(vec![
+            name.to_string(),
+            paper_fmt(base.bac),
+            paper_fmt(base.gm),
+            paper_fmt(base.f1),
+        ]);
+        let spec = ExperimentSpec {
+            table: tag,
+            dataset: "cifar10",
+            loss: LossKind::Ce,
+            sampler: SamplerSpec::eos(10),
+            scale: eng.scale,
+            seed: eng.seed,
+        };
+        let built = spec.sampler.build().expect("EOS");
+        let eos = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+        table.row(vec![
+            format!("EOS: {name}"),
+            paper_fmt(eos.bac),
+            paper_fmt(eos.gm),
+            paper_fmt(eos.f1),
+        ]);
+    }
+    println!(
+        "\nTable V reproduction — architectures with & without EOS (scale {:?}, seed {})\n",
+        eng.scale, eng.seed
+    );
+    println!("{}", table.render());
+    write_csv(&table, "table5");
+}

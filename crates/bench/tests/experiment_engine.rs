@@ -1,0 +1,114 @@
+//! End-to-end contract of the experiment engine: a warm cache skips all
+//! backbone training and reproduces cold-run results bit-for-bit, and a
+//! corrupt cache entry falls back to retraining — with identical results
+//! — instead of panicking.
+//!
+//! Everything lives in one test function because the `exp.*` trace
+//! counters are process-global and the harness runs `#[test]`s in
+//! parallel threads.
+
+use eos_bench::exp::{ArtifactCache, Engine, ExperimentSpec, SamplerSpec};
+use eos_bench::runner::prepared_dataset;
+use eos_core::{EvalResult, Scale};
+use eos_nn::LossKind;
+
+fn counters() -> (u64, u64, u64) {
+    let snap = eos_trace::snapshot();
+    (
+        snap.counter("exp.backbone.trained"),
+        snap.counter("exp.backbone.hit"),
+        snap.counter("exp.backbone.corrupt"),
+    )
+}
+
+fn cell() -> ExperimentSpec {
+    ExperimentSpec {
+        table: "engine-test",
+        dataset: "celeba",
+        loss: LossKind::Ce,
+        sampler: SamplerSpec::eos(5),
+        scale: Scale::Smoke,
+        seed: 7,
+    }
+}
+
+/// One cold-equivalent pass through an engine: acquire the backbone,
+/// evaluate the baseline, fine-tune the cell's sampler.
+fn pass(eng: &mut Engine) -> (EvalResult, EvalResult) {
+    let cfg = eng.cfg();
+    let pair = eng.dataset("celeba");
+    let spec = cell();
+    let mut tp = eng.backbone(&pair.0, spec.loss, &cfg);
+    let base = tp.baseline_eval(&pair.1);
+    let built = spec.sampler.build().unwrap();
+    let tuned = tp.finetune_and_eval(built.as_ref(), &pair.1, &cfg, &mut spec.rng());
+    (base, tuned)
+}
+
+fn assert_bit_identical(a: &EvalResult, b: &EvalResult, what: &str) {
+    assert_eq!(a.bac.to_bits(), b.bac.to_bits(), "{what}: BAC");
+    assert_eq!(a.gm.to_bits(), b.gm.to_bits(), "{what}: GM");
+    assert_eq!(a.f1.to_bits(), b.f1.to_bits(), "{what}: F1");
+    assert_eq!(a.predictions, b.predictions, "{what}: predictions");
+}
+
+#[test]
+fn warm_cache_skips_training_and_reproduces_cold_results() {
+    let dir = std::env::temp_dir().join(format!("eos_engine_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = cell();
+
+    // Cold run: one training, no hits.
+    let mut cold = Engine::with_cache(spec.scale, spec.seed, Some(ArtifactCache::at(&dir)));
+    let before = counters();
+    let (cold_base, cold_tuned) = pass(&mut cold);
+    let after = counters();
+    assert_eq!(after.0 - before.0, 1, "cold run trains exactly once");
+    assert_eq!(after.1 - before.1, 0, "cold run cannot hit");
+
+    // Warm run in a fresh engine: zero trainings, one hit, identical bits.
+    let mut warm = Engine::with_cache(spec.scale, spec.seed, Some(ArtifactCache::at(&dir)));
+    let before = counters();
+    let (warm_base, warm_tuned) = pass(&mut warm);
+    let after = counters();
+    assert_eq!(after.0 - before.0, 0, "warm run trains nothing");
+    assert_eq!(after.1 - before.1, 1, "warm run hits the cache");
+    assert_bit_identical(&cold_base, &warm_base, "warm baseline");
+    assert_bit_identical(&cold_tuned, &warm_tuned, "warm fine-tune");
+
+    // Corrupt the single cache entry: the engine must retrain (not
+    // panic) and still land on the same results.
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "eosc"))
+        .expect("one cache entry on disk");
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+    let mut healed = Engine::with_cache(spec.scale, spec.seed, Some(ArtifactCache::at(&dir)));
+    let before = counters();
+    let (healed_base, healed_tuned) = pass(&mut healed);
+    let after = counters();
+    assert_eq!(after.2 - before.2, 1, "corrupt entry detected");
+    assert_eq!(after.0 - before.0, 1, "corrupt entry forces a retrain");
+    assert_bit_identical(&cold_base, &healed_base, "healed baseline");
+    assert_bit_identical(&cold_tuned, &healed_tuned, "healed fine-tune");
+
+    // --no-cache engines always train fresh and still agree.
+    let mut fresh = Engine::with_cache(spec.scale, spec.seed, None);
+    let (fresh_base, fresh_tuned) = pass(&mut fresh);
+    assert_bit_identical(&cold_base, &fresh_base, "cache-free baseline");
+    assert_bit_identical(&cold_tuned, &fresh_tuned, "cache-free fine-tune");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn smoke_scale_dataset_is_small_but_complete() {
+    let (train, test) = prepared_dataset("cifar10", Scale::Smoke, 7);
+    let (full_train, _) = prepared_dataset("cifar10", Scale::Small, 7);
+    assert!(train.len() < full_train.len() / 2, "smoke shrinks the data");
+    assert_eq!(train.num_classes, full_train.num_classes);
+    assert!(train.class_counts().iter().all(|&c| c > 0));
+    assert!(test.class_counts().iter().all(|&c| c > 0));
+}

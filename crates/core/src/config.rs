@@ -5,6 +5,9 @@ use eos_nn::Architecture;
 /// Reproduction scale: how much compute an experiment run spends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
+    /// Seconds-per-table scale used by CI smoke gates: tiny backbone,
+    /// shrunken datasets, just enough epochs to exercise every code path.
+    Smoke,
     /// Minutes-per-table scale (default for `cargo run` harnesses).
     #[default]
     Small,
@@ -13,19 +16,33 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `small` / `medium` (used by the bench binaries' `--scale`).
+    /// Every accepted `--scale` spelling, in size order.
+    pub const NAMES: [&'static str; 3] = ["smoke", "small", "medium"];
+
+    /// Parses `smoke` / `small` / `medium` (the bench binaries' `--scale`).
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
+            "smoke" => Some(Scale::Smoke),
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             _ => None,
         }
     }
 
+    /// The canonical spelling (inverse of [`Scale::parse`]); also part of
+    /// experiment fingerprints, so it must stay stable.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+        }
+    }
+
     /// Multiplier applied to the synthetic datasets' sample counts.
     pub fn data_scale(self) -> usize {
         match self {
-            Scale::Small => 1,
+            Scale::Smoke | Scale::Small => 1,
             Scale::Medium => 3,
         }
     }
@@ -33,6 +50,7 @@ impl Scale {
     /// The pipeline configuration for this scale.
     pub fn pipeline(self) -> PipelineConfig {
         match self {
+            Scale::Smoke => PipelineConfig::smoke(),
             Scale::Small => PipelineConfig::small(),
             Scale::Medium => PipelineConfig::medium(),
         }
@@ -65,6 +83,27 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
+    /// Smoke scale: the smallest configuration that still runs every
+    /// phase (backbone schedule with both LR milestones, DRW switch-over,
+    /// head fine-tune). Exists for gates that must run a whole table
+    /// binary in seconds, not for reproducing trends.
+    pub fn smoke() -> Self {
+        PipelineConfig {
+            arch: Architecture::ResNet {
+                blocks_per_stage: 1,
+                width: 4,
+            },
+            backbone_epochs: 3,
+            head_epochs: 3,
+            batch_size: 32,
+            lr: 0.05,
+            head_lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            drw_epoch: 2,
+        }
+    }
+
     /// Small scale: a 14-layer-equivalent ResNet on 8×8 images.
     pub fn small() -> Self {
         PipelineConfig {
@@ -108,15 +147,21 @@ mod tests {
 
     #[test]
     fn parse_scales() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
         assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("huge"), None);
+        for name in Scale::NAMES {
+            assert_eq!(Scale::parse(name).unwrap().name(), name);
+        }
     }
 
     #[test]
-    fn medium_outspends_small() {
+    fn medium_outspends_small_outspends_smoke() {
+        let k = PipelineConfig::smoke();
         let s = PipelineConfig::small();
         let m = PipelineConfig::medium();
+        assert!(s.backbone_epochs > k.backbone_epochs);
         assert!(m.backbone_epochs > s.backbone_epochs);
         assert!(Scale::Medium.data_scale() > Scale::Small.data_scale());
     }

@@ -161,6 +161,39 @@ impl ThreePhase {
         }
     }
 
+    /// Re-assembles a pipeline from previously produced parts — a
+    /// restored backbone and its extracted train-set embeddings — without
+    /// re-running phase one. This is the constructor artifact caches go
+    /// through: everything downstream (baseline eval, head fine-tunes,
+    /// gap reports) behaves bit-identically to the freshly trained
+    /// pipeline the parts came from. The per-epoch history is empty and
+    /// `backbone_seconds` is zero, because no training happened here.
+    pub fn from_parts(
+        net: ConvNet,
+        train_fe: Tensor,
+        train_y: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(
+            train_fe.dim(0),
+            train_y.len(),
+            "embedding/label count mismatch"
+        );
+        assert_eq!(
+            train_fe.dim(1),
+            net.feature_dim(),
+            "embedding width does not match the backbone"
+        );
+        ThreePhase {
+            net,
+            train_fe,
+            train_y,
+            num_classes,
+            history: Vec::new(),
+            backbone_seconds: 0.0,
+        }
+    }
+
     /// Evaluates the network as trained end-to-end (no head fine-tuning):
     /// the "Baseline" column of Table II.
     pub fn baseline_eval(&mut self, test: &Dataset) -> EvalResult {

@@ -113,6 +113,32 @@ impl Dataset {
         (mean, std)
     }
 
+    /// Content fingerprint: FNV-1a over the class space, image shape,
+    /// labels and the exact bit patterns of every sample. Two datasets
+    /// fingerprint equal iff they would drive a training run identically,
+    /// which is what lets downstream caches be content-addressed rather
+    /// than name-addressed.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(&(self.num_classes as u64).to_le_bytes());
+        mix(&(self.shape.0 as u64).to_le_bytes());
+        mix(&(self.shape.1 as u64).to_le_bytes());
+        mix(&(self.shape.2 as u64).to_le_bytes());
+        mix(&(self.y.len() as u64).to_le_bytes());
+        for &l in &self.y {
+            mix(&(l as u64).to_le_bytes());
+        }
+        for &v in self.x.data() {
+            mix(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Standardises features in place with the given statistics (use the
     /// *training* set's stats for both train and test, as the paper's
     /// normalised-input assumption requires).
@@ -193,5 +219,21 @@ mod tests {
     #[should_panic(expected = "label out of range")]
     fn rejects_bad_labels() {
         Dataset::new(Tensor::zeros(&[1, 2]), vec![5], (1, 1, 2), 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let d = toy();
+        assert_eq!(d.fingerprint(), toy().fingerprint(), "deterministic");
+        let mut labels_differ = toy();
+        labels_differ.y[0] = 1;
+        assert_ne!(d.fingerprint(), labels_differ.fingerprint());
+        let mut pixels_differ = toy();
+        pixels_differ.x.data_mut()[3] += 1.0;
+        assert_ne!(d.fingerprint(), pixels_differ.fingerprint());
+        // Reordering rows changes the fingerprint too: training consumes
+        // rows in order, so order is part of the content.
+        let reordered = d.subset(&[1, 0, 2, 3, 4, 5]);
+        assert_ne!(d.fingerprint(), reordered.fingerprint());
     }
 }

@@ -59,7 +59,10 @@ pub use optim::{clip_grad_norm, Adam, CosineLr, LrSchedule, MultiStepLr, Sgd};
 pub use pool::{GlobalAvgPool, MaxPool2d};
 pub use resnet::{densenet_lite, resnet_cifar, wide_resnet, BasicBlock};
 pub use sequential::Sequential;
-pub use serialize::{load_weights, load_weights_file, save_weights, save_weights_file};
+pub use serialize::{
+    load_weights, load_weights_file, read_tensor, save_weights, save_weights_bytes,
+    save_weights_file, write_tensor,
+};
 pub use trainer::{
     train_epochs, train_with_early_stopping, try_train_epochs, EpochStats, TrainConfig, TrainError,
 };

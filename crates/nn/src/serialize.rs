@@ -7,6 +7,7 @@
 //! classifier head fine-tuned many times in later processes.
 
 use crate::layer::Layer;
+use eos_tensor::Tensor;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
@@ -146,6 +147,59 @@ pub fn load_weights(layer: &mut dyn Layer, mut reader: impl Read) -> io::Result<
         }
     }
 }
+
+/// [`save_weights`] rendered into a byte buffer — the in-memory half of
+/// the checkpoint round-trip API used by artifact caches.
+pub fn save_weights_bytes(layer: &mut dyn Layer) -> Vec<u8> {
+    let mut buf = Vec::new();
+    save_weights(layer, &mut buf).expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// Writes one tensor (rank, dims, f32 payload) in EOSW's wire encoding.
+/// Together with [`read_tensor`] this lets callers persist auxiliary
+/// arrays (extracted embeddings, cached statistics) next to a weight
+/// blob without inventing a second format.
+pub fn write_tensor(mut writer: impl Write, t: &Tensor) -> io::Result<()> {
+    let dims = t.dims();
+    write_u32(&mut writer, dims.len() as u32)?;
+    for &d in dims {
+        write_u64(&mut writer, d as u64)?;
+    }
+    write_f32s(&mut writer, t.data())
+}
+
+/// Reads a tensor written by [`write_tensor`], with the same corruption
+/// guards as weight loading: bounded rank, bounded element count and a
+/// finiteness check on every value.
+pub fn read_tensor(mut reader: impl Read) -> io::Result<Tensor> {
+    let rank = read_u32(&mut reader)? as usize;
+    if rank > MAX_RANK {
+        return Err(bad(format!(
+            "tensor claims rank {rank} (corrupt length field?)"
+        )));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let d = read_u64(&mut reader)? as usize;
+        len = len
+            .checked_mul(d)
+            .filter(|&l| l <= MAX_TENSOR_ELEMS)
+            .ok_or_else(|| bad("tensor dims overflow (corrupt dim field?)"))?;
+        dims.push(d);
+    }
+    let data = read_f32s(&mut reader, len)?;
+    if data.iter().any(|v| !v.is_finite()) {
+        return Err(bad("non-finite value in tensor"));
+    }
+    Ok(Tensor::from_vec(data, &dims))
+}
+
+/// Element cap for [`read_tensor`]: nothing persisted in this workspace
+/// approaches it, and it stops a corrupt dim field from driving a
+/// multi-gigabyte allocation before the read fails.
+const MAX_TENSOR_ELEMS: usize = 1 << 31;
 
 /// [`save_weights`] to a file path.
 pub fn save_weights_file(layer: &mut dyn Layer, path: &Path) -> io::Result<()> {
@@ -298,6 +352,49 @@ mod tests {
         let mut b = tiny_net(2);
         let err = load_weights(&mut b, buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn tensor_roundtrip_is_bit_exact() {
+        let mut rng = Rng64::new(9);
+        let t = normal(&[5, 7], 0.0, 3.0, &mut rng);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back = read_tensor(buf.as_slice()).unwrap();
+        assert_eq!(back.dims(), t.dims());
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn tensor_read_rejects_truncation_and_garbage() {
+        let t = Tensor::ones(&[3, 4]);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        // Truncated payload.
+        let err = read_tensor(&buf[..buf.len() - 2]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        // Garbage rank.
+        let mut corrupt = buf.clone();
+        corrupt[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_tensor(corrupt.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("rank"));
+        // Garbage dim driving an absurd allocation.
+        let mut huge = buf.clone();
+        huge[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_tensor(huge.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("overflow"));
+        // Non-finite payload.
+        let mut nan = buf.clone();
+        let end = nan.len();
+        nan[end - 4..].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert!(read_tensor(nan.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("non-finite"));
     }
 
     #[test]

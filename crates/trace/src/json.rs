@@ -93,6 +93,10 @@ impl JsonRecord {
 /// Writes `contents` to `results/<filename>`, creating the directory.
 /// Returns the path on success; failures print a warning and return
 /// `None` (observability must never abort the computation it observes).
+///
+/// The write is atomic: contents land in a sibling temp file which is
+/// then renamed over the target, so an interrupted run leaves either the
+/// previous file or the new one — never a torn prefix.
 pub fn write_results(filename: &str, contents: &str) -> Option<PathBuf> {
     let dir = Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
@@ -100,11 +104,40 @@ pub fn write_results(filename: &str, contents: &str) -> Option<PathBuf> {
         return None;
     }
     let path = dir.join(filename);
-    match std::fs::write(&path, contents) {
+    match write_atomic(&path, contents.as_bytes()) {
         Ok(()) => Some(path),
         Err(e) => {
             eprintln!("warning: cannot write {}: {e}", path.display());
             None
+        }
+    }
+}
+
+/// Atomic file write: temp file in the target's directory (same
+/// filesystem, so the rename cannot cross a mount), then rename. The
+/// temp name embeds the process id to keep concurrent writers of
+/// *different* runs from colliding on it.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))?;
+    let tmp_name = format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Leave no droppings behind a failed rename.
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
         }
     }
 }
@@ -349,6 +382,24 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("eos_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

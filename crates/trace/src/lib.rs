@@ -26,7 +26,7 @@
 mod json;
 mod registry;
 
-pub use json::{escape, validate, write_results, JsonRecord};
+pub use json::{escape, validate, write_atomic, write_results, JsonRecord};
 pub use registry::{Counter, HistSnapshot, Histogram, Snapshot, SpanSnapshot, HIST_BUCKETS};
 
 use registry::{Event, CURRENT};

@@ -26,3 +26,35 @@ cargo run --release -q -p eos-bench --bin check_numerics -- --smoke
 # JSON/JSONL. (train_step above already audits that tracing, disabled,
 # adds no allocations to the steady-state step.)
 cargo run --release -q -p eos-bench --bin trace_train -- --smoke
+
+# Cache-equivalence gate: a warm rerun of a table binary must train zero
+# backbones (everything served from the artifact cache) and still produce
+# a byte-identical CSV. Runs in a throwaway working dir + cache dir so it
+# cannot disturb results/ or a developer's real cache.
+cargo build --release -q -p eos-bench --bin table2
+gate_dir="$(mktemp -d)"
+trap 'rm -rf "$gate_dir"' EXIT
+table2_bin="$PWD/target/release/table2"
+(
+  cd "$gate_dir"
+  export EOS_CACHE_DIR="$gate_dir/cache"
+  "$table2_bin" --scale smoke --seed 42 --datasets celeba \
+    > cold.out 2> cold.err
+  cp results/table2.csv cold.csv
+  "$table2_bin" --scale smoke --seed 42 --datasets celeba \
+    > warm.out 2> warm.err
+  grep -q 'backbones trained: 0,' warm.err || {
+    echo "FAIL: warm rerun retrained backbones:" >&2
+    grep '\[exp:table2\]' warm.err >&2
+    exit 1
+  }
+  cmp cold.csv results/table2.csv || {
+    echo "FAIL: warm-cache CSV differs from cold-run CSV" >&2
+    exit 1
+  }
+  cmp cold.out warm.out || {
+    echo "FAIL: warm-cache stdout differs from cold-run stdout" >&2
+    exit 1
+  }
+)
+echo "cache-equivalence gate: warm rerun trained 0 backbones, output byte-identical"
