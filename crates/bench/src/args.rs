@@ -4,10 +4,21 @@ use eos_core::Scale;
 use eos_data::DATASET_NAMES;
 
 /// The flags every experiment binary accepts, in usage order.
-const FLAGS: [&str; 4] = ["--scale", "--seed", "--datasets", "--no-cache"];
+const FLAGS: [&str; 9] = [
+    "--scale",
+    "--seed",
+    "--datasets",
+    "--no-cache",
+    "--jobs",
+    "--skip-runtime",
+    "--bench",
+    "--cache-gc",
+    "--cache-cap",
+];
 
 /// Parsed command line:
-/// `--scale smoke|small|medium --seed N --datasets a,b --no-cache`.
+/// `--scale smoke|small|medium --seed N --datasets a,b --no-cache
+/// --jobs J --skip-runtime --bench --cache-gc --cache-cap BYTES`.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// Experiment scale.
@@ -19,6 +30,22 @@ pub struct Args {
     /// Skip the on-disk artifact cache: train every backbone fresh and
     /// store nothing.
     pub no_cache: bool,
+    /// Outer job-level parallelism: how many backbone trainings /
+    /// experiment cells run concurrently (each gets `threads / jobs` of
+    /// the `EOS_NUM_THREADS` budget for its inner ops). 1 is serial.
+    pub jobs: usize,
+    /// Skip the runtime table (its stdout prints wall-clock timings, so
+    /// the byte-identity gates exclude it).
+    pub skip_runtime: bool,
+    /// Suite only: run the deterministic pipeline serially and at
+    /// `--jobs`, compare outputs, and write `results/BENCH_suite.json`.
+    pub bench: bool,
+    /// Suite only: sweep the cache directory (orphans, stale locks,
+    /// corrupt entries) and exit.
+    pub cache_gc: bool,
+    /// With `--cache-gc`: evict oldest entries until the cache fits
+    /// under this many bytes.
+    pub cache_cap: Option<u64>,
 }
 
 impl Default for Args {
@@ -28,6 +55,11 @@ impl Default for Args {
             seed: 42,
             datasets: DATASET_NAMES.to_vec(),
             no_cache: false,
+            jobs: 1,
+            skip_runtime: false,
+            bench: false,
+            cache_gc: false,
+            cache_cap: None,
         }
     }
 }
@@ -40,7 +72,8 @@ impl Args {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: <bin> [--scale {}] [--seed N] [--datasets {}] [--no-cache]",
+                    "usage: <bin> [--scale {}] [--seed N] [--datasets {}] [--no-cache] \
+                     [--jobs J] [--skip-runtime] [--bench] [--cache-gc] [--cache-cap BYTES]",
                     Scale::NAMES.join("|"),
                     DATASET_NAMES.join(",")
                 );
@@ -85,6 +118,21 @@ impl Args {
                     out.datasets = names;
                 }
                 "--no-cache" => out.no_cache = true,
+                "--jobs" => {
+                    let v = value("--jobs")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad job count '{v}'"))?;
+                    if n == 0 {
+                        return Err("--jobs needs at least 1".into());
+                    }
+                    out.jobs = n;
+                }
+                "--skip-runtime" => out.skip_runtime = true,
+                "--bench" => out.bench = true,
+                "--cache-gc" => out.cache_gc = true,
+                "--cache-cap" => {
+                    let v = value("--cache-cap")?;
+                    out.cache_cap = Some(v.parse().map_err(|_| format!("bad byte cap '{v}'"))?);
+                }
                 other => {
                     return Err(format!(
                         "unknown flag '{other}' (expected one of: {})",
@@ -165,5 +213,29 @@ mod tests {
     #[test]
     fn rejects_missing_value() {
         assert!(Args::try_parse(strings(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn parallel_and_cache_flags() {
+        let a = Args::try_parse(strings(&[
+            "--jobs",
+            "4",
+            "--skip-runtime",
+            "--bench",
+            "--cache-gc",
+            "--cache-cap",
+            "1048576",
+        ]))
+        .unwrap();
+        assert_eq!(a.jobs, 4);
+        assert!(a.skip_runtime && a.bench && a.cache_gc);
+        assert_eq!(a.cache_cap, Some(1_048_576));
+    }
+
+    #[test]
+    fn rejects_zero_or_garbage_jobs() {
+        assert!(Args::try_parse(strings(&["--jobs", "0"])).is_err());
+        assert!(Args::try_parse(strings(&["--jobs", "many"])).is_err());
+        assert!(Args::try_parse(strings(&["--cache-cap", "big"])).is_err());
     }
 }

@@ -4,7 +4,7 @@ use eos_bench::{tables, Args, Engine};
 
 fn main() {
     let args = Args::parse();
-    let mut eng = Engine::new(&args);
-    tables::fig3::run(&mut eng, &args);
+    let eng = Engine::new(&args);
+    tables::fig3::run(&eng, &args);
     eng.finish("fig3");
 }

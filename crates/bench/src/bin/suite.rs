@@ -6,18 +6,51 @@
 //! × per-loss backbones of Tables II/III and Figures 3/5 are each trained
 //! once, not four times), then runs the tables in paper order. On a rerun
 //! every backbone comes out of the cache and only the cheap head
-//! fine-tunes execute; outputs are byte-identical either way.
+//! fine-tunes execute; outputs are byte-identical either way — including
+//! under `--jobs N`, where independent trainings and table groups run
+//! concurrently on the job scheduler.
 //!
 //! ```text
-//! cargo run --release --bin suite -- --scale small --seed 42
+//! cargo run --release --bin suite -- --scale small --seed 42 --jobs 4
 //! ```
+//!
+//! Special modes:
+//!
+//! - `--bench` runs the whole deterministic pipeline twice in-process —
+//!   serial, then at `--jobs` — each pass against its own cold throwaway
+//!   cache, compares every produced CSV byte-for-byte, and writes the
+//!   wall-clock split to `results/BENCH_suite.json`.
+//! - `--cache-gc [--cache-cap BYTES]` sweeps `$EOS_CACHE_DIR` (orphaned
+//!   temp files, stale `.lock` files, corrupt entries, oldest entries
+//!   over the cap), prints what was kept and reclaimed, and exits.
 
-use eos_bench::{tables, Args, BackbonePlan, Engine};
+use eos_bench::{
+    format_duration, tables, Args, ArtifactCache, BackbonePlan, Engine, JsonRecord, MarkdownTable,
+};
+use std::time::Instant;
 
-fn main() {
-    let args = Args::parse();
-    let mut eng = Engine::new(&args);
+/// Every CSV the deterministic pipeline writes (runtime's timing CSVs are
+/// excluded — that table is skipped under `--bench`).
+const CSV_NAMES: [&str; 16] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6_summary",
+    "fig6_coords",
+    "fig7",
+    "gap_eos",
+    "pixel_eos",
+    "ablation_direction",
+    "ablation_gap_definition",
+    "ablation_decoupling",
+];
 
+fn collect_plans(args: &Args) -> Vec<BackbonePlan> {
     let mut plans: Vec<BackbonePlan> = Vec::new();
     for plan in [
         tables::table1::plan,
@@ -34,30 +67,192 @@ fn main() {
         tables::pixel_eos::plan,
         tables::ablations::plan,
     ] {
-        plans.extend(plan(&args));
+        plans.extend(plan(args));
     }
+    plans
+}
+
+/// Prewarms and runs every table in paper order. Returns the
+/// (prewarm, tables) wall-clock split in seconds.
+fn run_suite(eng: &Engine, args: &Args) -> (f64, f64) {
+    let plans = collect_plans(args);
     eprintln!(
-        "[suite] prewarming {} planned backbones (deduped through the cache) ...",
-        plans.len()
+        "[suite] prewarming {} planned backbones (deduped through the cache, {} job{}) ...",
+        plans.len(),
+        eng.jobs,
+        if eng.jobs == 1 { "" } else { "s" },
     );
+    let t0 = Instant::now();
     eng.prewarm(&plans);
+    let prewarm = t0.elapsed().as_secs_f64();
     eprintln!("[suite] backbones ready; producing tables and figures ...");
+    let t1 = Instant::now();
+    tables::table1::run(eng, args);
+    tables::table2::run(eng, args);
+    tables::table3::run(eng, args);
+    tables::table4::run(eng, args);
+    tables::table5::run(eng, args);
+    tables::fig3::run(eng, args);
+    tables::fig4::run(eng, args);
+    tables::fig5::run(eng, args);
+    tables::fig6::run(eng, args);
+    tables::fig7::run(eng, args);
+    tables::gap_eos::run(eng, args);
+    tables::pixel_eos::run(eng, args);
+    tables::ablations::run(eng, args);
+    // Last: the run-time study times fresh trainings by design, and its
+    // stdout carries wall-clock numbers — skippable so byte-identity
+    // comparisons across job counts stay meaningful.
+    if !args.skip_runtime {
+        tables::runtime::run(args);
+    }
+    (prewarm, t1.elapsed().as_secs_f64())
+}
 
-    tables::table1::run(&mut eng, &args);
-    tables::table2::run(&mut eng, &args);
-    tables::table3::run(&mut eng, &args);
-    tables::table4::run(&mut eng, &args);
-    tables::table5::run(&mut eng, &args);
-    tables::fig3::run(&mut eng, &args);
-    tables::fig4::run(&mut eng, &args);
-    tables::fig5::run(&mut eng, &args);
-    tables::fig6::run(&mut eng, &args);
-    tables::fig7::run(&mut eng, &args);
-    tables::gap_eos::run(&mut eng, &args);
-    tables::pixel_eos::run(&mut eng, &args);
-    tables::ablations::run(&mut eng, &args);
-    // Last: the run-time study times fresh trainings by design.
-    tables::runtime::run(&args);
+/// `--cache-gc`: sweep the cache directory and report, without running
+/// any experiment.
+fn run_cache_gc(args: &Args) {
+    let cache = ArtifactCache::at_default();
+    println!("cache gc: {}", cache.dir().display());
+    let report = match cache.gc(args.cache_cap) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cache gc failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !report.removed.is_empty() {
+        let mut removed = MarkdownTable::new(&["Removed", "Bytes", "Age", "Reason"]);
+        for (entry, why) in &report.removed {
+            removed.row(vec![
+                entry.name.clone(),
+                entry.bytes.to_string(),
+                format_duration(entry.age),
+                (*why).into(),
+            ]);
+        }
+        println!("\n{}", removed.render());
+    }
+    if !report.kept.is_empty() {
+        let mut kept = MarkdownTable::new(&["Kept", "Bytes", "Age"]);
+        for entry in &report.kept {
+            kept.row(vec![
+                entry.name.clone(),
+                entry.bytes.to_string(),
+                format_duration(entry.age),
+            ]);
+        }
+        println!("\n{}", kept.render());
+    }
+    println!(
+        "kept {} entries ({} bytes), removed {} files, reclaimed {} bytes",
+        report.kept.len(),
+        report.kept_bytes(),
+        report.removed.len(),
+        report.reclaimed_bytes,
+    );
+}
 
+/// `--bench`: the deterministic pipeline serially and at `--jobs`, each
+/// pass on a cold private cache; byte-compares the CSVs and records the
+/// wall-clock split in `results/BENCH_suite.json`.
+fn run_bench(args: &Args) {
+    let mut args = args.clone();
+    args.skip_runtime = true;
+    let trained = |snap: &eos_trace::Snapshot| snap.counter("exp.backbone.trained");
+
+    let pass = |label: &str, jobs: usize| {
+        let dir =
+            std::env::temp_dir().join(format!("eos_suite_bench_{}_{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let eng = Engine::with_cache(args.scale, args.seed, Some(ArtifactCache::at(&dir)))
+            .with_jobs(jobs);
+        eprintln!("[suite] bench pass '{label}' (jobs {jobs}, cold cache) ...");
+        let before = trained(&eos_trace::snapshot());
+        let t0 = Instant::now();
+        let (prewarm, tables_s) = run_suite(&eng, &args);
+        let total = t0.elapsed().as_secs_f64();
+        let trained_now = trained(&eos_trace::snapshot()) - before;
+        let _ = std::fs::remove_dir_all(&dir);
+        let csvs: Vec<(String, Option<Vec<u8>>)> = CSV_NAMES
+            .iter()
+            .map(|name| {
+                let path = std::path::Path::new("results").join(format!("{name}.csv"));
+                (name.to_string(), std::fs::read(path).ok())
+            })
+            .collect();
+        eprintln!(
+            "[suite] bench pass '{label}': prewarm {prewarm:.2}s, tables {tables_s:.2}s, \
+             total {total:.2}s, {trained_now} backbones trained"
+        );
+        (prewarm, tables_s, total, trained_now, csvs)
+    };
+
+    let (s_prewarm, s_tables, s_total, s_trained, s_csvs) = pass("serial", 1);
+    let (p_prewarm, p_tables, p_total, p_trained, p_csvs) = pass("parallel", args.jobs);
+
+    let mut identical = true;
+    for ((name, serial), (_, parallel)) in s_csvs.iter().zip(&p_csvs) {
+        match (serial, parallel) {
+            (Some(a), Some(b)) if a == b => {}
+            (None, None) => eprintln!("[suite] bench: {name}.csv missing in both passes"),
+            _ => {
+                identical = false;
+                eprintln!("[suite] bench: MISMATCH in {name}.csv between serial and parallel");
+            }
+        }
+    }
+
+    let speedup = if p_total > 0.0 {
+        s_total / p_total
+    } else {
+        0.0
+    };
+    let mut rec = JsonRecord::new();
+    rec.str("bench", "suite")
+        .str("scale", &format!("{:?}", args.scale))
+        .int("seed", args.seed)
+        .int("jobs", args.jobs as u64)
+        .int("threads", eos_tensor::par::num_threads() as u64)
+        .num("serial_prewarm_s", s_prewarm)
+        .num("serial_tables_s", s_tables)
+        .num("serial_total_s", s_total)
+        .int("serial_backbones_trained", s_trained)
+        .num("parallel_prewarm_s", p_prewarm)
+        .num("parallel_tables_s", p_tables)
+        .num("parallel_total_s", p_total)
+        .int("parallel_backbones_trained", p_trained)
+        .num("speedup", speedup)
+        .bool("csv_identical", identical)
+        .int("csv_files", CSV_NAMES.len() as u64);
+    rec.write("BENCH_suite");
+    println!(
+        "suite bench — serial {s_total:.2}s vs {} jobs {p_total:.2}s: {speedup:.2}x speedup, \
+         CSVs {}",
+        args.jobs,
+        if identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+    if !identical {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.cache_gc {
+        run_cache_gc(&args);
+        return;
+    }
+    if args.bench {
+        run_bench(&args);
+        return;
+    }
+    let eng = Engine::new(&args);
+    let (prewarm, tables_s) = run_suite(&eng, &args);
+    eprintln!("[suite] wall clock: prewarm {prewarm:.2}s, tables {tables_s:.2}s");
     eng.finish("suite");
 }

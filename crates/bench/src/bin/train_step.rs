@@ -5,7 +5,12 @@
 //! pool, the per-worker workspaces and the optimiser state, a steady-state
 //! training step must perform **zero** heap allocations — the audit runs
 //! single-threaded so the count is deterministic, and the binary exits
-//! non-zero if any allocation sneaks back into the hot path. Timing is
+//! non-zero if any allocation sneaks back into the hot path. A second
+//! audit repeats the check with two concurrent jobs (each under a scoped
+//! one-thread budget, mirroring the suite scheduler's split) to prove the
+//! process-global scratch pool and the per-state workspaces stay
+//! allocation-free under outer parallelism once the pool is stocked to
+//! the concurrent peak working set. Timing is
 //! then measured at the ambient thread budget — with tracing disabled
 //! (the configuration the acceptance gate compares against the pre-trace
 //! baseline) and again with tracing enabled, reporting the overhead —
@@ -108,18 +113,17 @@ impl StepState {
     }
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let (audit_steps, samples) = if smoke { (3, 3) } else { (10, 20) };
-    let warmup = 5;
+/// A fresh step state on its own RNG stream (each concurrent job gets
+/// its own model, data and optimiser — jobs share nothing but the
+/// process-wide allocator being audited).
+fn make_state(seed: u64) -> StepState {
     let (batch, classes) = (16usize, 4usize);
     let shape = (3usize, 16usize, 16usize);
     let arch = Architecture::ResNet {
         blocks_per_stage: 1,
         width: 8,
     };
-
-    let mut rng = Rng64::new(11);
+    let mut rng = Rng64::new(seed);
     let x = normal(
         &[batch * 2, shape.0 * shape.1 * shape.2],
         0.0,
@@ -127,7 +131,7 @@ fn main() {
         &mut rng,
     );
     let net = ConvNet::new(arch, shape, classes, &mut rng);
-    let mut state = StepState {
+    StepState {
         net,
         loss: CrossEntropyLoss::new(),
         opt: Sgd::new(0.05, 0.9, 5e-4),
@@ -135,7 +139,15 @@ fn main() {
         chunk: (0..batch).collect(),
         by: (0..batch).map(|i| i % classes).collect(),
         preds: Vec::with_capacity(batch),
-    };
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (audit_steps, samples) = if smoke { (3, 3) } else { (10, 20) };
+    let warmup = 5;
+    let (batch, shape) = (16usize, (3usize, 16usize, 16usize));
+    let mut state = make_state(11);
 
     // --- Allocation audit: single-threaded so chunk->thread assignment
     // cannot move a first-touch workspace miss into the measured window.
@@ -154,6 +166,80 @@ fn main() {
     if allocs > 0 {
         std::hint::black_box(state.step_traced());
     }
+
+    // --- Concurrent-jobs audit: two independent jobs, each scoped to an
+    // inner budget of one thread (the scheduler's split when jobs ≥
+    // threads), must also be allocation-free in steady state. The scratch
+    // pool is process-global, so two concurrent steps keep up to twice one
+    // job's buffer working set in flight — and per-worker warm-up alone
+    // only proves the pool holds ONE set (the second worker's warm-up
+    // reuses the first's parked buffers). To make the audit deterministic
+    // rather than interleaving-dependent, the pool is force-stocked to the
+    // two-job peak before the window opens: drain it (holding the parked
+    // buffers aside), let worker 0 re-warm against the empty pool so it
+    // parks a fresh working set of its own, then give the held buffers
+    // back. The pool then holds two disjoint working sets, so no
+    // interleaving of the measured steps can miss. The final `exit`
+    // barrier keeps each worker's `StepState` alive until the counter has
+    // been read: dropping a whole net gives hundreds of long-lived buffers
+    // to the pool, and letting that teardown race the read would smear its
+    // bookkeeping allocations into the measured delta.
+    let jobs = 2usize;
+    let barrier = || std::sync::Barrier::new(jobs + 1);
+    let (warmed, solo_start, solo_end, window, done, exit) = (
+        barrier(),
+        barrier(),
+        barrier(),
+        barrier(),
+        barrier(),
+        barrier(),
+    );
+    let concurrent_allocs = std::thread::scope(|s| {
+        for j in 0..jobs {
+            let (warmed, solo_start, solo_end) = (&warmed, &solo_start, &solo_end);
+            let (window, done, exit) = (&window, &done, &exit);
+            s.spawn(move || {
+                par::with_thread_budget(1, || {
+                    let mut st = make_state(23 + j as u64);
+                    for _ in 0..warmup {
+                        std::hint::black_box(st.step());
+                    }
+                    warmed.wait();
+                    solo_start.wait();
+                    if j == 0 {
+                        for _ in 0..warmup {
+                            std::hint::black_box(st.step());
+                        }
+                    }
+                    solo_end.wait();
+                    window.wait();
+                    for _ in 0..audit_steps {
+                        std::hint::black_box(st.step());
+                    }
+                    done.wait();
+                    exit.wait();
+                });
+            });
+        }
+        warmed.wait();
+        let held = eos_tensor::scratch::drain();
+        solo_start.wait();
+        solo_end.wait();
+        for v in held {
+            eos_tensor::scratch::give(v);
+        }
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        window.wait();
+        done.wait();
+        let allocs = ALLOCATIONS.load(Ordering::SeqCst) - before;
+        exit.wait();
+        allocs
+    });
+    let concurrent_per_step = concurrent_allocs as f64 / (jobs * audit_steps) as f64;
+    println!(
+        "allocations per steady-state step ({jobs} concurrent jobs): {concurrent_per_step} \
+         ({concurrent_allocs} over {jobs}x{audit_steps} steps)"
+    );
 
     // --- Timing at one thread and at the ambient budget.
     let serial = bench_stats("train step (1 thread)", samples, || state.step());
@@ -192,6 +278,8 @@ fn main() {
         .int("input_len", (shape.0 * shape.1 * shape.2) as u64)
         .int("audit_steps", audit_steps as u64)
         .num("allocations_per_step", per_step)
+        .int("concurrent_jobs", jobs as u64)
+        .num("concurrent_allocations_per_step", concurrent_per_step)
         .int("samples", samples as u64)
         .int("serial_mean_ns", serial.mean.as_nanos() as u64)
         .int("serial_min_ns", serial.min.as_nanos() as u64)
@@ -205,6 +293,13 @@ fn main() {
 
     if allocs > 0 {
         eprintln!("FAIL: steady-state training step allocated ({per_step} per step)");
+        std::process::exit(1);
+    }
+    if concurrent_allocs > 0 {
+        eprintln!(
+            "FAIL: steady-state step allocated under {jobs} concurrent jobs \
+             ({concurrent_per_step} per step)"
+        );
         std::process::exit(1);
     }
 }

@@ -8,6 +8,25 @@
 //! bit-flipped or structurally impossible entry fails the load with an
 //! `Err` — callers treat that as a miss and retrain, so a corrupt cache
 //! can cost time but never correctness.
+//!
+//! # Cross-worker claims
+//!
+//! Concurrent jobs — in one process or across processes sharing
+//! `$EOS_CACHE_DIR` — coordinate through a lock file per fingerprint
+//! (`bb_<fp>.lock`), created with `O_CREAT|O_EXCL` so exactly one claimant
+//! wins. The winner holds a [`ClaimGuard`] whose heartbeat thread rewrites
+//! the lock file periodically (refreshing its mtime); losers poll until
+//! the entry appears (entries land atomically via temp + rename) or the
+//! lock goes stale — a heartbeat older than [`ArtifactCache::stale_after`]
+//! means the owner died, and any waiter may take the lock over. Takeover
+//! races are safe: removal is idempotent and re-claiming goes through the
+//! same exclusive create.
+//!
+//! # Hygiene
+//!
+//! [`ArtifactCache::gc`] lists entries with size and age, removes
+//! orphaned temp files, stale locks and checksum-corrupt entries, and can
+//! evict oldest-first down to a byte cap (`suite --cache-gc`).
 
 use crate::exp::spec::Fnv;
 use eos_core::{PipelineConfig, ThreePhase};
@@ -16,9 +35,16 @@ use eos_nn::{load_weights, read_tensor, save_weights_bytes, write_tensor, ConvNe
 use eos_tensor::Rng64;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::time::{Duration, SystemTime};
 
 const MAGIC: &[u8; 4] = b"EOSC";
 const VERSION: u32 = 1;
+
+/// Default time without a heartbeat after which a lock is considered
+/// abandoned. Heartbeats fire every quarter of this, so a live owner is
+/// never mistaken for a dead one short of a multi-second stall.
+const DEFAULT_STALE_AFTER: Duration = Duration::from_secs(30);
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -27,6 +53,9 @@ fn bad(msg: impl Into<String>) -> io::Error {
 /// The artifact store rooted at one directory.
 pub struct ArtifactCache {
     dir: PathBuf,
+    /// Lock files whose heartbeat is older than this are abandoned and
+    /// may be taken over.
+    stale_after: Duration,
 }
 
 impl ArtifactCache {
@@ -36,12 +65,28 @@ impl ArtifactCache {
         let dir = std::env::var_os("EOS_CACHE_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| Path::new("results").join("cache"));
-        ArtifactCache { dir }
+        ArtifactCache::at(dir)
     }
 
     /// Store rooted at an explicit directory (tests, tooling).
     pub fn at(dir: impl Into<PathBuf>) -> Self {
-        ArtifactCache { dir: dir.into() }
+        ArtifactCache {
+            dir: dir.into(),
+            stale_after: DEFAULT_STALE_AFTER,
+        }
+    }
+
+    /// Overrides the stale-lock threshold. Tests use a few tens of
+    /// milliseconds so takeover is exercised without backdating mtimes
+    /// (which `std` cannot do portably).
+    pub fn with_stale_after(mut self, d: Duration) -> Self {
+        self.stale_after = d.max(Duration::from_millis(1));
+        self
+    }
+
+    /// The current stale-lock threshold.
+    pub fn stale_after(&self) -> Duration {
+        self.stale_after
     }
 
     /// The directory entries live in.
@@ -52,6 +97,78 @@ impl ArtifactCache {
     /// Path of the backbone entry with the given fingerprint.
     pub fn backbone_path(&self, fp: u64) -> PathBuf {
         self.dir.join(format!("bb_{fp:016x}.eosc"))
+    }
+
+    /// Path of the claim lock guarding the entry with the given
+    /// fingerprint.
+    pub fn lock_path(&self, fp: u64) -> PathBuf {
+        self.dir.join(format!("bb_{fp:016x}.lock"))
+    }
+
+    /// Attempts to claim the right to produce entry `fp`. `Ok(Some)`
+    /// hands back a [`ClaimGuard`] — the caller is now the sole producer
+    /// and must either store the entry or drop the guard so another
+    /// worker can take over. `Ok(None)` means another live claimant holds
+    /// the lock; poll [`ArtifactCache::load_backbone`] and retry. A lock
+    /// whose heartbeat stopped for longer than [`stale_after`] is removed
+    /// and re-claimed here (the takeover race is settled by the exclusive
+    /// create — at most one caller wins).
+    ///
+    /// [`stale_after`]: ArtifactCache::with_stale_after
+    pub fn try_claim(&self, fp: u64) -> io::Result<Option<ClaimGuard>> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.lock_path(fp);
+        // Two attempts: the first may fail on a stale lock, which we
+        // remove; the second settles the takeover race.
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(file) => {
+                    eos_trace::counter("exp.lock.claimed").add(1);
+                    if attempt > 0 {
+                        eos_trace::counter("exp.lock.takeover").add(1);
+                    }
+                    drop(file);
+                    return Ok(Some(ClaimGuard::start(path, self.stale_after)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if attempt > 0 || !self.lock_is_stale(&path) {
+                        eos_trace::counter("exp.lock.contended").add(1);
+                        return Ok(None);
+                    }
+                    // Stale: the owner died without cleaning up. Remove
+                    // and retry; NotFound just means another waiter beat
+                    // us to the removal.
+                    match std::fs::remove_file(&path) {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("second claim attempt always returns");
+    }
+
+    /// True when the lock file at `path` exists and its last heartbeat
+    /// (mtime) is older than the stale threshold. A vanished lock or an
+    /// unreadable mtime reads as "not stale" — the next claim attempt
+    /// resolves it.
+    fn lock_is_stale(&self, path: &Path) -> bool {
+        let Ok(meta) = std::fs::metadata(path) else {
+            return false;
+        };
+        let Ok(mtime) = meta.modified() else {
+            return false;
+        };
+        SystemTime::now()
+            .duration_since(mtime)
+            .map(|age| age > self.stale_after)
+            .unwrap_or(false)
     }
 
     /// Serialises a trained pipeline (weights + train embeddings +
@@ -170,6 +287,186 @@ impl ArtifactCache {
         }
         Ok(ThreePhase::from_parts(net, train_fe, train_y, num_classes))
     }
+
+    /// Sweeps the cache directory: removes orphaned temp files (from
+    /// crashed atomic writes), stale lock files and checksum-corrupt
+    /// entries, then — if `cap` is given — evicts intact entries oldest
+    /// first until the survivors fit under `cap` bytes. Returns what was
+    /// kept and what was reclaimed. A missing directory is an empty,
+    /// clean cache.
+    pub fn gc(&self, cap: Option<u64>) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e),
+        };
+        let mut kept: Vec<GcEntry> = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| SystemTime::now().duration_since(m).ok())
+                .unwrap_or(Duration::ZERO);
+            let bytes = meta.len();
+            let reason = if name.contains(".tmp.") {
+                // `write_atomic` temp name that never got renamed.
+                Some("orphaned temp file")
+            } else if name.ends_with(".lock") {
+                if age > self.stale_after {
+                    Some("stale lock")
+                } else {
+                    // A live claim; leave it alone and don't count it.
+                    continue;
+                }
+            } else if name.ends_with(".eosc") {
+                if entry_checksum_ok(&path)? {
+                    None
+                } else {
+                    Some("corrupt entry")
+                }
+            } else {
+                // Not ours; never touch it.
+                continue;
+            };
+            let item = GcEntry { name, bytes, age };
+            match reason {
+                Some(why) => report.remove(&self.dir, item, why)?,
+                None => kept.push(item),
+            }
+        }
+        if let Some(cap) = cap {
+            // Oldest mtime evicts first; ties break on name so the sweep
+            // is deterministic.
+            kept.sort_by(|a, b| b.age.cmp(&a.age).then_with(|| a.name.cmp(&b.name)));
+            let mut total: u64 = kept.iter().map(|e| e.bytes).sum();
+            while total > cap {
+                let Some(oldest) = kept.first().cloned() else {
+                    break;
+                };
+                kept.remove(0);
+                total -= oldest.bytes;
+                report.remove(&self.dir, oldest, "over size cap")?;
+            }
+        }
+        kept.sort_by(|a, b| a.name.cmp(&b.name));
+        report.kept = kept;
+        Ok(report)
+    }
+}
+
+/// Verifies the FNV-1a tail of an entry without parsing its structure.
+fn entry_checksum_ok(path: &Path) -> io::Result<bool> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 {
+        return Ok(false);
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let mut h = Fnv::new();
+    h.bytes(payload);
+    Ok(h.finish() == stored)
+}
+
+/// One file the garbage collector looked at.
+#[derive(Clone, Debug)]
+pub struct GcEntry {
+    /// File name within the cache directory.
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Time since last modification.
+    pub age: Duration,
+}
+
+/// What [`ArtifactCache::gc`] kept and reclaimed.
+#[derive(Default, Debug)]
+pub struct GcReport {
+    /// Intact entries still in the cache, sorted by name.
+    pub kept: Vec<GcEntry>,
+    /// Deleted files with the reason each was removed.
+    pub removed: Vec<(GcEntry, &'static str)>,
+    /// Total bytes freed.
+    pub reclaimed_bytes: u64,
+}
+
+impl GcReport {
+    fn remove(&mut self, dir: &Path, item: GcEntry, why: &'static str) -> io::Result<()> {
+        match std::fs::remove_file(dir.join(&item.name)) {
+            Ok(()) => {}
+            // Another process swept it first; count it anyway.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.reclaimed_bytes += item.bytes;
+        self.removed.push((item, why));
+        Ok(())
+    }
+
+    /// Total bytes of the surviving entries.
+    pub fn kept_bytes(&self) -> u64 {
+        self.kept.iter().map(|e| e.bytes).sum()
+    }
+}
+
+/// Exclusive right to produce one cache entry, backed by the lock file.
+/// A heartbeat thread refreshes the lock's mtime every quarter of the
+/// stale threshold; dropping the guard stops the heartbeat and removes
+/// the lock. If the process dies instead, the heartbeat dies with it and
+/// the lock goes stale for the next claimant.
+pub struct ClaimGuard {
+    path: PathBuf,
+    /// Dropping the sender wakes the heartbeat thread immediately.
+    stop: Option<Sender<()>>,
+    heartbeat: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ClaimGuard {
+    fn start(path: PathBuf, stale_after: Duration) -> Self {
+        let (stop, rx) = std::sync::mpsc::channel::<()>();
+        let beat_path = path.clone();
+        let interval = (stale_after / 4).max(Duration::from_millis(1));
+        let heartbeat = std::thread::Builder::new()
+            .name("eos-cache-heartbeat".into())
+            .spawn(move || loop {
+                match rx.recv_timeout(interval) {
+                    // Sender dropped: the guard is going away.
+                    Err(RecvTimeoutError::Disconnected) | Ok(()) => return,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Rewrite refreshes mtime; the content is only a
+                        // debugging aid. A failed beat (dir swept away)
+                        // is harmless — claims resolve via create_new.
+                        let _ = std::fs::write(&beat_path, format!("{}\n", std::process::id()));
+                    }
+                }
+            })
+            .expect("failed to spawn cache heartbeat thread");
+        ClaimGuard {
+            path,
+            stop: Some(stop),
+            heartbeat: Some(heartbeat),
+        }
+    }
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        // Stop the heartbeat *before* removing the lock so a final beat
+        // cannot resurrect the file.
+        drop(self.stop.take());
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        eos_trace::counter("exp.lock.released").add(1);
+    }
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -269,6 +566,78 @@ mod tests {
         // Restored intact entry loads again.
         std::fs::write(&path, &good).unwrap();
         assert!(cache.load_backbone(fp, &cfg, &train).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_released_on_drop() {
+        let cache = temp_cache("claim");
+        let fp = 0xC1A1;
+        let guard = cache.try_claim(fp).unwrap();
+        assert!(guard.is_some(), "first claim must win");
+        assert!(cache.lock_path(fp).exists());
+        // A second claimant (fresh lock) must be turned away.
+        assert!(cache.try_claim(fp).unwrap().is_none());
+        drop(guard);
+        assert!(!cache.lock_path(fp).exists(), "drop must remove the lock");
+        // The lock is free again.
+        let again = cache.try_claim(fp).unwrap();
+        assert!(again.is_some());
+        drop(again);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stale_lock_is_taken_over_but_live_lock_is_not() {
+        let cache = temp_cache("stale").with_stale_after(Duration::from_millis(60));
+        let fp = 0x57A1E;
+        // A dead claimant: a bare lock file with no heartbeat behind it.
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.lock_path(fp), b"dead\n").unwrap();
+        assert!(
+            cache.try_claim(fp).unwrap().is_none(),
+            "fresh lock must be honoured even without an owner"
+        );
+        std::thread::sleep(Duration::from_millis(120));
+        let taken = cache.try_claim(fp).unwrap();
+        assert!(taken.is_some(), "stale lock must be taken over");
+        // The new owner's heartbeat keeps the lock fresh past the
+        // threshold, so nobody can steal it while it works.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(cache.try_claim(fp).unwrap().is_none(), "heartbeat ignored");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_sweeps_junk_and_enforces_the_cap() {
+        let (train, _, cfg) = tiny_setup();
+        let cache = temp_cache("gc").with_stale_after(Duration::from_millis(50));
+        let mut tp = ThreePhase::train(&train, LossKind::Ce, &cfg, &mut Rng64::new(1));
+        let size_a = cache.store_backbone(0xA, &mut tp).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let size_b = cache.store_backbone(0xB, &mut tp).unwrap();
+        assert_eq!(size_a, size_b);
+        // Junk: an orphaned temp file, a stale lock and a corrupt entry.
+        std::fs::write(cache.dir().join(".bb_junk.eosc.tmp.1"), b"half").unwrap();
+        std::fs::write(cache.lock_path(0xDEAD), b"dead\n").unwrap();
+        std::fs::write(cache.backbone_path(0xC), b"EOSCgarbage").unwrap();
+        // A foreign file must survive every sweep.
+        std::fs::write(cache.dir().join("README"), b"not ours").unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+
+        let report = cache.gc(None).unwrap();
+        assert_eq!(report.kept.len(), 2, "both intact entries kept");
+        assert_eq!(report.removed.len(), 3, "temp + stale lock + corrupt");
+        assert!(report.reclaimed_bytes > 0);
+        assert!(cache.dir().join("README").exists());
+        assert!(!cache.lock_path(0xDEAD).exists());
+
+        // Cap that fits exactly one entry: the older (0xA) is evicted.
+        let report = cache.gc(Some(size_b)).unwrap();
+        assert_eq!(report.kept.len(), 1);
+        assert_eq!(report.kept[0].name, format!("bb_{:016x}.eosc", 0xBu64));
+        assert!(!cache.backbone_path(0xA).exists());
+        assert!(cache.backbone_path(0xB).exists());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -3,6 +3,7 @@
 //! assert on.
 
 use crate::exp::cache::ArtifactCache;
+use crate::exp::sched;
 use crate::exp::spec::Fnv;
 use crate::runner::prepared_dataset;
 use eos_core::{PipelineConfig, Scale, ThreePhase};
@@ -10,7 +11,12 @@ use eos_data::Dataset;
 use eos_nn::{Architecture, LossKind};
 use eos_tensor::Rng64;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One backbone a table needs: which dataset analogue, which training
 /// loss, and (for Table V) which architecture if not the scale default.
@@ -89,31 +95,48 @@ pub fn backbone_fingerprint(
 /// recorded on `exp.*` trace counters regardless of whether tracing
 /// output is enabled, and [`Engine::finish`] prints the totals the
 /// verification gates grep for.
+///
+/// The engine is `Send + Sync`: every method takes `&self`, the dataset
+/// memo sits behind a mutex, and backbone acquisition coordinates through
+/// the cache's per-fingerprint claim locks — so scheduler workers (and
+/// whole concurrent processes sharing `$EOS_CACHE_DIR`) can drive one
+/// engine without ever training the same backbone twice.
 pub struct Engine {
     /// Experiment scale.
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Outer job-level parallelism (`--jobs`); 1 is fully serial.
+    pub jobs: usize,
     cache: Option<ArtifactCache>,
-    datasets: HashMap<&'static str, Rc<(Dataset, Dataset)>>,
+    datasets: Mutex<HashMap<&'static str, Arc<(Dataset, Dataset)>>>,
 }
 
 impl Engine {
-    /// Engine for the parsed command line: scale and seed from the flags,
-    /// cache at the default location unless `--no-cache` was given.
+    /// Engine for the parsed command line: scale, seed and job count from
+    /// the flags, cache at the default location unless `--no-cache` was
+    /// given.
     pub fn new(args: &crate::Args) -> Self {
         let cache = (!args.no_cache).then(ArtifactCache::at_default);
-        Engine::with_cache(args.scale, args.seed, cache)
+        Engine::with_cache(args.scale, args.seed, cache).with_jobs(args.jobs)
     }
 
-    /// Engine with an explicit cache (or `None` to always train fresh).
+    /// Engine with an explicit cache (or `None` to always train fresh),
+    /// serial until [`Engine::with_jobs`] raises the job count.
     pub fn with_cache(scale: Scale, seed: u64, cache: Option<ArtifactCache>) -> Self {
         Engine {
             scale,
             seed,
+            jobs: 1,
             cache,
-            datasets: HashMap::new(),
+            datasets: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Sets the outer job-level parallelism (clamped to ≥ 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// The scale's pipeline configuration.
@@ -122,69 +145,130 @@ impl Engine {
     }
 
     /// The prepared (generated + standardised) train/test pair for a
-    /// dataset analogue, memoised for the life of the process.
-    pub fn dataset(&mut self, name: &'static str) -> Rc<(Dataset, Dataset)> {
-        let (scale, seed) = (self.scale, self.seed);
-        Rc::clone(
-            self.datasets
-                .entry(name)
-                .or_insert_with(|| Rc::new(prepared_dataset(name, scale, seed))),
-        )
+    /// dataset analogue, memoised for the life of the process. Two jobs
+    /// racing on an unmemoised name may both generate it (deterministic,
+    /// so merely redundant); the first insert wins and both get the same
+    /// instance on every later call.
+    pub fn dataset(&self, name: &'static str) -> Arc<(Dataset, Dataset)> {
+        if let Some(pair) = lock(&self.datasets).get(name) {
+            return Arc::clone(pair);
+        }
+        let made = Arc::new(prepared_dataset(name, self.scale, self.seed));
+        Arc::clone(lock(&self.datasets).entry(name).or_insert(made))
     }
 
     /// A trained backbone for `(train, loss, cfg)`: loaded from the cache
     /// when an intact entry exists, trained (and stored) otherwise. The
     /// backbone's RNG stream is seeded by its own fingerprint, so the
     /// trained weights — and everything derived from them — are identical
-    /// whether this call hit or missed.
-    pub fn backbone(
-        &mut self,
+    /// whether this call hit, missed, or waited for another worker.
+    ///
+    /// Under contention the call first tries to claim the fingerprint's
+    /// lock file; a loser polls until the winner's entry appears (stored
+    /// atomically, so no torn reads) or the lock goes stale and it takes
+    /// over. Counter semantics for the uncontended path are unchanged:
+    /// exactly one of `exp.backbone.{hit,miss,corrupt}` per call, plus
+    /// `exp.backbone.trained` when a training actually ran.
+    pub fn backbone(&self, train: &Dataset, loss: LossKind, cfg: &PipelineConfig) -> ThreePhase {
+        let fp = backbone_fingerprint(train, loss, cfg, self.seed);
+        let Some(cache) = &self.cache else {
+            return self.train_backbone(fp, train, loss, cfg);
+        };
+        // First peek — the only load whose miss/corrupt outcome is
+        // counted, so serial runs keep the one-counter-per-call contract.
+        match cache.load_backbone(fp, cfg, train) {
+            Ok(Some((tp, bytes))) => {
+                eos_trace::counter("exp.backbone.hit").add(1);
+                eos_trace::counter("exp.cache.bytes_read").add(bytes);
+                return tp;
+            }
+            Ok(None) => {
+                eos_trace::counter("exp.backbone.miss").add(1);
+            }
+            Err(e) => {
+                eos_trace::counter("exp.backbone.corrupt").add(1);
+                eprintln!(
+                    "[exp] discarding cache entry {}: {e}",
+                    cache.backbone_path(fp).display()
+                );
+            }
+        }
+        let mut wait = Duration::from_millis(5);
+        loop {
+            match cache.try_claim(fp) {
+                Ok(Some(_guard)) => {
+                    // Another worker may have stored the entry between
+                    // our peek and this claim; honour it so no backbone
+                    // ever trains twice. (A corrupt entry falls through
+                    // to retraining, which overwrites it atomically.)
+                    if let Ok(Some((tp, bytes))) = cache.load_backbone(fp, cfg, train) {
+                        eos_trace::counter("exp.backbone.hit").add(1);
+                        eos_trace::counter("exp.cache.bytes_read").add(bytes);
+                        return tp;
+                    }
+                    let mut tp = self.train_backbone(fp, train, loss, cfg);
+                    match cache.store_backbone(fp, &mut tp) {
+                        Ok(bytes) => {
+                            eos_trace::counter("exp.cache.bytes_written").add(bytes);
+                        }
+                        // A failed store costs the next run a retrain,
+                        // nothing else.
+                        Err(e) => eprintln!("[exp] could not store cache entry {fp:016x}: {e}"),
+                    }
+                    // The guard drops here — after the entry is visible,
+                    // so a waiter released by the unlock finds it.
+                    return tp;
+                }
+                Ok(None) => {
+                    // A live producer holds the claim: poll for its
+                    // entry with gentle backoff.
+                    std::thread::sleep(wait);
+                    wait = (wait * 2).min(Duration::from_millis(100));
+                    if let Ok(Some((tp, bytes))) = cache.load_backbone(fp, cfg, train) {
+                        eos_trace::counter("exp.backbone.hit").add(1);
+                        eos_trace::counter("exp.cache.bytes_read").add(bytes);
+                        return tp;
+                    }
+                }
+                Err(e) => {
+                    // Claim machinery unavailable (unwritable cache dir):
+                    // train uncoordinated rather than fail the run.
+                    eprintln!("[exp] cannot claim {fp:016x} ({e}); training uncoordinated");
+                    let mut tp = self.train_backbone(fp, train, loss, cfg);
+                    if let Ok(bytes) = cache.store_backbone(fp, &mut tp) {
+                        eos_trace::counter("exp.cache.bytes_written").add(bytes);
+                    }
+                    return tp;
+                }
+            }
+        }
+    }
+
+    /// Phase-one training on the fingerprint-seeded stream.
+    fn train_backbone(
+        &self,
+        fp: u64,
         train: &Dataset,
         loss: LossKind,
         cfg: &PipelineConfig,
     ) -> ThreePhase {
-        let fp = backbone_fingerprint(train, loss, cfg, self.seed);
-        if let Some(cache) = &self.cache {
-            match cache.load_backbone(fp, cfg, train) {
-                Ok(Some((tp, bytes))) => {
-                    eos_trace::counter("exp.backbone.hit").add(1);
-                    eos_trace::counter("exp.cache.bytes_read").add(bytes);
-                    return tp;
-                }
-                Ok(None) => {
-                    eos_trace::counter("exp.backbone.miss").add(1);
-                }
-                Err(e) => {
-                    eos_trace::counter("exp.backbone.corrupt").add(1);
-                    eprintln!(
-                        "[exp] discarding cache entry {}: {e}",
-                        cache.backbone_path(fp).display()
-                    );
-                }
-            }
-        }
-        let mut tp = {
+        let tp = {
             let _span = eos_trace::span("exp.backbone_train");
             ThreePhase::train(train, loss, cfg, &mut Rng64::new(fp))
         };
         eos_trace::counter("exp.backbone.trained").add(1);
-        if let Some(cache) = &self.cache {
-            match cache.store_backbone(fp, &mut tp) {
-                Ok(bytes) => {
-                    eos_trace::counter("exp.cache.bytes_written").add(bytes);
-                }
-                // A failed store costs the next run a retrain, nothing else.
-                Err(e) => eprintln!("[exp] could not store cache entry {fp:016x}: {e}"),
-            }
-        }
         tp
     }
 
     /// Trains every backbone in `plans` that the cache does not already
     /// hold, deduplicating by fingerprint first — the suite collects the
     /// plans of all tables and pays each shared training exactly once.
-    pub fn prewarm(&mut self, plans: &[BackbonePlan]) {
+    /// With `jobs > 1` the distinct trainings run concurrently on the job
+    /// scheduler; the claim protocol keeps concurrent *processes* from
+    /// duplicating work too.
+    pub fn prewarm(&self, plans: &[BackbonePlan]) {
         let mut seen = Vec::new();
+        let mut work = Vec::new();
         for plan in plans {
             let pair = self.dataset(plan.dataset);
             let mut cfg = self.cfg();
@@ -196,13 +280,20 @@ impl Engine {
                 continue;
             }
             seen.push(fp);
-            drop(self.backbone(&pair.0, plan.loss, &cfg));
+            work.push((pair, plan.loss, cfg));
         }
+        sched::run_jobs(
+            self.jobs,
+            work.into_iter()
+                .map(|(pair, loss, cfg)| move || drop(self.backbone(&pair.0, loss, &cfg)))
+                .collect(),
+        );
     }
 
     /// Prints the cache-traffic totals for this process to stderr in the
     /// fixed format the verification gates parse:
-    /// `[exp:tag] backbones trained: N, cache hits: H, ...`.
+    /// `[exp:tag] backbones trained: N, cache hits: H, ...` — plus a
+    /// scheduler-utilisation line when the job scheduler ran.
     pub fn finish(&self, tag: &str) {
         let snap = eos_trace::snapshot();
         eprintln!(
@@ -215,6 +306,22 @@ impl Engine {
             snap.counter("exp.cache.bytes_read"),
             snap.counter("exp.cache.bytes_written"),
         );
+        let dispatched = snap.counter("exp.job.dispatched");
+        if dispatched > 0 {
+            let (busy, idle) = (
+                snap.counter("exp.job.busy_ns"),
+                snap.counter("exp.job.idle_ns"),
+            );
+            let util = 100.0 * busy as f64 / ((busy + idle) as f64).max(1.0);
+            eprintln!(
+                "[exp:{tag}] scheduler: {} jobs dispatched, {} completed, \
+                 worker busy {:.2}s, idle {:.2}s, utilisation {util:.0}%",
+                dispatched,
+                snap.counter("exp.job.completed"),
+                busy as f64 / 1e9,
+                idle as f64 / 1e9,
+            );
+        }
     }
 }
 
@@ -251,9 +358,17 @@ mod tests {
 
     #[test]
     fn dataset_memo_returns_the_same_instance() {
-        let mut eng = Engine::with_cache(Scale::Smoke, 1, None);
+        let eng = Engine::with_cache(Scale::Smoke, 1, None);
         let a = eng.dataset("celeba");
         let b = eng.dataset("celeba");
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        // Compile-time gate: scheduler workers share one engine by
+        // reference across threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
     }
 }

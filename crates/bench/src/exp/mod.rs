@@ -18,12 +18,18 @@
 //! - [`engine`] — the run-plan executor: memoises prepared datasets
 //!   in-process, dedupes backbone trainings through the cache, exposes
 //!   trace counters for hit/miss/bytes, and prints a summary the
-//!   verification gates assert on.
+//!   verification gates assert on. `Send + Sync`, so one engine serves
+//!   every scheduler worker.
+//! - [`sched`] — the two-level job scheduler: independent jobs run on
+//!   worker threads, each holding a slice of the global thread budget
+//!   for its inner op-level parallelism (`--jobs`).
 
 pub mod cache;
 pub mod engine;
+pub mod sched;
 pub mod spec;
 
-pub use cache::ArtifactCache;
+pub use cache::{ArtifactCache, ClaimGuard, GcReport};
 pub use engine::{BackbonePlan, Engine};
+pub use sched::{map_jobs, run_jobs};
 pub use spec::{mix_rng, ExperimentSpec, Fnv, SamplerSpec};

@@ -1,0 +1,195 @@
+//! Two-level job scheduler for independent experiment work.
+//!
+//! The outer level runs whole jobs — backbone trainings, experiment
+//! cells — on a small team of worker threads; the inner level is the
+//! existing op-parallel pool in [`eos_tensor::par`]. The two share one
+//! thread budget: with `--jobs J` each worker wraps its jobs in
+//! [`par::with_thread_budget`]`(threads / J)`, so `J` jobs with a slice
+//! of the machine each run truly concurrently instead of stampeding the
+//! pool's single slot. With `J` at or above the budget every slice is 1
+//! and all inner `par_*` calls take the inline serial path — pure
+//! job-level parallelism.
+//!
+//! **Determinism.** [`run_jobs`] executes the *same closures* the serial
+//! path would run and returns their results in input order. Every
+//! experiment cell seeds its RNG from its own fingerprint and every
+//! chunked kernel is thread-count independent, so job outputs are
+//! bit-identical at any `jobs` value; only scheduling (and stderr
+//! interleaving) changes. `jobs <= 1` short-circuits to a plain in-order
+//! loop on the calling thread with the full ambient budget.
+//!
+//! Scheduler activity lands on ungated `exp.job.*` counters (dispatch
+//! and completion counts, per-worker busy/idle nanoseconds) so
+//! [`Engine::finish`](crate::exp::Engine::finish) can print utilisation.
+
+use eos_tensor::par;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs every task and returns their results in input order.
+///
+/// With `jobs > 1`, up to `min(jobs, tasks.len())` worker threads claim
+/// tasks from a shared counter; each worker's inner thread budget is
+/// `max(1, ambient / jobs)`. A panicking task does not abort the others:
+/// remaining tasks still run, and the first panic payload is re-raised on
+/// the calling thread after all workers have finished.
+pub fn run_jobs<T, F>(jobs: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        // Serial path: identical closures, identical order, full budget.
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+    let workers = jobs.min(n);
+    // The split is against the ambient budget at submission time (the
+    // global count, or an enclosing scoped budget if run_jobs is nested).
+    let inner_budget = (par::num_threads() / jobs).max(1);
+    eos_trace::counter("exp.job.dispatched").add(n as u64);
+    eos_trace::hist!("exp.job.batch", n as u64);
+
+    let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            let (slots, results, next, first_panic) = (&slots, &results, &next, &first_panic);
+            std::thread::Builder::new()
+                .name(format!("eos-job-{w}"))
+                .spawn_scoped(s, move || {
+                    let wall = Instant::now();
+                    let mut busy = 0u64;
+                    par::with_thread_budget(inner_budget, || loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        let task = lock(&slots[i]).take().expect("task claimed twice");
+                        let t0 = Instant::now();
+                        match catch_unwind(AssertUnwindSafe(task)) {
+                            Ok(v) => *lock(&results[i]) = Some(v),
+                            Err(p) => {
+                                eos_trace::counter("exp.job.panicked").add(1);
+                                let mut slot = lock(first_panic);
+                                if slot.is_none() {
+                                    *slot = Some(p);
+                                }
+                            }
+                        }
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        busy += ns;
+                        eos_trace::counter("exp.job.completed").add(1);
+                        eos_trace::hist!("exp.job.duration_ns", ns);
+                    });
+                    let wall_ns = wall.elapsed().as_nanos() as u64;
+                    eos_trace::counter(&format!("exp.job.worker{w}.busy_ns")).add(busy);
+                    eos_trace::counter("exp.job.busy_ns").add(busy);
+                    eos_trace::counter("exp.job.idle_ns").add(wall_ns.saturating_sub(busy));
+                })
+                .expect("failed to spawn eos-job worker");
+        }
+    });
+
+    if let Some(p) = lock(&first_panic).take() {
+        resume_unwind(p);
+    }
+    results
+        .into_iter()
+        .map(|m| lock(&m).take().expect("job result missing"))
+        .collect()
+}
+
+/// [`run_jobs`] over a slice: `f(index, &item)` for each item, results in
+/// input order. `f` must be `Fn` (shared across workers); closures that
+/// need per-task state should build task closures and call [`run_jobs`]
+/// directly.
+pub fn map_jobs<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync + Send,
+{
+    let f = &f;
+    run_jobs(
+        jobs,
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| move || f(i, item))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for jobs in [1, 2, 4, 16] {
+            let out = map_jobs(jobs, &(0..37).collect::<Vec<_>>(), |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert!(
+                out.iter().enumerate().all(|(i, &v)| v == i * i),
+                "jobs = {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // A deterministic per-task computation (its own seeded RNG, like
+        // an experiment cell) must not depend on the jobs value.
+        let cell = |i: usize| -> Vec<u64> {
+            let mut rng = eos_tensor::Rng64::new(i as u64 ^ 0x9E37);
+            (0..50).map(|_| rng.next_u64()).collect()
+        };
+        let serial = map_jobs(1, &(0..9).collect::<Vec<_>>(), |_, &i| cell(i));
+        let parallel = map_jobs(4, &(0..9).collect::<Vec<_>>(), |_, &i| cell(i));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn workers_get_a_budget_slice() {
+        let ambient = par::num_threads();
+        let budgets = map_jobs(3, &[(); 6], |_, _| par::num_threads());
+        let expected = (ambient / 3).max(1);
+        assert!(budgets.iter().all(|&b| b == expected), "{budgets:?}");
+        // And the scope does not leak into the caller.
+        assert_eq!(par::num_threads(), ambient);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_siblings() {
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            map_jobs(2, &(0..8).collect::<Vec<_>>(), |_, &i| {
+                assert!(i != 3, "intentional test panic");
+                done.fetch_add(1, Ordering::SeqCst);
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+        assert_eq!(done.load(Ordering::SeqCst), 7, "siblings must still run");
+    }
+
+    #[test]
+    fn empty_and_single_task_batches() {
+        let none: Vec<usize> = run_jobs(4, Vec::<fn() -> usize>::new());
+        assert!(none.is_empty());
+        assert_eq!(run_jobs(4, vec![|| 41usize + 1]), vec![42]);
+    }
+}

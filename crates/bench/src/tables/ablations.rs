@@ -27,7 +27,7 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
 }
 
 /// Runs all five ablations.
-pub fn run(eng: &mut Engine, args: &Args) {
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
     let (train, test) = (&pair.0, &pair.1);

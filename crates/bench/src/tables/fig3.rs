@@ -7,12 +7,14 @@
 //! module also prints the mean-based feature-deviation alternative for
 //! the gap-definition ablation.
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::{feature_deviation, generalization_gap, ThreePhase};
 use eos_nn::LossKind;
 use eos_resample::balance_with;
 use eos_tensor::Tensor;
+use std::sync::Arc;
 
 /// Gap per class after augmenting the train embeddings with the cell's
 /// sampler ([`SamplerSpec::Baseline`] = no augmentation).
@@ -43,8 +45,8 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the figure's CSV.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// Produces the figure's CSV. One job per dataset × loss group.
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&[
         "Dataset",
@@ -56,51 +58,62 @@ pub fn run(eng: &mut Engine, args: &Args) {
         "EOS",
         "FeatDev",
     ]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let (train, test) = (&pair.0, &pair.1);
-        let counts = train.class_counts();
         for loss in LossKind::ALL {
-            eprintln!("[fig3] {dataset} / {} ...", loss.name());
-            let mut tp = eng.backbone(train, loss, &cfg);
-            let test_fe = tp.embed(test);
-            let cell = |sampler| ExperimentSpec {
-                table: "fig3",
-                dataset,
-                loss,
-                sampler,
-                scale: eng.scale,
-                seed: eng.seed,
-            };
-            let base = gap_with(&tp, &test_fe, &test.y, &cell(SamplerSpec::Baseline));
-            let smote = gap_with(&tp, &test_fe, &test.y, &cell(SamplerSpec::Smote { k: 5 }));
-            let eos = gap_with(&tp, &test_fe, &test.y, &cell(SamplerSpec::eos(10)));
-            let dev =
-                feature_deviation(&tp.train_fe, &tp.train_y, &test_fe, &test.y, tp.num_classes)
-                    .per_class;
-            for c in 0..tp.num_classes {
-                table.row(vec![
-                    dataset.to_string(),
-                    loss.name().into(),
-                    c.to_string(),
-                    counts[c].to_string(),
-                    format!("{:.3}", base[c]),
-                    format!("{:.3}", smote[c]),
-                    format!("{:.3}", eos[c]),
-                    format!("{:.3}", dev[c]),
-                ]);
-            }
-            // Summary line: does EOS flatten the minority tail?
-            let minority = tp.num_classes / 2..tp.num_classes;
-            let tail = |v: &[f64]| -> f64 {
-                minority.clone().map(|c| v[c]).sum::<f64>() / minority.len() as f64
-            };
-            eprintln!(
-                "  minority-tail gap: baseline {:.3}, SMOTE {:.3}, EOS {:.3}",
-                tail(&base),
-                tail(&smote),
-                tail(&eos)
-            );
+            let pair = Arc::clone(&pair);
+            tasks.push(Box::new(move || {
+                let (train, test) = (&pair.0, &pair.1);
+                let counts = train.class_counts();
+                eprintln!("[fig3] {dataset} / {} ...", loss.name());
+                let mut tp = eng.backbone(train, loss, &cfg);
+                let test_fe = tp.embed(test);
+                let cell = |sampler| ExperimentSpec {
+                    table: "fig3",
+                    dataset,
+                    loss,
+                    sampler,
+                    scale: eng.scale,
+                    seed: eng.seed,
+                };
+                let base = gap_with(&tp, &test_fe, &test.y, &cell(SamplerSpec::Baseline));
+                let smote = gap_with(&tp, &test_fe, &test.y, &cell(SamplerSpec::Smote { k: 5 }));
+                let eos = gap_with(&tp, &test_fe, &test.y, &cell(SamplerSpec::eos(10)));
+                let dev =
+                    feature_deviation(&tp.train_fe, &tp.train_y, &test_fe, &test.y, tp.num_classes)
+                        .per_class;
+                let mut rows = Rows::new();
+                for c in 0..tp.num_classes {
+                    rows.push(vec![
+                        dataset.to_string(),
+                        loss.name().into(),
+                        c.to_string(),
+                        counts[c].to_string(),
+                        format!("{:.3}", base[c]),
+                        format!("{:.3}", smote[c]),
+                        format!("{:.3}", eos[c]),
+                        format!("{:.3}", dev[c]),
+                    ]);
+                }
+                // Summary line: does EOS flatten the minority tail?
+                let minority = tp.num_classes / 2..tp.num_classes;
+                let tail = |v: &[f64]| -> f64 {
+                    minority.clone().map(|c| v[c]).sum::<f64>() / minority.len() as f64
+                };
+                eprintln!(
+                    "  minority-tail gap: baseline {:.3}, SMOTE {:.3}, EOS {:.3}",
+                    tail(&base),
+                    tail(&smote),
+                    tail(&eos)
+                );
+                rows
+            }));
+        }
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
         }
     }
     println!(

@@ -4,7 +4,8 @@
 //! Paper shape: the FP gap is 2–4× the TP gap on every dataset — models
 //! generalize (TPs) exactly where train and test embedding ranges align.
 
-use crate::exp::{BackbonePlan, Engine};
+use crate::exp::{run_jobs, BackbonePlan, Engine};
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::{evaluate, tp_fp_gap};
 use eos_nn::LossKind;
@@ -18,36 +19,44 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
 }
 
 /// Produces the figure's CSV. Fully deterministic given the backbone —
-/// no per-cell randomness at all.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// no per-cell randomness at all. One job per dataset.
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "TP gap", "FP gap", "FP/TP"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let (train, test) = (&pair.0, &pair.1);
-        eprintln!("[fig4] {dataset} ...");
-        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-        let test_fe = tp.embed(test);
-        let preds = evaluate(&mut tp.net, test).predictions;
-        let report = tp_fp_gap(
-            &tp.train_fe,
-            &tp.train_y,
-            &test_fe,
-            &test.y,
-            &preds,
-            tp.num_classes,
-        );
-        let ratio = if report.tp_gap > 0.0 {
-            report.fp_gap / report.tp_gap
-        } else {
-            f64::INFINITY
-        };
-        table.row(vec![
-            dataset.to_string(),
-            format!("{:.3}", report.tp_gap),
-            format!("{:.3}", report.fp_gap),
-            format!("{:.2}x", ratio),
-        ]);
+        tasks.push(Box::new(move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[fig4] {dataset} ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let test_fe = tp.embed(test);
+            let preds = evaluate(&mut tp.net, test).predictions;
+            let report = tp_fp_gap(
+                &tp.train_fe,
+                &tp.train_y,
+                &test_fe,
+                &test.y,
+                &preds,
+                tp.num_classes,
+            );
+            let ratio = if report.tp_gap > 0.0 {
+                report.fp_gap / report.tp_gap
+            } else {
+                f64::INFINITY
+            };
+            vec![vec![
+                dataset.to_string(),
+                format!("{:.3}", report.tp_gap),
+                format!("{:.3}", report.fp_gap),
+                format!("{:.2}x", ratio),
+            ]]
+        }));
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
+        }
     }
     println!(
         "\nFigure 4 reproduction — FP vs TP generalization gap (scale {:?}, seed {})\n",

@@ -5,10 +5,12 @@
 //! norms toward the minority classes; oversampled heads flatten them, and
 //! EOS usually shows the largest, most even norms.
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::head_weight_norms;
 use eos_nn::LossKind;
+use std::sync::Arc;
 
 /// Standard backbones: every dataset × every loss.
 pub fn plan(args: &Args) -> Vec<BackbonePlan> {
@@ -18,43 +20,57 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the figure's CSV.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// Produces the figure's CSV. One job per dataset × loss group; the
+/// fine-tunes inside a group stay sequential on its own backbone (each
+/// re-initialises the head from its cell's stream, so the order cannot
+/// matter — but the rows must come out in method order).
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "Class", "Norm"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let train = &pair.0;
         for loss in LossKind::ALL {
-            eprintln!("[fig5] {dataset} / {} ...", loss.name());
-            let mut tp = eng.backbone(train, loss, &cfg);
-            let record = |method: &str, norms: &[f32], table: &mut MarkdownTable| {
-                for (c, &n) in norms.iter().enumerate() {
-                    table.row(vec![
-                        dataset.to_string(),
-                        loss.name().into(),
-                        method.into(),
-                        c.to_string(),
-                        format!("{n:.4}"),
-                    ]);
-                }
-            };
-            record("Baseline", &head_weight_norms(&tp.net), &mut table);
-            let mut methods: Vec<SamplerSpec> = SamplerSpec::classic_lineup().to_vec();
-            methods.push(SamplerSpec::eos(10));
-            for sampler in methods {
-                let spec = ExperimentSpec {
-                    table: "fig5",
-                    dataset,
-                    loss,
-                    sampler,
-                    scale: eng.scale,
-                    seed: eng.seed,
+            let pair = Arc::clone(&pair);
+            tasks.push(Box::new(move || {
+                let train = &pair.0;
+                eprintln!("[fig5] {dataset} / {} ...", loss.name());
+                let mut tp = eng.backbone(train, loss, &cfg);
+                let mut rows = Rows::new();
+                let record = |method: &str, norms: &[f32], rows: &mut Rows| {
+                    for (c, &n) in norms.iter().enumerate() {
+                        rows.push(vec![
+                            dataset.to_string(),
+                            loss.name().into(),
+                            method.into(),
+                            c.to_string(),
+                            format!("{n:.4}"),
+                        ]);
+                    }
                 };
-                let built = sampler.build().expect("non-baseline");
-                let _ = tp.finetune_head(Some(built.as_ref()), &cfg, &mut spec.rng());
-                record(sampler.name(), &head_weight_norms(&tp.net), &mut table);
-            }
+                record("Baseline", &head_weight_norms(&tp.net), &mut rows);
+                let mut methods: Vec<SamplerSpec> = SamplerSpec::classic_lineup().to_vec();
+                methods.push(SamplerSpec::eos(10));
+                for sampler in methods {
+                    let spec = ExperimentSpec {
+                        table: "fig5",
+                        dataset,
+                        loss,
+                        sampler,
+                        scale: eng.scale,
+                        seed: eng.seed,
+                    };
+                    let built = sampler.build().expect("non-baseline");
+                    let _ = tp.finetune_head(Some(built.as_ref()), &cfg, &mut spec.rng());
+                    record(sampler.name(), &head_weight_norms(&tp.net), &mut rows);
+                }
+                rows
+            }));
+        }
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
         }
     }
     println!(

@@ -10,7 +10,8 @@
 //! distance over intra-class spread). Paper shape: EOS yields the
 //! densest, most uniform minority structure with the widest margin.
 
-use crate::exp::{mix_rng, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{mix_rng, run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 use eos_resample::balance_with;
@@ -22,13 +23,17 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
     vec![BackbonePlan::new("cifar10", LossKind::Ce)]
 }
 
-/// Produces the figure's CSVs.
-pub fn run(eng: &mut Engine, _args: &Args) {
+/// Produces the figure's CSVs. One shared backbone; one job per method
+/// (each only reads the backbone's train embeddings and seeds its own
+/// t-SNE stream, so jobs are independent — the network itself holds
+/// non-`Sync` trait objects and stays on this thread).
+pub fn run(eng: &Engine, _args: &Args) {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
     let train = &pair.0;
     eprintln!("[fig6] training backbone ...");
     let tp = eng.backbone(train, LossKind::Ce, &cfg);
+    let (train_fe, train_y, num_classes) = (&tp.train_fe, &tp.train_y, tp.num_classes);
 
     // The paired classes with the largest imbalance between them.
     let (maj, min) = (8usize, 9usize);
@@ -48,64 +53,72 @@ pub fn run(eng: &mut Engine, _args: &Args) {
     let mut summary =
         MarkdownTable::new(&["Method", "Points", "Separation", "Minority density CV"]);
     let mut coords = MarkdownTable::new(&["Method", "Class", "x", "y"]);
+    type MethodOut = (Vec<String>, Rows);
+    let mut tasks: Vec<Box<dyn FnOnce() -> MethodOut + Send + '_>> = Vec::new();
     for sampler in methods {
-        let name = sampler.name();
-        let spec = ExperimentSpec {
-            table: "fig6",
-            dataset: "cifar10",
-            loss: LossKind::Ce,
-            sampler,
-            scale: eng.scale,
-            seed: eng.seed,
-        };
-        let (fe, y) = match sampler.build() {
-            Some(s) => balance_with(
-                s.as_ref(),
-                &tp.train_fe,
-                &tp.train_y,
-                tp.num_classes,
-                &mut spec.rng(),
-            ),
-            None => (tp.train_fe.clone(), tp.train_y.clone()),
-        };
-        // Slice out the two classes of interest.
-        let rows: Vec<usize> = (0..y.len())
-            .filter(|&i| y[i] == maj || y[i] == min)
-            .collect();
-        let pair_fe = fe.select_rows(&rows);
-        let pair_y: Vec<usize> = rows.iter().map(|&i| (y[i] == min) as usize).collect();
-        // Cap the point count so t-SNE stays quadratic-cheap.
-        let cap = 250.min(pair_fe.dim(0));
-        let keep: Vec<usize> = (0..cap).collect();
-        let pair_fe = pair_fe.select_rows(&keep);
-        let pair_y: Vec<usize> = pair_y[..cap].to_vec();
-        eprintln!("[fig6] t-SNE for {name} ({cap} points) ...");
-        let y2d: Tensor = tsne(
-            &pair_fe,
-            &TsneConfig {
-                iterations: 300,
-                ..TsneConfig::default()
-            },
-            &mut mix_rng(eng.seed, &["fig6", name]),
-        );
-        let score = separation_score(&y2d, &pair_y, 2);
-        // The paper's Figure 6 claim is about *local structure*: EOS
-        // yields a denser, more uniform minority manifold. Lower CV of
-        // nearest-neighbour distances = more uniform.
-        let cv = density_uniformity(&y2d, &pair_y, 1);
-        summary.row(vec![
-            name.into(),
-            cap.to_string(),
-            format!("{score:.3}"),
-            format!("{cv:.3}"),
-        ]);
-        for (i, label) in pair_y.iter().enumerate() {
-            coords.row(vec![
+        tasks.push(Box::new(move || {
+            let name = sampler.name();
+            let spec = ExperimentSpec {
+                table: "fig6",
+                dataset: "cifar10",
+                loss: LossKind::Ce,
+                sampler,
+                scale: eng.scale,
+                seed: eng.seed,
+            };
+            let (fe, y) = match sampler.build() {
+                Some(s) => {
+                    balance_with(s.as_ref(), train_fe, train_y, num_classes, &mut spec.rng())
+                }
+                None => (train_fe.clone(), train_y.clone()),
+            };
+            // Slice out the two classes of interest.
+            let rows: Vec<usize> = (0..y.len())
+                .filter(|&i| y[i] == maj || y[i] == min)
+                .collect();
+            let pair_fe = fe.select_rows(&rows);
+            let pair_y: Vec<usize> = rows.iter().map(|&i| (y[i] == min) as usize).collect();
+            // Cap the point count so t-SNE stays quadratic-cheap.
+            let cap = 250.min(pair_fe.dim(0));
+            let keep: Vec<usize> = (0..cap).collect();
+            let pair_fe = pair_fe.select_rows(&keep);
+            let pair_y: Vec<usize> = pair_y[..cap].to_vec();
+            eprintln!("[fig6] t-SNE for {name} ({cap} points) ...");
+            let y2d: Tensor = tsne(
+                &pair_fe,
+                &TsneConfig {
+                    iterations: 300,
+                    ..TsneConfig::default()
+                },
+                &mut mix_rng(eng.seed, &["fig6", name]),
+            );
+            let score = separation_score(&y2d, &pair_y, 2);
+            // The paper's Figure 6 claim is about *local structure*: EOS
+            // yields a denser, more uniform minority manifold. Lower CV of
+            // nearest-neighbour distances = more uniform.
+            let cv = density_uniformity(&y2d, &pair_y, 1);
+            let summary_row = vec![
                 name.into(),
-                label.to_string(),
-                format!("{:.4}", y2d.at(&[i, 0])),
-                format!("{:.4}", y2d.at(&[i, 1])),
-            ]);
+                cap.to_string(),
+                format!("{score:.3}"),
+                format!("{cv:.3}"),
+            ];
+            let mut coord_rows = Rows::new();
+            for (i, label) in pair_y.iter().enumerate() {
+                coord_rows.push(vec![
+                    name.into(),
+                    label.to_string(),
+                    format!("{:.4}", y2d.at(&[i, 0])),
+                    format!("{:.4}", y2d.at(&[i, 1])),
+                ]);
+            }
+            (summary_row, coord_rows)
+        }));
+    }
+    for (summary_row, coord_rows) in run_jobs(eng.jobs, tasks) {
+        summary.row(summary_row);
+        for row in coord_rows {
+            coords.row(row);
         }
     }
     println!(

@@ -5,9 +5,10 @@
 //! chosen budget); EOS gains marginally from longer retraining, SMOTE
 //! does not.
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
+use std::sync::Arc;
 
 const EPOCHS: usize = 30;
 
@@ -16,28 +17,39 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
     vec![BackbonePlan::new("cifar10", LossKind::Ce)]
 }
 
-/// Produces the figure's CSV.
-pub fn run(eng: &mut Engine, _args: &Args) {
+/// Produces the figure's CSV. One job per traced method; each job takes
+/// its own copy of the shared backbone (a cache hit after the first
+/// training) because the epoch trace mutates the head in place.
+pub fn run(eng: &Engine, _args: &Args) {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
-    let (train, test) = (&pair.0, &pair.1);
-    eprintln!("[fig7] training backbone ...");
-    let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-    let mut trace_of = |sampler: SamplerSpec| {
-        let spec = ExperimentSpec {
-            table: "fig7",
-            dataset: "cifar10",
-            loss: LossKind::Ce,
-            sampler,
-            scale: eng.scale,
-            seed: eng.seed,
-        };
-        eprintln!("[fig7] tracing {} ...", sampler.name());
-        let built = sampler.build().expect("non-baseline");
-        tp.finetune_trace(built.as_ref(), test, EPOCHS, &cfg, &mut spec.rng())
+    let trace_of = |sampler: SamplerSpec| {
+        let pair = Arc::clone(&pair);
+        move || {
+            let (train, test) = (&pair.0, &pair.1);
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let spec = ExperimentSpec {
+                table: "fig7",
+                dataset: "cifar10",
+                loss: LossKind::Ce,
+                sampler,
+                scale: eng.scale,
+                seed: eng.seed,
+            };
+            eprintln!("[fig7] tracing {} ...", sampler.name());
+            let built = sampler.build().expect("non-baseline");
+            tp.finetune_trace(built.as_ref(), test, EPOCHS, &cfg, &mut spec.rng())
+        }
     };
-    let smote = trace_of(SamplerSpec::Smote { k: 5 });
-    let eos = trace_of(SamplerSpec::eos(10));
+    let mut traces = run_jobs(
+        eng.jobs,
+        vec![
+            trace_of(SamplerSpec::Smote { k: 5 }),
+            trace_of(SamplerSpec::eos(10)),
+        ],
+    );
+    let eos = traces.pop().expect("eos trace");
+    let smote = traces.pop().expect("smote trace");
     let mut table = MarkdownTable::new(&[
         "Epoch",
         "SMOTE train BAC",

@@ -7,8 +7,9 @@
 //! understanding ... the generalization gap can lead to effective
 //! over-sampling".
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::report::paper_fmt;
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 
@@ -20,42 +21,53 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// Produces the table. One job per dataset: its backbone, the baseline
+/// eval and the three method fine-tunes.
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Method", "BAC", "GM", "FM"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let (train, test) = (&pair.0, &pair.1);
-        eprintln!("[gap_eos] {dataset} backbone ...");
-        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-        let base = tp.baseline_eval(test);
-        let mut push = |m: &str, bac: f64, gm: f64, f1: f64| {
-            table.row(vec![
-                dataset.to_string(),
-                m.into(),
-                paper_fmt(bac),
-                paper_fmt(gm),
-                paper_fmt(f1),
-            ]);
-        };
-        push("Baseline", base.bac, base.gm, base.f1);
-        for sampler in [
-            SamplerSpec::Smote { k: 5 },
-            SamplerSpec::eos(10),
-            SamplerSpec::GapAwareEos { k: 10 },
-        ] {
-            let spec = ExperimentSpec {
-                table: "gap_eos",
-                dataset,
-                loss: LossKind::Ce,
-                sampler,
-                scale: eng.scale,
-                seed: eng.seed,
+        tasks.push(Box::new(move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[gap_eos] {dataset} backbone ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let base = tp.baseline_eval(test);
+            let mut rows = Rows::new();
+            let push = |m: &str, bac: f64, gm: f64, f1: f64, rows: &mut Rows| {
+                rows.push(vec![
+                    dataset.to_string(),
+                    m.into(),
+                    paper_fmt(bac),
+                    paper_fmt(gm),
+                    paper_fmt(f1),
+                ]);
             };
-            let built = sampler.build().expect("non-baseline");
-            let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-            push(sampler.name(), r.bac, r.gm, r.f1);
+            push("Baseline", base.bac, base.gm, base.f1, &mut rows);
+            for sampler in [
+                SamplerSpec::Smote { k: 5 },
+                SamplerSpec::eos(10),
+                SamplerSpec::GapAwareEos { k: 10 },
+            ] {
+                let spec = ExperimentSpec {
+                    table: "gap_eos",
+                    dataset,
+                    loss: LossKind::Ce,
+                    sampler,
+                    scale: eng.scale,
+                    seed: eng.seed,
+                };
+                let built = sampler.build().expect("non-baseline");
+                let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                push(sampler.name(), r.bac, r.gm, r.f1, &mut rows);
+            }
+            rows
+        }));
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
         }
     }
     println!(

@@ -10,13 +10,18 @@
 //!   ablation) are not in the plan; they still go through
 //!   [`Engine::backbone`](crate::exp::Engine::backbone) inside `run` and
 //!   are cached by dataset content like everything else.
-//! - `run(&mut Engine, &Args)` — produces the table: prints the rendered
+//! - `run(&Engine, &Args)` — produces the table: prints the rendered
 //!   markdown to stdout and writes the CSV under `results/`.
 //!
 //! The per-table binaries are thin wrappers (`Engine::new` → `run` →
 //! `Engine::finish`). Each experiment cell derives its RNG from its
 //! [`ExperimentSpec`](crate::exp::ExperimentSpec) fingerprint, so CSV
-//! output is byte-identical between cold and warm-cache runs.
+//! output is byte-identical between cold and warm-cache runs — and, by
+//! the same argument, between `--jobs 1` and `--jobs N`: the modules
+//! split their work into independent group jobs (one backbone and its
+//! dependent cells per job), run them on
+//! [`run_jobs`](crate::exp::run_jobs), and append each job's returned
+//! [`Rows`] in input order. Only stderr progress lines may interleave.
 
 pub mod ablations;
 pub mod fig3;
@@ -36,6 +41,10 @@ pub mod table5;
 use crate::exp::ExperimentSpec;
 use eos_data::Dataset;
 use eos_resample::balance_with;
+
+/// Table rows produced by one parallel group job, appended to the
+/// markdown table in job-submission order.
+pub(crate) type Rows = Vec<Vec<String>>;
 
 /// The pre-processing arm's input: the train set enlarged by the cell's
 /// oversampler in **pixel space**. Training the full network on this set

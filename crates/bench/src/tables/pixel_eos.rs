@@ -8,22 +8,26 @@
 //! convex combination) with the literal Algorithm 2 formula
 //! (away-from-enemy extrapolation).
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::report::paper_fmt;
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::Direction;
 use eos_nn::LossKind;
+use std::sync::Arc;
 
 /// Standard backbones: cifar10 / CE (the embedding-space arm).
 pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
     vec![BackbonePlan::new("cifar10", LossKind::Ce)]
 }
 
-/// Produces the table.
-pub fn run(eng: &mut Engine, _args: &Args) {
+/// Produces the table. Two jobs — the pixel-space arm (its own enlarged
+/// backbone) and the embedding-space arm (shared backbone plus both
+/// direction fine-tunes). Each returns its rows and its headline BAC so
+/// the advantage line can be printed after the join.
+pub fn run(eng: &Engine, _args: &Args) {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
-    let (train, test) = (&pair.0, &pair.1);
     let mut table = MarkdownTable::new(&["Variant", "BAC", "GM", "FM"]);
     let (scale, seed) = (eng.scale, eng.seed);
     let cell = move |table_tag, sampler| ExperimentSpec {
@@ -35,46 +39,65 @@ pub fn run(eng: &mut Engine, _args: &Args) {
         seed,
     };
 
-    eprintln!("[pixel_eos] EOS as pixel-space pre-processing ...");
-    let enlarged = super::oversampled_pixels(train, &cell("pixel_eos-pre", SamplerSpec::eos(10)));
-    let mut pixel_tp = eng.backbone(&enlarged, LossKind::Ce, &cfg);
-    let pixel = pixel_tp.baseline_eval(test);
-    table.row(vec![
-        "EOS in pixel space (pre-processing)".into(),
-        paper_fmt(pixel.bac),
-        paper_fmt(pixel.gm),
-        paper_fmt(pixel.f1),
-    ]);
+    let pixel_pair = Arc::clone(&pair);
+    let pixel_arm = Box::new(move || {
+        let (train, test) = (&pixel_pair.0, &pixel_pair.1);
+        eprintln!("[pixel_eos] EOS as pixel-space pre-processing ...");
+        let enlarged =
+            super::oversampled_pixels(train, &cell("pixel_eos-pre", SamplerSpec::eos(10)));
+        let mut pixel_tp = eng.backbone(&enlarged, LossKind::Ce, &cfg);
+        let pixel = pixel_tp.baseline_eval(test);
+        let rows = vec![vec![
+            "EOS in pixel space (pre-processing)".into(),
+            paper_fmt(pixel.bac),
+            paper_fmt(pixel.gm),
+            paper_fmt(pixel.f1),
+        ]];
+        (rows, pixel.bac)
+    }) as Box<dyn FnOnce() -> (Rows, f64) + Send + '_>;
 
-    eprintln!("[pixel_eos] EOS in embedding space ...");
-    let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-    let toward = cell("pixel_eos", SamplerSpec::eos(10));
-    let built = toward.sampler.build().expect("EOS");
-    let fe = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut toward.rng());
-    table.row(vec![
-        "EOS in embedding space (three-phase)".into(),
-        paper_fmt(fe.bac),
-        paper_fmt(fe.gm),
-        paper_fmt(fe.f1),
-    ]);
+    let emb_pair = Arc::clone(&pair);
+    let emb_arm = Box::new(move || {
+        let (train, test) = (&emb_pair.0, &emb_pair.1);
+        eprintln!("[pixel_eos] EOS in embedding space ...");
+        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+        let toward = cell("pixel_eos", SamplerSpec::eos(10));
+        let built = toward.sampler.build().expect("EOS");
+        let fe = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut toward.rng());
+        let mut rows = Rows::new();
+        rows.push(vec![
+            "EOS in embedding space (three-phase)".into(),
+            paper_fmt(fe.bac),
+            paper_fmt(fe.gm),
+            paper_fmt(fe.f1),
+        ]);
 
-    eprintln!("[pixel_eos] direction ablation ...");
-    let away_spec = cell(
-        "pixel_eos",
-        SamplerSpec::Eos {
-            k: 10,
-            direction: Direction::AwayFromEnemy,
-            r_scale: 0.5,
-        },
-    );
-    let built = away_spec.sampler.build().expect("EOS");
-    let away = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut away_spec.rng());
-    table.row(vec![
-        "EOS embedding, away-from-enemy (literal Alg. 2)".into(),
-        paper_fmt(away.bac),
-        paper_fmt(away.gm),
-        paper_fmt(away.f1),
-    ]);
+        eprintln!("[pixel_eos] direction ablation ...");
+        let away_spec = cell(
+            "pixel_eos",
+            SamplerSpec::Eos {
+                k: 10,
+                direction: Direction::AwayFromEnemy,
+                r_scale: 0.5,
+            },
+        );
+        let built = away_spec.sampler.build().expect("EOS");
+        let away = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut away_spec.rng());
+        rows.push(vec![
+            "EOS embedding, away-from-enemy (literal Alg. 2)".into(),
+            paper_fmt(away.bac),
+            paper_fmt(away.gm),
+            paper_fmt(away.f1),
+        ]);
+        (rows, fe.bac)
+    }) as Box<dyn FnOnce() -> (Rows, f64) + Send + '_>;
+
+    let mut results = run_jobs(eng.jobs, vec![pixel_arm, emb_arm]);
+    let (emb_rows, fe_bac) = results.pop().expect("embedding arm");
+    let (pixel_rows, pixel_bac) = results.pop().expect("pixel arm");
+    for row in pixel_rows.into_iter().chain(emb_rows) {
+        table.row(row);
+    }
 
     println!(
         "\n§V-E3 reproduction — EOS pixel vs embedding space (scale {:?}, seed {})\n",
@@ -83,7 +106,7 @@ pub fn run(eng: &mut Engine, _args: &Args) {
     println!("{}", table.render());
     println!(
         "embedding-space advantage: {:+.1} BAC points (paper: ~+7)",
-        (fe.bac - pixel.bac) * 100.0
+        (fe_bac - pixel_bac) * 100.0
     );
     write_csv(&table, "pixel_eos");
 }

@@ -7,10 +7,12 @@
 //! variant wins in most dataset × method cells (7 of 9); Remix appears
 //! only as pre-processing (balancing twice would be double-counting).
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::report::paper_fmt;
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
+use std::sync::Arc;
 
 /// Standard backbones: one CE backbone per dataset (the Post- arm).
 pub fn plan(args: &Args) -> Vec<BackbonePlan> {
@@ -20,59 +22,75 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// Produces the table. Each pre-processing arm (one full training on its
+/// pixel-enlarged set) and each post arm (backbone + head fine-tunes) is
+/// an independent job; rows land in the same order as the serial loop.
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Descr", "BAC", "GM", "FM"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let (train, test) = (&pair.0, &pair.1);
         // Pre-processing arm: one full training run per oversampler, on
         // the pixel-enlarged set (cached by the enlarged set's content).
         let mut pre: Vec<SamplerSpec> = SamplerSpec::classic_lineup().to_vec();
         pre.push(SamplerSpec::Remix);
         for sampler in pre {
-            let spec = ExperimentSpec {
-                table: "table1-pre",
-                dataset,
-                loss: LossKind::Ce,
-                sampler,
-                scale: eng.scale,
-                seed: eng.seed,
-            };
-            eprintln!("[table1] {dataset} / Pre-{} ...", sampler.name());
-            let enlarged = super::oversampled_pixels(train, &spec);
-            let mut tp = eng.backbone(&enlarged, LossKind::Ce, &cfg);
-            let r = tp.baseline_eval(test);
-            table.row(vec![
-                dataset.to_string(),
-                format!("Pre-{}", sampler.name()),
-                paper_fmt(r.bac),
-                paper_fmt(r.gm),
-                paper_fmt(r.f1),
-            ]);
+            let pair = Arc::clone(&pair);
+            tasks.push(Box::new(move || {
+                let (train, test) = (&pair.0, &pair.1);
+                let spec = ExperimentSpec {
+                    table: "table1-pre",
+                    dataset,
+                    loss: LossKind::Ce,
+                    sampler,
+                    scale: eng.scale,
+                    seed: eng.seed,
+                };
+                eprintln!("[table1] {dataset} / Pre-{} ...", sampler.name());
+                let enlarged = super::oversampled_pixels(train, &spec);
+                let mut tp = eng.backbone(&enlarged, LossKind::Ce, &cfg);
+                let r = tp.baseline_eval(test);
+                vec![vec![
+                    dataset.to_string(),
+                    format!("Pre-{}", sampler.name()),
+                    paper_fmt(r.bac),
+                    paper_fmt(r.gm),
+                    paper_fmt(r.f1),
+                ]]
+            }));
         }
         // Post arm: one backbone, one head fine-tune per oversampler.
-        eprintln!("[table1] {dataset} / Post backbone ...");
-        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-        for sampler in SamplerSpec::classic_lineup() {
-            let spec = ExperimentSpec {
-                table: "table1",
-                dataset,
-                loss: LossKind::Ce,
-                sampler,
-                scale: eng.scale,
-                seed: eng.seed,
-            };
-            let built = sampler.build().expect("post arm samplers are real");
-            let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-            table.row(vec![
-                dataset.to_string(),
-                format!("Post-{}", sampler.name()),
-                paper_fmt(r.bac),
-                paper_fmt(r.gm),
-                paper_fmt(r.f1),
-            ]);
+        tasks.push(Box::new(move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[table1] {dataset} / Post backbone ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut rows = Rows::new();
+            for sampler in SamplerSpec::classic_lineup() {
+                let spec = ExperimentSpec {
+                    table: "table1",
+                    dataset,
+                    loss: LossKind::Ce,
+                    sampler,
+                    scale: eng.scale,
+                    seed: eng.seed,
+                };
+                let built = sampler.build().expect("post arm samplers are real");
+                let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                rows.push(vec![
+                    dataset.to_string(),
+                    format!("Post-{}", sampler.name()),
+                    paper_fmt(r.bac),
+                    paper_fmt(r.gm),
+                    paper_fmt(r.f1),
+                ]);
+            }
+            rows
+        }));
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
         }
     }
     println!(

@@ -6,10 +6,12 @@
 //! feature-embedding space. Paper shape: EOS wins most cells; the
 //! backbone loss matters (LDAM embeddings are the strongest pairing).
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::report::paper_fmt;
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
+use std::sync::Arc;
 
 /// Standard backbones: every dataset × every loss.
 pub fn plan(args: &Args) -> Vec<BackbonePlan> {
@@ -19,43 +21,55 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// Produces the table. One job per dataset × loss group: the group's
+/// backbone, its baseline eval and its head fine-tunes.
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "BAC", "GM", "FM"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let (train, test) = (&pair.0, &pair.1);
         for loss in LossKind::ALL {
-            eprintln!("[table2] {dataset} / {} ...", loss.name());
-            let mut tp = eng.backbone(train, loss, &cfg);
-            let mut push = |method: &str, bac: f64, gm: f64, f1: f64| {
-                table.row(vec![
-                    dataset.to_string(),
-                    loss.name().into(),
-                    method.into(),
-                    paper_fmt(bac),
-                    paper_fmt(gm),
-                    paper_fmt(f1),
-                ]);
-            };
-            let base = tp.baseline_eval(test);
-            push("Baseline", base.bac, base.gm, base.f1);
-            let mut methods: Vec<SamplerSpec> = SamplerSpec::classic_lineup().to_vec();
-            methods.push(SamplerSpec::eos(10));
-            for sampler in methods {
-                let spec = ExperimentSpec {
-                    table: "table2",
-                    dataset,
-                    loss,
-                    sampler,
-                    scale: eng.scale,
-                    seed: eng.seed,
+            let pair = Arc::clone(&pair);
+            tasks.push(Box::new(move || {
+                let (train, test) = (&pair.0, &pair.1);
+                eprintln!("[table2] {dataset} / {} ...", loss.name());
+                let mut tp = eng.backbone(train, loss, &cfg);
+                let mut rows = Rows::new();
+                let mut push = |method: &str, bac: f64, gm: f64, f1: f64| {
+                    rows.push(vec![
+                        dataset.to_string(),
+                        loss.name().into(),
+                        method.into(),
+                        paper_fmt(bac),
+                        paper_fmt(gm),
+                        paper_fmt(f1),
+                    ]);
                 };
-                let built = sampler.build().expect("non-baseline");
-                let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-                push(sampler.name(), r.bac, r.gm, r.f1);
-            }
+                let base = tp.baseline_eval(test);
+                push("Baseline", base.bac, base.gm, base.f1);
+                let mut methods: Vec<SamplerSpec> = SamplerSpec::classic_lineup().to_vec();
+                methods.push(SamplerSpec::eos(10));
+                for sampler in methods {
+                    let spec = ExperimentSpec {
+                        table: "table2",
+                        dataset,
+                        loss,
+                        sampler,
+                        scale: eng.scale,
+                        seed: eng.seed,
+                    };
+                    let built = sampler.build().expect("non-baseline");
+                    let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                    push(sampler.name(), r.bac, r.gm, r.f1);
+                }
+                rows
+            }));
+        }
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
         }
     }
     println!(

@@ -10,10 +10,12 @@
 //! competitive but far more expensive, especially on the many-class
 //! dataset.
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::report::paper_fmt;
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Standard backbones: every dataset × every loss.
@@ -24,59 +26,77 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// Produces the table. One job per dataset × loss group; the measured
+/// oversampling seconds stay on stderr, so the rows are identical at any
+/// job count.
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table =
         MarkdownTable::new(&["Dataset", "Algo", "Method", "BAC", "GM", "FM", "SynthRows"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let (train, test) = (&pair.0, &pair.1);
         for loss in LossKind::ALL {
-            eprintln!("[table3] {dataset} / {} ...", loss.name());
-            let mut tp = eng.backbone(train, loss, &cfg);
-            let methods = [
-                SamplerSpec::GamoLite,
-                SamplerSpec::BaganLite,
-                // DeepSMOTE (the authors' prior work, ref [48]) added as
-                // an extension column beyond the paper's table.
-                SamplerSpec::DeepSmote,
-                SamplerSpec::CGan,
-                SamplerSpec::eos(10),
-            ];
-            for sampler in methods {
-                let spec = ExperimentSpec {
-                    table: "table3",
-                    dataset,
-                    loss,
-                    sampler,
-                    scale: eng.scale,
-                    seed: eng.seed,
-                };
-                let built = sampler.build().expect("non-baseline");
-                // Time the oversampling itself (the model-induction cost)
-                // on the cell's own stream; the fine-tune below restarts
-                // the same stream, so it trains on these exact samples.
-                let t0 = Instant::now();
-                let (_, sy) =
-                    built.oversample(&tp.train_fe, &tp.train_y, tp.num_classes, &mut spec.rng());
-                let os_seconds = t0.elapsed().as_secs_f64();
-                eprintln!(
-                    "[table3]   {} oversample: {os_seconds:.3}s, {} synthetic rows",
-                    sampler.name(),
-                    sy.len()
-                );
-                let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-                table.row(vec![
-                    dataset.to_string(),
-                    loss.name().into(),
-                    sampler.name().into(),
-                    paper_fmt(r.bac),
-                    paper_fmt(r.gm),
-                    paper_fmt(r.f1),
-                    sy.len().to_string(),
-                ]);
-            }
+            let pair = Arc::clone(&pair);
+            tasks.push(Box::new(move || {
+                let (train, test) = (&pair.0, &pair.1);
+                eprintln!("[table3] {dataset} / {} ...", loss.name());
+                let mut tp = eng.backbone(train, loss, &cfg);
+                let methods = [
+                    SamplerSpec::GamoLite,
+                    SamplerSpec::BaganLite,
+                    // DeepSMOTE (the authors' prior work, ref [48]) added
+                    // as an extension column beyond the paper's table.
+                    SamplerSpec::DeepSmote,
+                    SamplerSpec::CGan,
+                    SamplerSpec::eos(10),
+                ];
+                let mut rows = Rows::new();
+                for sampler in methods {
+                    let spec = ExperimentSpec {
+                        table: "table3",
+                        dataset,
+                        loss,
+                        sampler,
+                        scale: eng.scale,
+                        seed: eng.seed,
+                    };
+                    let built = sampler.build().expect("non-baseline");
+                    // Time the oversampling itself (the model-induction
+                    // cost) on the cell's own stream; the fine-tune below
+                    // restarts the same stream, so it trains on these
+                    // exact samples.
+                    let t0 = Instant::now();
+                    let (_, sy) = built.oversample(
+                        &tp.train_fe,
+                        &tp.train_y,
+                        tp.num_classes,
+                        &mut spec.rng(),
+                    );
+                    let os_seconds = t0.elapsed().as_secs_f64();
+                    eprintln!(
+                        "[table3]   {} oversample: {os_seconds:.3}s, {} synthetic rows",
+                        sampler.name(),
+                        sy.len()
+                    );
+                    let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                    rows.push(vec![
+                        dataset.to_string(),
+                        loss.name().into(),
+                        sampler.name().into(),
+                        paper_fmt(r.bac),
+                        paper_fmt(r.gm),
+                        paper_fmt(r.f1),
+                        sy.len().to_string(),
+                    ]);
+                }
+                rows
+            }));
+        }
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
         }
     }
     println!(

@@ -4,8 +4,9 @@
 //! improves with K and plateaus by K ≈ 200–300 (a larger enemy
 //! neighbourhood gives a more diverse range expansion).
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::report::paper_fmt;
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 
@@ -19,35 +20,45 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table.
-pub fn run(eng: &mut Engine, args: &Args) {
+/// Produces the table. One job per dataset: its backbone plus the K sweep.
+pub fn run(eng: &Engine, args: &Args) {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "K", "BAC", "GM", "FM"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        let (train, test) = (&pair.0, &pair.1);
-        eprintln!("[table4] {dataset} backbone ...");
-        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-        for k in KS {
-            // K cannot exceed the number of other samples.
-            let k_eff = k.min(train.len().saturating_sub(1)).max(1);
-            let spec = ExperimentSpec {
-                table: "table4",
-                dataset,
-                loss: LossKind::Ce,
-                sampler: SamplerSpec::eos(k_eff),
-                scale: eng.scale,
-                seed: eng.seed,
-            };
-            let built = spec.sampler.build().expect("EOS");
-            let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-            table.row(vec![
-                dataset.to_string(),
-                k.to_string(),
-                paper_fmt(r.bac),
-                paper_fmt(r.gm),
-                paper_fmt(r.f1),
-            ]);
+        tasks.push(Box::new(move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[table4] {dataset} backbone ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut rows = Rows::new();
+            for k in KS {
+                // K cannot exceed the number of other samples.
+                let k_eff = k.min(train.len().saturating_sub(1)).max(1);
+                let spec = ExperimentSpec {
+                    table: "table4",
+                    dataset,
+                    loss: LossKind::Ce,
+                    sampler: SamplerSpec::eos(k_eff),
+                    scale: eng.scale,
+                    seed: eng.seed,
+                };
+                let built = spec.sampler.build().expect("EOS");
+                let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                rows.push(vec![
+                    dataset.to_string(),
+                    k.to_string(),
+                    paper_fmt(r.bac),
+                    paper_fmt(r.gm),
+                    paper_fmt(r.f1),
+                ]);
+            }
+            rows
+        }));
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
         }
     }
     println!(

@@ -4,10 +4,12 @@
 //! Paper shape: EOS improves every architecture family (ResNet-56,
 //! WideResNet, DenseNet) over its end-to-end baseline.
 
-use crate::exp::{BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
 use crate::report::paper_fmt;
+use crate::tables::Rows;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::{Architecture, LossKind};
+use std::sync::Arc;
 
 /// Display label, cell tag, architecture.
 fn archs() -> [(&'static str, &'static str, Architecture); 3] {
@@ -48,39 +50,52 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table.
-pub fn run(eng: &mut Engine, _args: &Args) {
-    let mut cfg = eng.cfg();
+/// Produces the table. One job per architecture: its backbone override,
+/// the end-to-end baseline and the EOS fine-tune.
+pub fn run(eng: &Engine, _args: &Args) {
+    let base_cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
-    let (train, test) = (&pair.0, &pair.1);
     let mut table = MarkdownTable::new(&["Network", "BAC", "GM", "FM"]);
+    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
     for (name, tag, arch) in archs() {
-        cfg.arch = arch;
-        eprintln!("[table5] {name} ...");
-        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-        let base = tp.baseline_eval(test);
-        table.row(vec![
-            name.to_string(),
-            paper_fmt(base.bac),
-            paper_fmt(base.gm),
-            paper_fmt(base.f1),
-        ]);
-        let spec = ExperimentSpec {
-            table: tag,
-            dataset: "cifar10",
-            loss: LossKind::Ce,
-            sampler: SamplerSpec::eos(10),
-            scale: eng.scale,
-            seed: eng.seed,
-        };
-        let built = spec.sampler.build().expect("EOS");
-        let eos = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-        table.row(vec![
-            format!("EOS: {name}"),
-            paper_fmt(eos.bac),
-            paper_fmt(eos.gm),
-            paper_fmt(eos.f1),
-        ]);
+        let pair = Arc::clone(&pair);
+        tasks.push(Box::new(move || {
+            let (train, test) = (&pair.0, &pair.1);
+            let mut cfg = base_cfg;
+            cfg.arch = arch;
+            eprintln!("[table5] {name} ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let base = tp.baseline_eval(test);
+            let spec = ExperimentSpec {
+                table: tag,
+                dataset: "cifar10",
+                loss: LossKind::Ce,
+                sampler: SamplerSpec::eos(10),
+                scale: eng.scale,
+                seed: eng.seed,
+            };
+            let built = spec.sampler.build().expect("EOS");
+            let eos = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+            vec![
+                vec![
+                    name.to_string(),
+                    paper_fmt(base.bac),
+                    paper_fmt(base.gm),
+                    paper_fmt(base.f1),
+                ],
+                vec![
+                    format!("EOS: {name}"),
+                    paper_fmt(eos.bac),
+                    paper_fmt(eos.gm),
+                    paper_fmt(eos.f1),
+                ],
+            ]
+        }));
+    }
+    for rows in run_jobs(eng.jobs, tasks) {
+        for row in rows {
+            table.row(row);
+        }
     }
     println!(
         "\nTable V reproduction — architectures with & without EOS (scale {:?}, seed {})\n",

@@ -1,0 +1,144 @@
+//! Concurrency gate for the job scheduler and the shared backbone cache.
+//!
+//! Two engines in two threads prewarm overlapping plans against ONE cache
+//! directory: the per-fingerprint claim protocol must train each distinct
+//! backbone exactly once across both, leave no lock files behind, and the
+//! stored entries must be byte-identical to a cold serial run in a fresh
+//! directory. A second scenario proves a dead producer's stale lock is
+//! taken over rather than waited on forever.
+//!
+//! One `#[test]` on purpose: the assertions read process-global trace
+//! counters, so the scenarios must run in a fixed order within one
+//! process.
+
+use eos_bench::exp::{ArtifactCache, BackbonePlan, Engine};
+use eos_core::Scale;
+use eos_nn::LossKind;
+use std::sync::Barrier;
+use std::time::Duration;
+
+fn trained() -> u64 {
+    eos_trace::snapshot().counter("exp.backbone.trained")
+}
+
+fn takeovers() -> u64 {
+    eos_trace::snapshot().counter("exp.lock.takeover")
+}
+
+fn cache_files(dir: &std::path::Path, ext: &str) -> Vec<std::path::PathBuf> {
+    let mut out: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == ext))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+#[test]
+fn concurrent_engines_share_one_cache_without_duplicate_training() {
+    let base = std::env::temp_dir().join(format!("eos_parallel_suite_{}", std::process::id()));
+    let shared = base.join("shared");
+    let cold = base.join("cold");
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Overlapping plans: both engines want the same two backbones.
+    let plans = [
+        BackbonePlan::new("celeba", LossKind::Ce),
+        BackbonePlan::new("celeba", LossKind::Ldam),
+    ];
+
+    // --- Two engines, two threads, one cache directory.
+    let before = trained();
+    let gate = Barrier::new(2);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let (gate, shared, plans) = (&gate, &shared, &plans);
+            s.spawn(move || {
+                let eng = Engine::with_cache(Scale::Smoke, 42, Some(ArtifactCache::at(shared)))
+                    .with_jobs(2);
+                gate.wait();
+                eng.prewarm(plans);
+            });
+        }
+    });
+    let concurrent_delta = trained() - before;
+    assert_eq!(
+        concurrent_delta, 2,
+        "two distinct backbones must train exactly once across both engines"
+    );
+    assert_eq!(
+        cache_files(&shared, "eosc").len(),
+        2,
+        "both entries must be stored"
+    );
+    assert!(
+        cache_files(&shared, "lock").is_empty(),
+        "claim locks must be released after prewarm"
+    );
+
+    // --- Cold serial reference run in a fresh directory: trains the same
+    // two backbones again and must store byte-identical entries (the
+    // training streams are fingerprint-seeded, never wall-clock-seeded).
+    let before = trained();
+    let serial = Engine::with_cache(Scale::Smoke, 42, Some(ArtifactCache::at(&cold)));
+    serial.prewarm(&plans);
+    assert_eq!(trained() - before, 2, "cold serial run must train both");
+    let shared_entries = cache_files(&shared, "eosc");
+    let cold_entries = cache_files(&cold, "eosc");
+    assert_eq!(
+        shared_entries
+            .iter()
+            .map(|p| p.file_name().unwrap().to_owned())
+            .collect::<Vec<_>>(),
+        cold_entries
+            .iter()
+            .map(|p| p.file_name().unwrap().to_owned())
+            .collect::<Vec<_>>(),
+        "both runs must produce the same fingerprints"
+    );
+    for (a, b) in shared_entries.iter().zip(&cold_entries) {
+        assert_eq!(
+            std::fs::read(a).unwrap(),
+            std::fs::read(b).unwrap(),
+            "concurrent-shared-cache entry {} must be byte-identical to the cold serial one",
+            a.display()
+        );
+    }
+
+    // --- A warm engine on the shared directory trains nothing.
+    let before = trained();
+    let warm = Engine::with_cache(Scale::Smoke, 42, Some(ArtifactCache::at(&shared)));
+    warm.prewarm(&plans);
+    assert_eq!(trained(), before, "warm rerun must train nothing");
+
+    // --- Stale-lock takeover: a producer that died holding a claim must
+    // not block a new engine. Plant a lock by hand, age it past the
+    // stale threshold, and prewarm: the new engine takes the claim over
+    // (takeover counter ticks) and completes the training.
+    let stale_dir = base.join("stale");
+    let stale_cache = ArtifactCache::at(&stale_dir).with_stale_after(Duration::from_millis(50));
+    std::fs::create_dir_all(&stale_dir).unwrap();
+    // Fingerprint of the one plan this engine will want.
+    let eng = Engine::with_cache(Scale::Smoke, 42, Some(stale_cache));
+    let pair = eng.dataset("celeba");
+    let fp = eos_bench::exp::engine::backbone_fingerprint(&pair.0, LossKind::Ce, &eng.cfg(), 42);
+    std::fs::write(stale_dir.join(format!("bb_{fp:016x}.lock")), b"dead").unwrap();
+    std::thread::sleep(Duration::from_millis(80));
+    let (t0, k0) = (trained(), takeovers());
+    eng.prewarm(&[BackbonePlan::new("celeba", LossKind::Ce)]);
+    assert_eq!(trained() - t0, 1, "takeover must complete the training");
+    assert!(
+        takeovers() > k0,
+        "stale lock must be taken over, not waited on"
+    );
+    assert!(
+        cache_files(&stale_dir, "lock").is_empty(),
+        "taken-over lock must be released"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

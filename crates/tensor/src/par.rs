@@ -11,10 +11,14 @@
 //! The pool is process-global and lazy. The initial thread count comes
 //! from `EOS_NUM_THREADS` (default: [`std::thread::available_parallelism`]);
 //! [`set_num_threads`] overrides it at runtime — `set_num_threads(1)` is
-//! the serial switch used by tests and benchmarks. Nested parallelism
-//! degrades gracefully: a `par_*` call made while a job is already running
-//! (for example a `matmul` inside a batch-parallel convolution) executes
-//! inline on the calling worker.
+//! the serial switch used by tests and benchmarks — and
+//! [`with_thread_budget`] overrides it *per thread* for the duration of a
+//! closure, which is how an outer job scheduler hands each of its workers
+//! a slice of the global budget without the workers fighting over the
+//! single pool slot. Nested parallelism degrades gracefully: a `par_*`
+//! call made while a job is already running (for example a `matmul`
+//! inside a batch-parallel convolution) executes inline on the calling
+//! worker.
 //!
 //! ```
 //! use eos_tensor::par;
@@ -28,9 +32,16 @@
 //! assert_eq!(out[30], 900);
 //! ```
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+thread_local! {
+    /// Per-thread override of the global thread budget; see
+    /// [`with_thread_budget`]. `None` means "use the global budget".
+    static SCOPED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
 
 /// A lifetime-erased chunked job. The raw pointers reference the stack of
 /// the thread inside [`Pool::run`]; the run protocol guarantees they are
@@ -194,7 +205,11 @@ impl Pool {
     /// Runs `f(0..n_chunks)` across the thread budget. Blocks until every
     /// chunk is done and no worker still references `f`.
     fn run(&self, n_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
-        let threads = self.threads.load(Ordering::SeqCst);
+        // Effective budget for the *submitting* thread: its scoped
+        // override when inside `with_thread_budget`, the global count
+        // otherwise. A scoped budget of 1 takes the inline path before
+        // touching the busy flag, so concurrent jobs never contend.
+        let threads = num_threads();
         if threads <= 1
             || n_chunks <= 1
             || self
@@ -270,17 +285,46 @@ impl Pool {
     }
 }
 
-/// The current thread budget (including the calling thread).
+/// The current thread budget (including the calling thread): the scoped
+/// per-thread override when inside [`with_thread_budget`], the global
+/// budget otherwise.
 pub fn num_threads() -> usize {
-    pool().threads.load(Ordering::SeqCst)
+    SCOPED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| pool().threads.load(Ordering::SeqCst))
 }
 
-/// Overrides the thread budget at runtime. `1` switches every `par_*`
-/// helper to the serial path; values above the machine's core count are
-/// honoured (extra workers time-share), which lets determinism tests
-/// exercise thread counts the hardware does not have.
+/// Overrides the *global* thread budget at runtime. `1` switches every
+/// `par_*` helper to the serial path; values above the machine's core
+/// count are honoured (extra workers time-share), which lets determinism
+/// tests exercise thread counts the hardware does not have. A scoped
+/// [`with_thread_budget`] on the calling thread takes precedence.
 pub fn set_num_threads(n: usize) {
     pool().threads.store(n.max(1), Ordering::SeqCst);
+}
+
+/// Runs `f` with this thread's budget pinned to `n` (clamped to ≥ 1),
+/// restoring the previous budget — scoped or global — on the way out,
+/// including on panic. Nestable.
+///
+/// This is the mechanism behind `--jobs J`: an outer scheduler gives each
+/// job thread `threads / J`, so `par_*` calls inside a job see a small
+/// budget (usually 1, the inline serial path) instead of all jobs
+/// stampeding the single global pool slot and falling back to inline
+/// anyway *after* paying the dispatch attempt. Because chunk boundaries
+/// never depend on the thread count, the scoped budget changes only
+/// scheduling, never results.
+pub fn with_thread_budget<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    /// Restores the previous scoped value on drop (panic-safe).
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SCOPED_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = SCOPED_THREADS.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
 }
 
 /// True when `par_*` helpers may dispatch to the pool.
@@ -487,6 +531,52 @@ mod tests {
         set_num_threads(env_threads());
         // The pool must still be usable after a panicked job.
         assert_eq!(par_map_range(10, |i| i).len(), 10);
+    }
+
+    #[test]
+    fn scoped_budget_overrides_and_restores() {
+        let _guard = lock(&THREAD_TEST_LOCK);
+        set_num_threads(4);
+        assert_eq!(num_threads(), 4);
+        let expected: Vec<u64> = (0..500).map(|i| i * i).collect();
+        with_thread_budget(1, || {
+            assert_eq!(num_threads(), 1);
+            assert!(!parallel_enabled());
+            // Nested scopes stack and clamp.
+            with_thread_budget(0, || assert_eq!(num_threads(), 1));
+            with_thread_budget(3, || assert_eq!(num_threads(), 3));
+            assert_eq!(num_threads(), 1);
+            // Results under a scoped serial budget match the parallel path.
+            assert_eq!(squares(500), expected);
+        });
+        assert_eq!(num_threads(), 4, "scope leaked past its closure");
+        assert_eq!(squares(500), expected);
+        set_num_threads(env_threads());
+    }
+
+    #[test]
+    fn scoped_budget_restores_on_panic() {
+        let _guard = lock(&THREAD_TEST_LOCK);
+        set_num_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_thread_budget(1, || panic!("intentional test panic"))
+        }));
+        assert!(result.is_err());
+        assert_eq!(num_threads(), 4, "scope leaked past a panic");
+        set_num_threads(env_threads());
+    }
+
+    #[test]
+    fn scoped_budget_is_per_thread() {
+        let _guard = lock(&THREAD_TEST_LOCK);
+        set_num_threads(4);
+        with_thread_budget(1, || {
+            // A sibling thread must still see the global budget.
+            let seen = std::thread::scope(|s| s.spawn(num_threads).join().unwrap());
+            assert_eq!(seen, 4);
+            assert_eq!(num_threads(), 1);
+        });
+        set_num_threads(env_threads());
     }
 
     #[test]

@@ -111,12 +111,38 @@ pub fn give(mut v: Vec<f32>) {
         if pool.held_bytes + bytes > MAX_POOL_BYTES {
             return; // drop `v` outside the pool's books
         }
-        let class = pool.classes.entry(cap).or_default();
+        // Free-list spines are sized for MAX_PER_CLASS up front: the push
+        // below can then never reallocate, so giving a buffer back is
+        // allocation-free after a class's first use — the steady-state
+        // audit counts a mid-step spine doubling as a hot-path allocation.
+        let class = pool
+            .classes
+            .entry(cap)
+            .or_insert_with(|| Vec::with_capacity(MAX_PER_CLASS));
         if class.len() < MAX_PER_CLASS {
             class.push(v);
             pool.held_bytes += bytes;
         }
     });
+}
+
+/// Empties every free list and returns the parked buffers.
+///
+/// The pool is process-global, so per-worker warm-up alone only proves it
+/// holds ONE worker's buffer working set — a second warm-up reuses the
+/// first's parked buffers instead of adding its own. The concurrent
+/// allocation audit uses `drain` to force-stock the pool to a known
+/// multi-job peak: drain, let one job re-warm against the empty pool (it
+/// parks a full working set of fresh buffers), then [`give`] the drained
+/// buffers back.
+pub fn drain() -> Vec<Vec<f32>> {
+    with_pool(|pool| {
+        pool.held_bytes = 0;
+        std::mem::take(&mut pool.classes)
+            .into_values()
+            .flatten()
+            .collect()
+    })
 }
 
 /// `(buffers handed out, requests that had to allocate)` since process

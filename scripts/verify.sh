@@ -58,3 +58,51 @@ table2_bin="$PWD/target/release/table2"
   }
 )
 echo "cache-equivalence gate: warm rerun trained 0 backbones, output byte-identical"
+
+# Parallelism gate: the smoke suite at --jobs 4 must be byte-identical to
+# --jobs 1 — same stdout, same CSVs, same number of backbones trained —
+# with each run on its own cold cache so the parallel pass cannot ride on
+# the serial pass's artifacts. (The speedup itself is hardware-dependent
+# and recorded by `suite --bench` into results/BENCH_suite.json; this
+# gate pins the determinism contract.)
+cargo build --release -q -p eos-bench --bin suite
+suite_bin="$PWD/target/release/suite"
+(
+  cd "$gate_dir"
+  rm -rf serial parallel
+  mkdir -p serial parallel
+  (
+    cd serial
+    EOS_CACHE_DIR="$PWD/cache" "$suite_bin" --scale smoke --seed 42 \
+      --datasets celeba --skip-runtime --jobs 1 > suite.out 2> suite.err
+  )
+  (
+    cd parallel
+    EOS_CACHE_DIR="$PWD/cache" "$suite_bin" --scale smoke --seed 42 \
+      --datasets celeba --skip-runtime --jobs 4 > suite.out 2> suite.err
+  )
+  cmp serial/suite.out parallel/suite.out || {
+    echo "FAIL: suite stdout differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+  }
+  for csv in serial/results/*.csv; do
+    cmp "$csv" "parallel/results/$(basename "$csv")" || {
+      echo "FAIL: $(basename "$csv") differs between --jobs 1 and --jobs 4" >&2
+      exit 1
+    }
+  done
+  serial_trained="$(grep -o 'backbones trained: [0-9]*' serial/suite.err)"
+  parallel_trained="$(grep -o 'backbones trained: [0-9]*' parallel/suite.err)"
+  [ -n "$serial_trained" ] && [ "$serial_trained" = "$parallel_trained" ] || {
+    echo "FAIL: trained-backbone counts differ: '$serial_trained' vs '$parallel_trained'" >&2
+    exit 1
+  }
+)
+echo "parallelism gate: --jobs 4 byte-identical to --jobs 1 (stdout, CSVs, backbones trained)"
+
+# Scheduler bench smoke: both passes (serial + parallel, cold private
+# caches) must agree byte-for-byte on every CSV; the binary exits
+# non-zero on divergence and records the wall-clock split.
+( cd "$gate_dir" && "$suite_bin" --scale smoke --seed 42 --datasets celeba \
+    --jobs 4 --bench > bench.out 2> bench.err )
+echo "suite bench gate: serial and parallel passes byte-identical"
