@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::ablations::run(&eng, &args);
+    let result = tables::ablations::run(&eng, &args);
     eng.finish("ablations");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("ablations", &e);
+        std::process::exit(1);
+    }
 }

@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::fig3::run(&eng, &args);
+    let result = tables::fig3::run(&eng, &args);
     eng.finish("fig3");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("fig3", &e);
+        std::process::exit(1);
+    }
 }

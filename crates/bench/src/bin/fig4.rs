@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::fig4::run(&eng, &args);
+    let result = tables::fig4::run(&eng, &args);
     eng.finish("fig4");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("fig4", &e);
+        std::process::exit(1);
+    }
 }

@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::fig6::run(&eng, &args);
+    let result = tables::fig6::run(&eng, &args);
     eng.finish("fig6");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("fig6", &e);
+        std::process::exit(1);
+    }
 }

@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::fig7::run(&eng, &args);
+    let result = tables::fig7::run(&eng, &args);
     eng.finish("fig7");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("fig7", &e);
+        std::process::exit(1);
+    }
 }

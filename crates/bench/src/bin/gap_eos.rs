@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::gap_eos::run(&eng, &args);
+    let result = tables::gap_eos::run(&eng, &args);
     eng.finish("gap_eos");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("gap_eos", &e);
+        std::process::exit(1);
+    }
 }

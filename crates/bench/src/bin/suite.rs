@@ -24,8 +24,10 @@
 //!   temp files, stale `.lock` files, corrupt entries, oldest entries
 //!   over the cap), prints what was kept and reclaimed, and exits.
 
+use eos_bench::exp::report_failure;
 use eos_bench::{
-    format_duration, tables, Args, ArtifactCache, BackbonePlan, Engine, JsonRecord, MarkdownTable,
+    format_duration, tables, Args, ArtifactCache, BackbonePlan, Engine, EngineError, JsonRecord,
+    MarkdownTable,
 };
 use std::time::Instant;
 
@@ -72,9 +74,14 @@ fn collect_plans(args: &Args) -> Vec<BackbonePlan> {
     plans
 }
 
-/// Prewarms and runs every table in paper order. Returns the
-/// (prewarm, tables) wall-clock split in seconds.
-fn run_suite(eng: &Engine, args: &Args) -> (f64, f64) {
+/// One table module's `run` entry point.
+type TableRun = fn(&Engine, &Args) -> Result<(), EngineError>;
+
+/// Prewarms and runs every table in paper order. A failed table is
+/// isolated: its surviving cells are journaled, its error is collected,
+/// and the remaining tables still run. Returns the (prewarm, tables)
+/// wall-clock split in seconds plus the per-table failures.
+fn run_suite(eng: &Engine, args: &Args) -> (f64, f64, Vec<(&'static str, EngineError)>) {
     let plans = collect_plans(args);
     eprintln!(
         "[suite] prewarming {} planned backbones (deduped through the cache, {} job{}) ...",
@@ -87,26 +94,35 @@ fn run_suite(eng: &Engine, args: &Args) -> (f64, f64) {
     let prewarm = t0.elapsed().as_secs_f64();
     eprintln!("[suite] backbones ready; producing tables and figures ...");
     let t1 = Instant::now();
-    tables::table1::run(eng, args);
-    tables::table2::run(eng, args);
-    tables::table3::run(eng, args);
-    tables::table4::run(eng, args);
-    tables::table5::run(eng, args);
-    tables::fig3::run(eng, args);
-    tables::fig4::run(eng, args);
-    tables::fig5::run(eng, args);
-    tables::fig6::run(eng, args);
-    tables::fig7::run(eng, args);
-    tables::gap_eos::run(eng, args);
-    tables::pixel_eos::run(eng, args);
-    tables::ablations::run(eng, args);
+    let mut failures: Vec<(&'static str, EngineError)> = Vec::new();
+    let runs: [(&'static str, TableRun); 13] = [
+        ("table1", tables::table1::run),
+        ("table2", tables::table2::run),
+        ("table3", tables::table3::run),
+        ("table4", tables::table4::run),
+        ("table5", tables::table5::run),
+        ("fig3", tables::fig3::run),
+        ("fig4", tables::fig4::run),
+        ("fig5", tables::fig5::run),
+        ("fig6", tables::fig6::run),
+        ("fig7", tables::fig7::run),
+        ("gap_eos", tables::gap_eos::run),
+        ("pixel_eos", tables::pixel_eos::run),
+        ("ablations", tables::ablations::run),
+    ];
+    for (name, run) in runs {
+        if let Err(e) = run(eng, args) {
+            eprintln!("[suite] {name} FAILED; continuing with the remaining tables");
+            failures.push((name, e));
+        }
+    }
     // Last: the run-time study times fresh trainings by design, and its
     // stdout carries wall-clock numbers — skippable so byte-identity
     // comparisons across job counts stay meaningful.
     if !args.skip_runtime {
         tables::runtime::run(args);
     }
-    (prewarm, t1.elapsed().as_secs_f64())
+    (prewarm, t1.elapsed().as_secs_f64(), failures)
 }
 
 /// `--cache-gc`: sweep the cache directory and report, without running
@@ -170,7 +186,14 @@ fn run_bench(args: &Args) {
         eprintln!("[suite] bench pass '{label}' (jobs {jobs}, cold cache) ...");
         let before = trained(&eos_trace::snapshot());
         let t0 = Instant::now();
-        let (prewarm, tables_s) = run_suite(&eng, &args);
+        let (prewarm, tables_s, failures) = run_suite(&eng, &args);
+        if !failures.is_empty() {
+            for (name, e) in &failures {
+                report_failure(name, e);
+            }
+            eprintln!("[suite] bench pass '{label}' had table failures; aborting");
+            std::process::exit(1);
+        }
         let total = t0.elapsed().as_secs_f64();
         let trained_now = trained(&eos_trace::snapshot()) - before;
         let _ = std::fs::remove_dir_all(&dir);
@@ -252,7 +275,17 @@ fn main() {
         return;
     }
     let eng = Engine::new(&args);
-    let (prewarm, tables_s) = run_suite(&eng, &args);
+    let (prewarm, tables_s, failures) = run_suite(&eng, &args);
     eprintln!("[suite] wall clock: prewarm {prewarm:.2}s, tables {tables_s:.2}s");
     eng.finish("suite");
+    if !failures.is_empty() {
+        for (name, e) in &failures {
+            report_failure(name, e);
+        }
+        eprintln!(
+            "[suite] {} table(s) failed; completed cells are journaled — rerun to resume",
+            failures.len()
+        );
+        std::process::exit(1);
+    }
 }

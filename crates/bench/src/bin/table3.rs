@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::table3::run(&eng, &args);
+    let result = tables::table3::run(&eng, &args);
     eng.finish("table3");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("table3", &e);
+        std::process::exit(1);
+    }
 }

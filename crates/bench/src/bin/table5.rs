@@ -5,6 +5,10 @@ use eos_bench::{tables, Args, Engine};
 fn main() {
     let args = Args::parse();
     let eng = Engine::new(&args);
-    tables::table5::run(&eng, &args);
+    let result = tables::table5::run(&eng, &args);
     eng.finish("table5");
+    if let Err(e) = result {
+        eos_bench::exp::report_failure("table5", &e);
+        std::process::exit(1);
+    }
 }

@@ -28,6 +28,7 @@
 //! orphaned temp files, stale locks and checksum-corrupt entries, and can
 //! evict oldest-first down to a byte cap (`suite --cache-gc`).
 
+use crate::exp::faults::FaultPlan;
 use crate::exp::spec::Fnv;
 use eos_core::{PipelineConfig, ThreePhase};
 use eos_data::Dataset;
@@ -36,6 +37,7 @@ use eos_tensor::Rng64;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
 const MAGIC: &[u8; 4] = b"EOSC";
@@ -56,6 +58,9 @@ pub struct ArtifactCache {
     /// Lock files whose heartbeat is older than this are abandoned and
     /// may be taken over.
     stale_after: Duration,
+    /// Fault-injection plan checked at the read/write/claim points
+    /// (empty in production unless `EOS_FAULTS` arms it).
+    faults: Arc<FaultPlan>,
 }
 
 impl ArtifactCache {
@@ -73,7 +78,15 @@ impl ArtifactCache {
         ArtifactCache {
             dir: dir.into(),
             stale_after: DEFAULT_STALE_AFTER,
+            faults: Arc::new(FaultPlan::empty()),
         }
+    }
+
+    /// Arms a fault-injection plan on the cache's IO points. The engine
+    /// shares its own plan with its cache so one `EOS_FAULTS` spec
+    /// covers the whole stack.
+    pub fn set_faults(&mut self, faults: Arc<FaultPlan>) {
+        self.faults = faults;
     }
 
     /// Overrides the stale-lock threshold. Tests use a few tens of
@@ -116,6 +129,7 @@ impl ArtifactCache {
     ///
     /// [`stale_after`]: ArtifactCache::with_stale_after
     pub fn try_claim(&self, fp: u64) -> io::Result<Option<ClaimGuard>> {
+        self.faults.fire_io("cache.claim", &format!("{fp:016x}"))?;
         std::fs::create_dir_all(&self.dir)?;
         let path = self.lock_path(fp);
         // Two attempts: the first may fail on a stale lock, which we
@@ -132,7 +146,7 @@ impl ArtifactCache {
                         eos_trace::counter("exp.lock.takeover").add(1);
                     }
                     drop(file);
-                    return Ok(Some(ClaimGuard::start(path, self.stale_after)));
+                    return Ok(Some(ClaimGuard::start(path, self.stale_after)?));
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                     if attempt > 0 || !self.lock_is_stale(&path) {
@@ -176,6 +190,7 @@ impl ArtifactCache {
     /// crashed run never leaves a torn entry under the content address.
     /// Returns the entry size in bytes.
     pub fn store_backbone(&self, fp: u64, tp: &mut ThreePhase) -> io::Result<u64> {
+        self.faults.fire_io("cache.write", &format!("{fp:016x}"))?;
         let mut payload = Vec::new();
         payload.extend_from_slice(MAGIC);
         payload.extend_from_slice(&VERSION.to_le_bytes());
@@ -184,7 +199,7 @@ impl ArtifactCache {
         let weights = save_weights_bytes(&mut tp.net);
         payload.extend_from_slice(&(weights.len() as u64).to_le_bytes());
         payload.extend_from_slice(&weights);
-        write_tensor(&mut payload, &tp.train_fe).expect("writing to a Vec cannot fail");
+        write_tensor(&mut payload, &tp.train_fe)?;
         payload.extend_from_slice(&(tp.train_y.len() as u64).to_le_bytes());
         for &label in &tp.train_y {
             payload.extend_from_slice(&(label as u32).to_le_bytes());
@@ -209,6 +224,7 @@ impl ArtifactCache {
         cfg: &PipelineConfig,
         train: &Dataset,
     ) -> io::Result<Option<(ThreePhase, u64)>> {
+        self.faults.fire_io("cache.read", &format!("{fp:016x}"))?;
         let path = self.backbone_path(fp);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -429,7 +445,7 @@ pub struct ClaimGuard {
 }
 
 impl ClaimGuard {
-    fn start(path: PathBuf, stale_after: Duration) -> Self {
+    fn start(path: PathBuf, stale_after: Duration) -> io::Result<Self> {
         let (stop, rx) = std::sync::mpsc::channel::<()>();
         let beat_path = path.clone();
         let interval = (stale_after / 4).max(Duration::from_millis(1));
@@ -446,13 +462,21 @@ impl ClaimGuard {
                         let _ = std::fs::write(&beat_path, format!("{}\n", std::process::id()));
                     }
                 }
-            })
-            .expect("failed to spawn cache heartbeat thread");
-        ClaimGuard {
+            });
+        let heartbeat = match heartbeat {
+            Ok(h) => h,
+            Err(e) => {
+                // No heartbeat means the claim would go stale under a
+                // live owner; release the lock and report instead.
+                let _ = std::fs::remove_file(&path);
+                return Err(e);
+            }
+        };
+        Ok(ClaimGuard {
             path,
             stop: Some(stop),
             heartbeat: Some(heartbeat),
-        }
+        })
     }
 }
 

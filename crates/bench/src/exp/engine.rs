@@ -1,22 +1,37 @@
 //! The run-plan executor: prepared-dataset memoisation, cache-backed
-//! backbone acquisition, and the trace counters the verification gates
-//! assert on.
+//! backbone acquisition, journaled experiment cells, and the trace
+//! counters the verification gates assert on.
 
 use crate::exp::cache::ArtifactCache;
+use crate::exp::error::EngineError;
+use crate::exp::faults::{retry_io, FaultKind, FaultPlan};
+use crate::exp::journal::{cell_fingerprint, Journal, Rows};
 use crate::exp::sched;
 use crate::exp::spec::Fnv;
 use crate::runner::prepared_dataset;
 use eos_core::{PipelineConfig, Scale, ThreePhase};
 use eos_data::Dataset;
-use eos_nn::{Architecture, LossKind};
+use eos_nn::{Architecture, LossKind, TrainError};
 use eos_tensor::Rng64;
 use std::collections::HashMap;
+use std::io;
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
+
+/// Default bound on how long a claim loser waits for the producer's
+/// entry before failing the cell with
+/// [`EngineError::LockTimeout`]. Generous — a live producer is usually a
+/// training run — but finite, so a wedged peer can no longer hang the
+/// suite forever.
+const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(3600);
+
+/// A boxed experiment-cell task as handed to the scheduler: journaled,
+/// fault-injected, returning its table rows or a typed error.
+pub type CellTask<'s> = Box<dyn FnOnce() -> Result<Rows, EngineError> + Send + 's>;
 
 /// One backbone a table needs: which dataset analogue, which training
 /// loss, and (for Table V) which architecture if not the scale default.
@@ -101,6 +116,13 @@ pub fn backbone_fingerprint(
 /// the cache's per-fingerprint claim locks — so scheduler workers (and
 /// whole concurrent processes sharing `$EOS_CACHE_DIR`) can drive one
 /// engine without ever training the same backbone twice.
+///
+/// Failure surfaces as typed [`EngineError`]s instead of panics:
+/// transient IO is retried with backoff, corrupt cache entries fall back
+/// to retraining, claim waits are bounded by
+/// [`Engine::with_lock_timeout`], and every completed experiment cell is
+/// journaled (see [`Engine::cell`]) so an interrupted run resumes
+/// without recomputation.
 pub struct Engine {
     /// Experiment scale.
     pub scale: Scale,
@@ -109,26 +131,45 @@ pub struct Engine {
     /// Outer job-level parallelism (`--jobs`); 1 is fully serial.
     pub jobs: usize,
     cache: Option<ArtifactCache>,
+    journal: Option<Journal>,
+    faults: Arc<FaultPlan>,
+    lock_timeout: Duration,
     datasets: Mutex<HashMap<&'static str, Arc<(Dataset, Dataset)>>>,
 }
 
 impl Engine {
     /// Engine for the parsed command line: scale, seed and job count from
     /// the flags, cache at the default location unless `--no-cache` was
-    /// given.
+    /// given, fault plan from `$EOS_FAULTS` (exits with a usage message
+    /// on a malformed spec).
     pub fn new(args: &crate::Args) -> Self {
+        let faults = match FaultPlan::from_env() {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("error: bad EOS_FAULTS spec: {e}");
+                std::process::exit(2);
+            }
+        };
         let cache = (!args.no_cache).then(ArtifactCache::at_default);
-        Engine::with_cache(args.scale, args.seed, cache).with_jobs(args.jobs)
+        Engine::with_cache(args.scale, args.seed, cache)
+            .with_jobs(args.jobs)
+            .with_faults(faults)
     }
 
     /// Engine with an explicit cache (or `None` to always train fresh),
-    /// serial until [`Engine::with_jobs`] raises the job count.
+    /// serial until [`Engine::with_jobs`] raises the job count. The cell
+    /// journal lives beside the cache (`<cache>/journal/`); a cache-less
+    /// engine journals nothing and recomputes every cell.
     pub fn with_cache(scale: Scale, seed: u64, cache: Option<ArtifactCache>) -> Self {
+        let journal = cache.as_ref().map(|c| Journal::at(c.dir().join("journal")));
         Engine {
             scale,
             seed,
             jobs: 1,
             cache,
+            journal,
+            faults: Arc::new(FaultPlan::empty()),
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
             datasets: Mutex::new(HashMap::new()),
         }
     }
@@ -136,6 +177,23 @@ impl Engine {
     /// Sets the outer job-level parallelism (clamped to ≥ 1).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Arms a fault-injection plan on the engine and its cache.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        let faults = Arc::new(faults);
+        if let Some(cache) = &mut self.cache {
+            cache.set_faults(Arc::clone(&faults));
+        }
+        self.faults = faults;
+        self
+    }
+
+    /// Bounds how long [`Engine::backbone`] waits on another worker's
+    /// claim before failing with [`EngineError::LockTimeout`].
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout.max(Duration::from_millis(1));
         self
     }
 
@@ -165,49 +223,63 @@ impl Engine {
     ///
     /// Under contention the call first tries to claim the fingerprint's
     /// lock file; a loser polls until the winner's entry appears (stored
-    /// atomically, so no torn reads) or the lock goes stale and it takes
-    /// over. Counter semantics for the uncontended path are unchanged:
-    /// exactly one of `exp.backbone.{hit,miss,corrupt}` per call, plus
+    /// atomically, so no torn reads), the lock goes stale and it takes
+    /// over, or the bounded wait expires ([`EngineError::LockTimeout`]).
+    /// Transient IO errors are retried with backoff; an error that
+    /// outlives the retries fails the call with [`EngineError::Io`].
+    /// Counter semantics for the uncontended path are unchanged: exactly
+    /// one of `exp.backbone.{hit,miss,corrupt}` per call, plus
     /// `exp.backbone.trained` when a training actually ran.
-    pub fn backbone(&self, train: &Dataset, loss: LossKind, cfg: &PipelineConfig) -> ThreePhase {
+    pub fn backbone(
+        &self,
+        train: &Dataset,
+        loss: LossKind,
+        cfg: &PipelineConfig,
+    ) -> Result<ThreePhase, EngineError> {
         let fp = backbone_fingerprint(train, loss, cfg, self.seed);
         let Some(cache) = &self.cache else {
             return self.train_backbone(fp, train, loss, cfg);
         };
+        let read_what = format!("cache read {fp:016x}");
         // First peek — the only load whose miss/corrupt outcome is
         // counted, so serial runs keep the one-counter-per-call contract.
-        match cache.load_backbone(fp, cfg, train) {
+        match retry_io(&read_what, || cache.load_backbone(fp, cfg, train)) {
             Ok(Some((tp, bytes))) => {
                 eos_trace::counter("exp.backbone.hit").add(1);
                 eos_trace::counter("exp.cache.bytes_read").add(bytes);
-                return tp;
+                return Ok(tp);
             }
             Ok(None) => {
                 eos_trace::counter("exp.backbone.miss").add(1);
             }
-            Err(e) => {
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 eos_trace::counter("exp.backbone.corrupt").add(1);
                 eprintln!(
                     "[exp] discarding cache entry {}: {e}",
                     cache.backbone_path(fp).display()
                 );
             }
+            Err(e) => return Err(EngineError::io(read_what, e)),
         }
+        let deadline = Instant::now() + self.lock_timeout;
         let mut wait = Duration::from_millis(5);
         loop {
-            match cache.try_claim(fp) {
+            match retry_io(&format!("cache claim {fp:016x}"), || cache.try_claim(fp)) {
                 Ok(Some(_guard)) => {
                     // Another worker may have stored the entry between
                     // our peek and this claim; honour it so no backbone
-                    // ever trains twice. (A corrupt entry falls through
-                    // to retraining, which overwrites it atomically.)
+                    // ever trains twice. (A corrupt or unreadable entry
+                    // falls through to retraining, which overwrites it
+                    // atomically.)
                     if let Ok(Some((tp, bytes))) = cache.load_backbone(fp, cfg, train) {
                         eos_trace::counter("exp.backbone.hit").add(1);
                         eos_trace::counter("exp.cache.bytes_read").add(bytes);
-                        return tp;
+                        return Ok(tp);
                     }
-                    let mut tp = self.train_backbone(fp, train, loss, cfg);
-                    match cache.store_backbone(fp, &mut tp) {
+                    let mut tp = self.train_backbone(fp, train, loss, cfg)?;
+                    match retry_io(&format!("cache write {fp:016x}"), || {
+                        cache.store_backbone(fp, &mut tp)
+                    }) {
                         Ok(bytes) => {
                             eos_trace::counter("exp.cache.bytes_written").add(bytes);
                         }
@@ -217,47 +289,155 @@ impl Engine {
                     }
                     // The guard drops here — after the entry is visible,
                     // so a waiter released by the unlock finds it.
-                    return tp;
+                    return Ok(tp);
                 }
                 Ok(None) => {
                     // A live producer holds the claim: poll for its
-                    // entry with gentle backoff.
+                    // entry with gentle backoff, up to the timeout.
+                    if Instant::now() >= deadline {
+                        eos_trace::counter("exp.lock.wait_timeout").add(1);
+                        return Err(EngineError::LockTimeout {
+                            fp,
+                            waited: self.lock_timeout,
+                        });
+                    }
                     std::thread::sleep(wait);
                     wait = (wait * 2).min(Duration::from_millis(100));
                     if let Ok(Some((tp, bytes))) = cache.load_backbone(fp, cfg, train) {
                         eos_trace::counter("exp.backbone.hit").add(1);
                         eos_trace::counter("exp.cache.bytes_read").add(bytes);
-                        return tp;
+                        return Ok(tp);
                     }
                 }
                 Err(e) => {
                     // Claim machinery unavailable (unwritable cache dir):
                     // train uncoordinated rather than fail the run.
                     eprintln!("[exp] cannot claim {fp:016x} ({e}); training uncoordinated");
-                    let mut tp = self.train_backbone(fp, train, loss, cfg);
+                    let mut tp = self.train_backbone(fp, train, loss, cfg)?;
                     if let Ok(bytes) = cache.store_backbone(fp, &mut tp) {
                         eos_trace::counter("exp.cache.bytes_written").add(bytes);
                     }
-                    return tp;
+                    return Ok(tp);
                 }
             }
         }
     }
 
-    /// Phase-one training on the fingerprint-seeded stream.
+    /// Phase-one training on the fingerprint-seeded stream. Divergence
+    /// (a non-finite loss, real or injected at the `train` fault point)
+    /// surfaces as [`EngineError::TrainDivergence`].
     fn train_backbone(
         &self,
         fp: u64,
         train: &Dataset,
         loss: LossKind,
         cfg: &PipelineConfig,
-    ) -> ThreePhase {
+    ) -> Result<ThreePhase, EngineError> {
+        let what = format!("backbone {fp:016x}");
+        match self.faults.fire("train", &what) {
+            None => {}
+            Some(FaultKind::Diverge) | Some(FaultKind::Corrupt) => {
+                return Err(EngineError::TrainDivergence {
+                    what: format!("{what} (injected)"),
+                    source: TrainError {
+                        epoch: 0,
+                        batch: 0,
+                        loss_name: "injected",
+                        value: f32::NAN,
+                    },
+                });
+            }
+            Some(FaultKind::Io) => {
+                return Err(EngineError::io(
+                    what,
+                    io::Error::other("injected io fault at train"),
+                ));
+            }
+            Some(FaultKind::Panic) => panic!("injected panic fault at train ({what})"),
+            Some(FaultKind::Abort) => {
+                eprintln!("[faults] aborting process at train ({what})");
+                std::process::abort();
+            }
+        }
         let tp = {
             let _span = eos_trace::span("exp.backbone_train");
-            ThreePhase::train(train, loss, cfg, &mut Rng64::new(fp))
+            ThreePhase::try_train(train, loss, cfg, &mut Rng64::new(fp))
+                .map_err(|source| EngineError::TrainDivergence { what, source })?
         };
         eos_trace::counter("exp.backbone.trained").add(1);
-        tp
+        Ok(tp)
+    }
+
+    /// Wraps one experiment cell for the scheduler: journal replay,
+    /// fault injection at the cell boundary, and typed-error isolation.
+    ///
+    /// `label` names the cell within its table (`"celeba/Ce"`); the full
+    /// label `table/label` keys the fault plan and the failure report.
+    /// If the journal holds the cell's rows (fingerprinted over table,
+    /// label, scale and seed) they are replayed without computing;
+    /// otherwise `compute` runs and its rows are journaled before being
+    /// returned — so a rerun after a crash skips every finished cell and
+    /// still renders byte-identical tables.
+    pub fn cell<'s, F>(&'s self, table: &'static str, label: String, compute: F) -> CellTask<'s>
+    where
+        F: FnOnce() -> Result<Rows, EngineError> + Send + 's,
+    {
+        Box::new(move || self.run_cell(table, &label, compute))
+    }
+
+    fn run_cell(
+        &self,
+        table: &'static str,
+        label: &str,
+        compute: impl FnOnce() -> Result<Rows, EngineError>,
+    ) -> Result<Rows, EngineError> {
+        let full = format!("{table}/{label}");
+        match self.faults.fire("cell", &full) {
+            None => {}
+            Some(FaultKind::Panic) => panic!("injected panic fault at cell '{full}'"),
+            Some(FaultKind::Abort) => {
+                eprintln!("[faults] aborting process at cell '{full}'");
+                std::process::abort();
+            }
+            Some(FaultKind::Io) | Some(FaultKind::Corrupt) | Some(FaultKind::Diverge) => {
+                return Err(EngineError::io(
+                    format!("cell '{full}'"),
+                    io::Error::other("injected fault at cell boundary"),
+                ));
+            }
+        }
+        let fp = cell_fingerprint(table, label, self.scale.name(), self.seed);
+        if let Some(journal) = &self.journal {
+            match journal.load(fp) {
+                Ok(Some(rows)) => {
+                    eos_trace::counter("exp.cell.replayed").add(1);
+                    return Ok(rows);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // Corrupt or unreadable journal entry: recompute
+                    // (identical bits — cells are pure in their spec).
+                    eos_trace::counter("exp.cell.journal_corrupt").add(1);
+                    eprintln!(
+                        "[exp] discarding journal entry {}: {e}",
+                        journal.cell_path(fp).display()
+                    );
+                }
+            }
+        }
+        let rows = compute()?;
+        if let Some(journal) = &self.journal {
+            match retry_io(&format!("journal write '{full}'"), || {
+                journal.store(fp, &rows)
+            }) {
+                Ok(bytes) => eos_trace::counter("exp.journal.bytes_written").add(bytes),
+                // A failed journal write costs a rerun this cell's
+                // recompute, nothing else.
+                Err(e) => eprintln!("[exp] could not journal cell '{full}': {e}"),
+            }
+        }
+        eos_trace::counter("exp.cell.computed").add(1);
+        Ok(rows)
     }
 
     /// Trains every backbone in `plans` that the cache does not already
@@ -266,6 +446,10 @@ impl Engine {
     /// With `jobs > 1` the distinct trainings run concurrently on the job
     /// scheduler; the claim protocol keeps concurrent *processes* from
     /// duplicating work too.
+    ///
+    /// Prewarm failures are logged and *not* fatal: the cells that need
+    /// the failed backbone will re-attempt it and report the typed error
+    /// in context.
     pub fn prewarm(&self, plans: &[BackbonePlan]) {
         let mut seen = Vec::new();
         let mut work = Vec::new();
@@ -282,17 +466,29 @@ impl Engine {
             seen.push(fp);
             work.push((pair, plan.loss, cfg));
         }
-        sched::run_jobs(
+        let outcomes = sched::run_jobs(
             self.jobs,
             work.into_iter()
-                .map(|(pair, loss, cfg)| move || drop(self.backbone(&pair.0, loss, &cfg)))
+                .map(|(pair, loss, cfg)| move || self.backbone(&pair.0, loss, &cfg).map(drop))
                 .collect(),
         );
+        for outcome in outcomes {
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => eprintln!("[exp] prewarm: [{}] {e} (cell will retry)", e.kind()),
+                Err(p) => eprintln!(
+                    "[exp] prewarm: task panicked: {} (cell will retry)",
+                    p.message
+                ),
+            }
+        }
     }
 
     /// Prints the cache-traffic totals for this process to stderr in the
     /// fixed format the verification gates parse:
-    /// `[exp:tag] backbones trained: N, cache hits: H, ...` — plus a
+    /// `[exp:tag] backbones trained: N, cache hits: H, ...`, then the
+    /// cell scoreboard `[exp:tag] cells computed: C, replayed: R, ...`
+    /// (the resume gate greps the replayed count) — plus a
     /// scheduler-utilisation line when the job scheduler ran.
     pub fn finish(&self, tag: &str) {
         let snap = eos_trace::snapshot();
@@ -305,6 +501,15 @@ impl Engine {
             snap.counter("exp.backbone.corrupt"),
             snap.counter("exp.cache.bytes_read"),
             snap.counter("exp.cache.bytes_written"),
+        );
+        eprintln!(
+            "[exp:{tag}] cells computed: {}, replayed: {}, failed: {}, faults injected: {}, \
+             io retries: {}",
+            snap.counter("exp.cell.computed"),
+            snap.counter("exp.cell.replayed"),
+            snap.counter("exp.cell.failed"),
+            snap.counter("exp.fault.injected"),
+            snap.counter("exp.fault.retry"),
         );
         let dispatched = snap.counter("exp.job.dispatched");
         if dispatched > 0 {
@@ -370,5 +575,19 @@ mod tests {
         // reference across threads.
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Engine>();
+    }
+
+    #[test]
+    fn cacheless_engine_recomputes_cells() {
+        let eng = Engine::with_cache(Scale::Smoke, 1, None);
+        let mut calls = 0;
+        for _ in 0..2 {
+            let task = eng.cell("test", "a".into(), || {
+                calls += 1;
+                Ok(vec![vec!["x".into()]])
+            });
+            assert_eq!(task().unwrap(), vec![vec!["x".to_string()]]);
+        }
+        assert_eq!(calls, 2, "no journal without a cache");
     }
 }

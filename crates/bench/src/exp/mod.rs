@@ -22,14 +22,30 @@
 //!   every scheduler worker.
 //! - [`sched`] — the two-level job scheduler: independent jobs run on
 //!   worker threads, each holding a slice of the global thread budget
-//!   for its inner op-level parallelism (`--jobs`).
+//!   for its inner op-level parallelism (`--jobs`); a panicking job
+//!   fails its own slot, not the batch.
+//! - [`error`] — the typed failure surface ([`EngineError`]): IO,
+//!   corrupt cache, lock timeout, train divergence, task panic, and the
+//!   per-table cell roll-up behind the suite's failure report.
+//! - [`faults`] — deterministic fault injection (`EOS_FAULTS`) at the
+//!   cache read/write/claim points, backbone training and cell
+//!   boundaries, plus the bounded IO retry policy.
+//! - [`journal`] — the crash-safe per-cell results journal: completed
+//!   cells replay on rerun, so an interrupted suite resumes
+//!   byte-identically instead of starting over.
 
 pub mod cache;
 pub mod engine;
+pub mod error;
+pub mod faults;
+pub mod journal;
 pub mod sched;
 pub mod spec;
 
 pub use cache::{ArtifactCache, ClaimGuard, GcReport};
-pub use engine::{BackbonePlan, Engine};
-pub use sched::{map_jobs, run_jobs};
+pub use engine::{BackbonePlan, CellTask, Engine};
+pub use error::{report_failure, CellFailure, EngineError};
+pub use faults::{retry_io, FaultKind, FaultPlan, IO_ATTEMPTS};
+pub use journal::{cell_fingerprint, dec_f64, enc_f64, Journal, Rows};
+pub use sched::{map_jobs, run_jobs, JobPanic};
 pub use spec::{mix_rng, ExperimentSpec, Fnv, SamplerSpec};

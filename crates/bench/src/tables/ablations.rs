@@ -10,8 +10,11 @@
 //! 4. Undersampling vs oversampling the embeddings.
 //! 5. Step vs exponential imbalance profiles.
 
-use crate::exp::{mix_rng, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    mix_rng, run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::{
     decoupling_eval, evaluate, feature_deviation, generalization_gap, DecouplingMethod, Direction,
@@ -19,6 +22,7 @@ use eos_core::{
 use eos_data::{step_profile, subsample_to_profile, SynthSpec};
 use eos_nn::{train_epochs, CrossEntropyLoss, Linear, LossKind, TrainConfig};
 use eos_resample::RandomUndersampler;
+use std::sync::Arc;
 
 /// Standard backbones: cifar10 / CE. (The step-imbalance backbone of §5
 /// is derived data; it caches by content inside `run`.)
@@ -26,17 +30,17 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
     vec![BackbonePlan::new("cifar10", LossKind::Ce)]
 }
 
-/// Runs all five ablations.
-pub fn run(eng: &Engine, args: &Args) {
+/// Runs all five ablations. Each ablation is one journaled cell that
+/// re-acquires the shared backbone from the cache (a hit after the first
+/// training — each mutates its own copy's head) and returns
+/// pre-formatted rows, so a replayed run prints identical bytes. The
+/// cells run serially (`run_jobs(1, ..)`): five live backbone copies at
+/// once would dwarf the suite's peak memory for no wall-clock win.
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
-    let (train, test) = (&pair.0, &pair.1);
-    eprintln!("[ablations] backbone ...");
-    let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
-    // Capture the true end-to-end baseline before anything replaces the head.
-    let base = tp.baseline_eval(test);
     let (scale, seed) = (eng.scale, eng.seed);
-    let cell = move |table_tag, sampler| ExperimentSpec {
+    let spec_of = move |table_tag, sampler| ExperimentSpec {
         table: table_tag,
         dataset: "cifar10",
         loss: LossKind::Ce,
@@ -45,162 +49,246 @@ pub fn run(eng: &Engine, args: &Args) {
         seed,
     };
 
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
+
     // --- 1. direction × r-range grid ------------------------------------
-    let mut dir_table = MarkdownTable::new(&["Direction", "r range", "BAC", "GM", "FM"]);
-    for (dir, name) in [
-        (Direction::TowardEnemy, "toward"),
-        (Direction::AwayFromEnemy, "away"),
-    ] {
-        for r_scale in [0.3f32, 0.5, 1.0] {
-            let spec = cell(
-                "ablations-dir",
-                SamplerSpec::Eos {
-                    k: 10,
-                    direction: dir,
-                    r_scale,
-                },
-            );
-            let built = spec.sampler.build().expect("EOS");
-            let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-            dir_table.row(vec![
-                name.into(),
-                format!("[0, {r_scale}]"),
-                paper_fmt(r.bac),
-                paper_fmt(r.gm),
-                paper_fmt(r.f1),
+    {
+        let pair = Arc::clone(&pair);
+        labels.push("direction".into());
+        tasks.push(eng.cell("ablations", "direction".to_string(), move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[ablations] direction grid ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
+            let mut rows = Rows::new();
+            for (dir, name) in [
+                (Direction::TowardEnemy, "toward"),
+                (Direction::AwayFromEnemy, "away"),
+            ] {
+                for r_scale in [0.3f32, 0.5, 1.0] {
+                    let spec = spec_of(
+                        "ablations-dir",
+                        SamplerSpec::Eos {
+                            k: 10,
+                            direction: dir,
+                            r_scale,
+                        },
+                    );
+                    let built = spec.sampler.build().expect("EOS");
+                    let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                    rows.push(vec![
+                        name.into(),
+                        format!("[0, {r_scale}]"),
+                        paper_fmt(r.bac),
+                        paper_fmt(r.gm),
+                        paper_fmt(r.f1),
+                    ]);
+                }
+            }
+            Ok(rows)
+        }));
+    }
+
+    // --- 2. gap definition vs per-class recall --------------------------
+    {
+        let pair = Arc::clone(&pair);
+        labels.push("gap".into());
+        tasks.push(eng.cell("ablations", "gap".to_string(), move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[ablations] gap definitions ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
+            let base = tp.baseline_eval(test);
+            let test_fe = tp.embed(test);
+            let range_gap = generalization_gap(&tp.train_fe, &tp.train_y, &test_fe, &test.y, 10);
+            let mean_dev = feature_deviation(&tp.train_fe, &tp.train_y, &test_fe, &test.y, 10);
+            // Correlate each gap with per-class recall of the baseline
+            // model (the untouched end-to-end head).
+            let recalls = eos_core::per_class_recall(&test.y, &base.predictions, 10);
+            let corr = |gaps: &[f64]| -> f64 {
+                let n = gaps.len() as f64;
+                let (mg, mr) = (
+                    gaps.iter().sum::<f64>() / n,
+                    recalls.iter().sum::<f64>() / n,
+                );
+                let cov: f64 = gaps
+                    .iter()
+                    .zip(&recalls)
+                    .map(|(&g, &r)| (g - mg) * (r - mr))
+                    .sum();
+                let vg: f64 = gaps.iter().map(|&g| (g - mg) * (g - mg)).sum();
+                let vr: f64 = recalls.iter().map(|&r| (r - mr) * (r - mr)).sum();
+                cov / (vg.sqrt() * vr.sqrt()).max(1e-12)
+            };
+            Ok(vec![
+                vec![
+                    "range-based (Algorithm 1)".into(),
+                    format!("{:.3}", corr(&range_gap.per_class)),
+                ],
+                vec![
+                    "mean-based (feature deviation)".into(),
+                    format!("{:.3}", corr(&mean_dev.per_class)),
+                ],
+            ])
+        }));
+    }
+
+    // --- 3. decoupling methods vs oversampled fine-tuning ----------------
+    {
+        let pair = Arc::clone(&pair);
+        labels.push("decoupling".into());
+        tasks.push(eng.cell("ablations", "decoupling".to_string(), move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[ablations] decoupling family ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
+            // The true end-to-end baseline, before anything replaces the head.
+            let base = tp.baseline_eval(test);
+            let mut rows = Rows::new();
+            rows.push(vec![
+                "Baseline (end-to-end)".into(),
+                paper_fmt(base.bac),
+                paper_fmt(base.gm),
+                paper_fmt(base.f1),
             ]);
-        }
+            let mut dec_rng = mix_rng(eng.seed, &["ablations", "decoupling"]);
+            for method in [
+                DecouplingMethod::Crt,
+                DecouplingMethod::TauNorm(1.0),
+                DecouplingMethod::Ncm,
+            ] {
+                let r = decoupling_eval(&mut tp, method, test, &cfg, &mut dec_rng);
+                rows.push(vec![
+                    method.name(),
+                    paper_fmt(r.bac),
+                    paper_fmt(r.gm),
+                    paper_fmt(r.f1),
+                ]);
+            }
+            for sampler in [SamplerSpec::Smote { k: 5 }, SamplerSpec::eos(10)] {
+                let spec = spec_of("ablations-dec", sampler);
+                let built = sampler.build().expect("non-baseline");
+                let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
+                rows.push(vec![
+                    format!("{} head fine-tune", sampler.name()),
+                    paper_fmt(r.bac),
+                    paper_fmt(r.gm),
+                    paper_fmt(r.f1),
+                ]);
+            }
+            Ok(rows)
+        }));
+    }
+
+    // --- 4. undersampling the embeddings ---------------------------------
+    {
+        let pair = Arc::clone(&pair);
+        labels.push("undersample".into());
+        tasks.push(eng.cell("ablations", "undersample".to_string(), move || {
+            let (train, test) = (&pair.0, &pair.1);
+            eprintln!("[ablations] undersampled head ...");
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
+            let mut under_rng = mix_rng(eng.seed, &["ablations", "undersample"]);
+            let (ux, uy) = RandomUndersampler::to_minority().undersample(
+                &tp.train_fe,
+                &tp.train_y,
+                10,
+                &mut under_rng,
+            );
+            let mut head = Linear::new(tp.net.feature_dim(), 10, true, &mut under_rng);
+            let mut ce = CrossEntropyLoss::new();
+            let tc = TrainConfig {
+                epochs: cfg.head_epochs,
+                batch_size: cfg.batch_size,
+                lr: cfg.head_lr,
+                momentum: cfg.momentum,
+                weight_decay: cfg.weight_decay,
+                schedule: None,
+                drw_epoch: None,
+            };
+            let _ = train_epochs(&mut head, &mut ce, &ux, &uy, &tc, None, &mut under_rng);
+            tp.net.set_head(head);
+            let under = evaluate(&mut tp.net, test);
+            Ok(vec![vec![
+                uy.len().to_string(),
+                tp.train_y.len().to_string(),
+                paper_fmt(under.bac),
+            ]])
+        }));
+    }
+
+    // --- 5. step vs exponential imbalance --------------------------------
+    {
+        labels.push("step".into());
+        tasks.push(eng.cell("ablations", "step".to_string(), move || {
+            eprintln!("[ablations] step imbalance ...");
+            let mut step_rng = mix_rng(eng.seed, &["ablations", "step"]);
+            let spec = SynthSpec::cifar10_like(args.scale.data_scale());
+            let (balanced_pool, mut step_test) = {
+                let mut balanced = spec.clone();
+                balanced.imbalance_ratio = 1.0;
+                balanced.generate(eng.seed ^ 0x57E9)
+            };
+            let profile = step_profile(spec.n_max_train, spec.imbalance_ratio, 10, 5);
+            let mut step_train = subsample_to_profile(&balanced_pool, &profile, &mut step_rng);
+            let (mean, std) = step_train.feature_stats();
+            step_train.standardize(&mean, &std);
+            step_test.standardize(&mean, &std);
+            // A derived dataset: the engine fingerprints it by content, so
+            // this backbone caches exactly like the named ones.
+            let mut step_tp = eng.backbone(&step_train, LossKind::Ce, &cfg)?;
+            let step_base = step_tp.baseline_eval(&step_test);
+            let step_spec = spec_of("ablations-step", SamplerSpec::eos(10));
+            let built = step_spec.sampler.build().expect("EOS");
+            let step_eos =
+                step_tp.finetune_and_eval(built.as_ref(), &step_test, &cfg, &mut step_spec.rng());
+            Ok(vec![vec![
+                spec.imbalance_ratio.to_string(),
+                paper_fmt(step_base.bac),
+                paper_fmt(step_eos.bac),
+            ]])
+        }));
+    }
+
+    let mut results = gather("ablations", &labels, run_jobs(1, tasks))?;
+    let step_row = results.pop().expect("step rows");
+    let under_row = results.pop().expect("undersample rows");
+    let dec_rows = results.pop().expect("decoupling rows");
+    let gap_rows = results.pop().expect("gap rows");
+    let dir_rows = results.pop().expect("direction rows");
+
+    let mut dir_table = MarkdownTable::new(&["Direction", "r range", "BAC", "GM", "FM"]);
+    for row in dir_rows {
+        dir_table.row(row);
     }
     println!("\nAblation 1 — EOS interpolation direction and range\n");
     println!("{}", dir_table.render());
     write_csv(&dir_table, "ablation_direction");
 
-    // --- 2. gap definition vs per-class recall --------------------------
-    let test_fe = tp.embed(test);
-    let range_gap = generalization_gap(&tp.train_fe, &tp.train_y, &test_fe, &test.y, 10);
-    let mean_dev = feature_deviation(&tp.train_fe, &tp.train_y, &test_fe, &test.y, 10);
-    // Correlate each gap with per-class recall of the baseline model (its
-    // predictions were captured above, before the head was replaced).
-    let recalls = eos_core::per_class_recall(&test.y, &base.predictions, 10);
-    let corr = |gaps: &[f64]| -> f64 {
-        let n = gaps.len() as f64;
-        let (mg, mr) = (
-            gaps.iter().sum::<f64>() / n,
-            recalls.iter().sum::<f64>() / n,
-        );
-        let cov: f64 = gaps
-            .iter()
-            .zip(&recalls)
-            .map(|(&g, &r)| (g - mg) * (r - mr))
-            .sum();
-        let vg: f64 = gaps.iter().map(|&g| (g - mg) * (g - mg)).sum();
-        let vr: f64 = recalls.iter().map(|&r| (r - mr) * (r - mr)).sum();
-        cov / (vg.sqrt() * vr.sqrt()).max(1e-12)
-    };
     let mut gap_table = MarkdownTable::new(&["Gap definition", "corr(gap, recall)"]);
-    gap_table.row(vec![
-        "range-based (Algorithm 1)".into(),
-        format!("{:.3}", corr(&range_gap.per_class)),
-    ]);
-    gap_table.row(vec![
-        "mean-based (feature deviation)".into(),
-        format!("{:.3}", corr(&mean_dev.per_class)),
-    ]);
+    for row in gap_rows {
+        gap_table.row(row);
+    }
     println!("\nAblation 2 — gap definition as a recall predictor (more negative = better)\n");
     println!("{}", gap_table.render());
     write_csv(&gap_table, "ablation_gap_definition");
 
-    // --- 3. decoupling methods vs oversampled fine-tuning ----------------
     let mut dec_table = MarkdownTable::new(&["Method", "BAC", "GM", "FM"]);
-    dec_table.row(vec![
-        "Baseline (end-to-end)".into(),
-        paper_fmt(base.bac),
-        paper_fmt(base.gm),
-        paper_fmt(base.f1),
-    ]);
-    let mut dec_rng = mix_rng(eng.seed, &["ablations", "decoupling"]);
-    for method in [
-        DecouplingMethod::Crt,
-        DecouplingMethod::TauNorm(1.0),
-        DecouplingMethod::Ncm,
-    ] {
-        let r = decoupling_eval(&mut tp, method, test, &cfg, &mut dec_rng);
-        dec_table.row(vec![
-            method.name(),
-            paper_fmt(r.bac),
-            paper_fmt(r.gm),
-            paper_fmt(r.f1),
-        ]);
-    }
-    for sampler in [SamplerSpec::Smote { k: 5 }, SamplerSpec::eos(10)] {
-        let spec = cell("ablations-dec", sampler);
-        let built = sampler.build().expect("non-baseline");
-        let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-        dec_table.row(vec![
-            format!("{} head fine-tune", sampler.name()),
-            paper_fmt(r.bac),
-            paper_fmt(r.gm),
-            paper_fmt(r.f1),
-        ]);
+    for row in dec_rows {
+        dec_table.row(row);
     }
     println!("\nAblation 3 — decoupling-family repairs vs oversampled fine-tuning\n");
     println!("{}", dec_table.render());
     write_csv(&dec_table, "ablation_decoupling");
 
-    // --- 4. undersampling the embeddings ---------------------------------
-    let mut under_rng = mix_rng(eng.seed, &["ablations", "undersample"]);
-    let (ux, uy) = RandomUndersampler::to_minority().undersample(
-        &tp.train_fe,
-        &tp.train_y,
-        10,
-        &mut under_rng,
-    );
-    let mut head = Linear::new(tp.net.feature_dim(), 10, true, &mut under_rng);
-    let mut ce = CrossEntropyLoss::new();
-    let tc = TrainConfig {
-        epochs: cfg.head_epochs,
-        batch_size: cfg.batch_size,
-        lr: cfg.head_lr,
-        momentum: cfg.momentum,
-        weight_decay: cfg.weight_decay,
-        schedule: None,
-        drw_epoch: None,
-    };
-    let _ = train_epochs(&mut head, &mut ce, &ux, &uy, &tc, None, &mut under_rng);
-    tp.net.set_head(head);
-    let under = evaluate(&mut tp.net, test);
+    let under = &under_row[0];
     println!(
         "\nAblation 4 — undersampled head ({} samples kept of {}): BAC {}\n",
-        uy.len(),
-        tp.train_y.len(),
-        paper_fmt(under.bac)
+        under[0], under[1], under[2]
     );
 
-    // --- 5. step vs exponential imbalance --------------------------------
-    let mut step_rng = mix_rng(eng.seed, &["ablations", "step"]);
-    let spec = SynthSpec::cifar10_like(args.scale.data_scale());
-    let (balanced_pool, mut step_test) = {
-        let mut balanced = spec.clone();
-        balanced.imbalance_ratio = 1.0;
-        balanced.generate(eng.seed ^ 0x57E9)
-    };
-    let profile = step_profile(spec.n_max_train, spec.imbalance_ratio, 10, 5);
-    let mut step_train = subsample_to_profile(&balanced_pool, &profile, &mut step_rng);
-    let (mean, std) = step_train.feature_stats();
-    step_train.standardize(&mean, &std);
-    step_test.standardize(&mean, &std);
-    // A derived dataset: the engine fingerprints it by content, so this
-    // backbone caches exactly like the named ones.
-    let mut step_tp = eng.backbone(&step_train, LossKind::Ce, &cfg);
-    let step_base = step_tp.baseline_eval(&step_test);
-    let step_spec = cell("ablations-step", SamplerSpec::eos(10));
-    let built = step_spec.sampler.build().expect("EOS");
-    let step_eos =
-        step_tp.finetune_and_eval(built.as_ref(), &step_test, &cfg, &mut step_spec.rng());
+    let step = &step_row[0];
     println!(
         "Ablation 5 — step imbalance (5 majority / 5 minority, ratio {}): baseline BAC {} -> EOS {}\n",
-        spec.imbalance_ratio,
-        paper_fmt(step_base.bac),
-        paper_fmt(step_eos.bac)
+        step[0], step[1], step[2]
     );
+    Ok(())
 }

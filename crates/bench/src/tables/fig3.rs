@@ -7,8 +7,10 @@
 //! module also prints the mean-based feature-deviation alternative for
 //! the gap-definition ablation.
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
-use crate::tables::Rows;
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::{feature_deviation, generalization_gap, ThreePhase};
 use eos_nn::LossKind;
@@ -45,8 +47,8 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the figure's CSV. One job per dataset × loss group.
-pub fn run(eng: &Engine, args: &Args) {
+/// Produces the figure's CSV. One journaled cell per dataset × loss group.
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&[
         "Dataset",
@@ -58,16 +60,19 @@ pub fn run(eng: &Engine, args: &Args) {
         "EOS",
         "FeatDev",
     ]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
         for loss in LossKind::ALL {
             let pair = Arc::clone(&pair);
-            tasks.push(Box::new(move || {
+            let label = format!("{dataset}/{}", loss.name());
+            labels.push(label.clone());
+            tasks.push(eng.cell("fig3", label, move || {
                 let (train, test) = (&pair.0, &pair.1);
                 let counts = train.class_counts();
                 eprintln!("[fig3] {dataset} / {} ...", loss.name());
-                let mut tp = eng.backbone(train, loss, &cfg);
+                let mut tp = eng.backbone(train, loss, &cfg)?;
                 let test_fe = tp.embed(test);
                 let cell = |sampler| ExperimentSpec {
                     table: "fig3",
@@ -107,11 +112,11 @@ pub fn run(eng: &Engine, args: &Args) {
                     tail(&smote),
                     tail(&eos)
                 );
-                rows
+                Ok(rows)
             }));
         }
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("fig3", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -122,4 +127,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "fig3");
+    Ok(())
 }

@@ -4,8 +4,8 @@
 //! Paper shape: the FP gap is 2–4× the TP gap on every dataset — models
 //! generalize (TPs) exactly where train and test embedding ranges align.
 
-use crate::exp::{run_jobs, BackbonePlan, Engine};
-use crate::tables::Rows;
+use crate::exp::{run_jobs, BackbonePlan, CellTask, Engine, EngineError};
+use crate::tables::gather;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::{evaluate, tp_fp_gap};
 use eos_nn::LossKind;
@@ -19,17 +19,20 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
 }
 
 /// Produces the figure's CSV. Fully deterministic given the backbone —
-/// no per-cell randomness at all. One job per dataset.
-pub fn run(eng: &Engine, args: &Args) {
+/// no per-cell randomness at all. One journaled cell per dataset.
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "TP gap", "FP gap", "FP/TP"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        tasks.push(Box::new(move || {
+        let label = dataset.to_string();
+        labels.push(label.clone());
+        tasks.push(eng.cell("fig4", label, move || {
             let (train, test) = (&pair.0, &pair.1);
             eprintln!("[fig4] {dataset} ...");
-            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
             let test_fe = tp.embed(test);
             let preds = evaluate(&mut tp.net, test).predictions;
             let report = tp_fp_gap(
@@ -45,15 +48,15 @@ pub fn run(eng: &Engine, args: &Args) {
             } else {
                 f64::INFINITY
             };
-            vec![vec![
+            Ok(vec![vec![
                 dataset.to_string(),
                 format!("{:.3}", report.tp_gap),
                 format!("{:.3}", report.fp_gap),
                 format!("{:.2}x", ratio),
-            ]]
+            ]])
         }));
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("fig4", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -64,4 +67,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "fig4");
+    Ok(())
 }

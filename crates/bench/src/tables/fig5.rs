@@ -5,8 +5,10 @@
 //! norms toward the minority classes; oversampled heads flatten them, and
 //! EOS usually shows the largest, most even norms.
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
-use crate::tables::Rows;
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::head_weight_norms;
 use eos_nn::LossKind;
@@ -20,22 +22,25 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the figure's CSV. One job per dataset × loss group; the
-/// fine-tunes inside a group stay sequential on its own backbone (each
-/// re-initialises the head from its cell's stream, so the order cannot
-/// matter — but the rows must come out in method order).
-pub fn run(eng: &Engine, args: &Args) {
+/// Produces the figure's CSV. One journaled cell per dataset × loss
+/// group; the fine-tunes inside a group stay sequential on its own
+/// backbone (each re-initialises the head from its cell's stream, so the
+/// order cannot matter — but the rows must come out in method order).
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "Class", "Norm"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
         for loss in LossKind::ALL {
             let pair = Arc::clone(&pair);
-            tasks.push(Box::new(move || {
+            let label = format!("{dataset}/{}", loss.name());
+            labels.push(label.clone());
+            tasks.push(eng.cell("fig5", label, move || {
                 let train = &pair.0;
                 eprintln!("[fig5] {dataset} / {} ...", loss.name());
-                let mut tp = eng.backbone(train, loss, &cfg);
+                let mut tp = eng.backbone(train, loss, &cfg)?;
                 let mut rows = Rows::new();
                 let record = |method: &str, norms: &[f32], rows: &mut Rows| {
                     for (c, &n) in norms.iter().enumerate() {
@@ -64,11 +69,11 @@ pub fn run(eng: &Engine, args: &Args) {
                     let _ = tp.finetune_head(Some(built.as_ref()), &cfg, &mut spec.rng());
                     record(sampler.name(), &head_weight_norms(&tp.net), &mut rows);
                 }
-                rows
+                Ok(rows)
             }));
         }
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("fig5", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -79,4 +84,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "fig5");
+    Ok(())
 }

@@ -10,8 +10,10 @@
 //! distance over intra-class spread). Paper shape: EOS yields the
 //! densest, most uniform minority structure with the widest margin.
 
-use crate::exp::{mix_rng, run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
-use crate::tables::Rows;
+use crate::exp::{
+    mix_rng, run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 use eos_resample::balance_with;
@@ -23,16 +25,17 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
     vec![BackbonePlan::new("cifar10", LossKind::Ce)]
 }
 
-/// Produces the figure's CSVs. One shared backbone; one job per method
-/// (each only reads the backbone's train embeddings and seeds its own
-/// t-SNE stream, so jobs are independent — the network itself holds
-/// non-`Sync` trait objects and stays on this thread).
-pub fn run(eng: &Engine, _args: &Args) {
+/// Produces the figure's CSVs. One shared backbone; one journaled cell
+/// per method (each only reads the backbone's train embeddings and seeds
+/// its own t-SNE stream, so cells are independent — the network itself
+/// holds non-`Sync` trait objects and stays on this thread). A cell's
+/// first journal row is the summary line; the rest are 2-D coordinates.
+pub fn run(eng: &Engine, _args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
     let train = &pair.0;
     eprintln!("[fig6] training backbone ...");
-    let tp = eng.backbone(train, LossKind::Ce, &cfg);
+    let tp = eng.backbone(train, LossKind::Ce, &cfg)?;
     let (train_fe, train_y, num_classes) = (&tp.train_fe, &tp.train_y, tp.num_classes);
 
     // The paired classes with the largest imbalance between them.
@@ -53,10 +56,11 @@ pub fn run(eng: &Engine, _args: &Args) {
     let mut summary =
         MarkdownTable::new(&["Method", "Points", "Separation", "Minority density CV"]);
     let mut coords = MarkdownTable::new(&["Method", "Class", "x", "y"]);
-    type MethodOut = (Vec<String>, Rows);
-    let mut tasks: Vec<Box<dyn FnOnce() -> MethodOut + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for sampler in methods {
-        tasks.push(Box::new(move || {
+        labels.push(sampler.name().to_string());
+        tasks.push(eng.cell("fig6", sampler.name().to_string(), move || {
             let name = sampler.name();
             let spec = ExperimentSpec {
                 table: "fig6",
@@ -97,27 +101,28 @@ pub fn run(eng: &Engine, _args: &Args) {
             // yields a denser, more uniform minority manifold. Lower CV of
             // nearest-neighbour distances = more uniform.
             let cv = density_uniformity(&y2d, &pair_y, 1);
-            let summary_row = vec![
+            let mut rows = Rows::new();
+            rows.push(vec![
                 name.into(),
                 cap.to_string(),
                 format!("{score:.3}"),
                 format!("{cv:.3}"),
-            ];
-            let mut coord_rows = Rows::new();
+            ]);
             for (i, label) in pair_y.iter().enumerate() {
-                coord_rows.push(vec![
+                rows.push(vec![
                     name.into(),
                     label.to_string(),
                     format!("{:.4}", y2d.at(&[i, 0])),
                     format!("{:.4}", y2d.at(&[i, 1])),
                 ]);
             }
-            (summary_row, coord_rows)
+            Ok(rows)
         }));
     }
-    for (summary_row, coord_rows) in run_jobs(eng.jobs, tasks) {
-        summary.row(summary_row);
-        for row in coord_rows {
+    for rows in gather("fig6", &labels, run_jobs(eng.jobs, tasks))? {
+        let mut rows = rows.into_iter();
+        summary.row(rows.next().expect("cells emit the summary row first"));
+        for row in rows {
             coords.row(row);
         }
     }
@@ -128,4 +133,5 @@ pub fn run(eng: &Engine, _args: &Args) {
     println!("{}", summary.render());
     write_csv(&summary, "fig6_summary");
     write_csv(&coords, "fig6_coords");
+    Ok(())
 }

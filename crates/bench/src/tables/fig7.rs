@@ -5,29 +5,41 @@
 //! chosen budget); EOS gains marginally from longer retraining, SMOTE
 //! does not.
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    dec_f64, enc_f64, run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec,
+    SamplerSpec,
+};
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 use std::sync::Arc;
 
 const EPOCHS: usize = 30;
 
+/// Decodes one journaled BAC value, mapping a malformed bit pattern to a
+/// corrupt-cache error (a stale or hand-edited journal entry).
+fn dec(s: &str) -> Result<f64, EngineError> {
+    dec_f64(s).map_err(|e| EngineError::corrupt("fig7 epoch trace", e.to_string()))
+}
+
 /// Standard backbones: cifar10 / CE.
 pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
     vec![BackbonePlan::new("cifar10", LossKind::Ce)]
 }
 
-/// Produces the figure's CSV. One job per traced method; each job takes
-/// its own copy of the shared backbone (a cache hit after the first
-/// training) because the epoch trace mutates the head in place.
-pub fn run(eng: &Engine, _args: &Args) {
+/// Produces the figure's CSV. One journaled cell per traced method; each
+/// cell takes its own copy of the shared backbone (a cache hit after the
+/// first training) because the epoch trace mutates the head in place.
+/// The per-epoch BAC pairs journal as f64 bit patterns, so a replayed
+/// cell renders the exact same digits as a computed one.
+pub fn run(eng: &Engine, _args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
-    let trace_of = |sampler: SamplerSpec| {
+    let trace_of = |label: &str, sampler: SamplerSpec| {
         let pair = Arc::clone(&pair);
-        move || {
+        eng.cell("fig7", label.to_string(), move || {
             let (train, test) = (&pair.0, &pair.1);
-            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
             let spec = ExperimentSpec {
                 table: "fig7",
                 dataset: "cifar10",
@@ -38,18 +50,26 @@ pub fn run(eng: &Engine, _args: &Args) {
             };
             eprintln!("[fig7] tracing {} ...", sampler.name());
             let built = sampler.build().expect("non-baseline");
-            tp.finetune_trace(built.as_ref(), test, EPOCHS, &cfg, &mut spec.rng())
-        }
+            let trace = tp.finetune_trace(built.as_ref(), test, EPOCHS, &cfg, &mut spec.rng());
+            Ok(trace
+                .iter()
+                .map(|&(train_bac, test_bac)| vec![enc_f64(train_bac), enc_f64(test_bac)])
+                .collect())
+        })
     };
-    let mut traces = run_jobs(
-        eng.jobs,
-        vec![
-            trace_of(SamplerSpec::Smote { k: 5 }),
-            trace_of(SamplerSpec::eos(10)),
-        ],
-    );
-    let eos = traces.pop().expect("eos trace");
-    let smote = traces.pop().expect("smote trace");
+    let labels = vec!["smote".to_string(), "eos".to_string()];
+    let tasks: Vec<CellTask<'_>> = vec![
+        trace_of("smote", SamplerSpec::Smote { k: 5 }),
+        trace_of("eos", SamplerSpec::eos(10)),
+    ];
+    let decode = |rows: &Rows| -> Result<Vec<(f64, f64)>, EngineError> {
+        rows.iter()
+            .map(|r| Ok((dec(&r[0])?, dec(&r[1])?)))
+            .collect()
+    };
+    let mut traces = gather("fig7", &labels, run_jobs(eng.jobs, tasks))?;
+    let eos = decode(&traces.pop().expect("eos trace"))?;
+    let smote = decode(&traces.pop().expect("smote trace"))?;
     let mut table = MarkdownTable::new(&[
         "Epoch",
         "SMOTE train BAC",
@@ -80,4 +100,5 @@ pub fn run(eng: &Engine, _args: &Args) {
         at(&eos, 29)
     );
     write_csv(&table, "fig7");
+    Ok(())
 }

@@ -7,9 +7,11 @@
 //! understanding ... the generalization gap can lead to effective
 //! over-sampling".
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
-use crate::tables::Rows;
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 
@@ -21,18 +23,21 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table. One job per dataset: its backbone, the baseline
-/// eval and the three method fine-tunes.
-pub fn run(eng: &Engine, args: &Args) {
+/// Produces the table. One journaled cell per dataset: its backbone, the
+/// baseline eval and the three method fine-tunes.
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Method", "BAC", "GM", "FM"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        tasks.push(Box::new(move || {
+        let label = dataset.to_string();
+        labels.push(label.clone());
+        tasks.push(eng.cell("gap_eos", label, move || {
             let (train, test) = (&pair.0, &pair.1);
             eprintln!("[gap_eos] {dataset} backbone ...");
-            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
             let base = tp.baseline_eval(test);
             let mut rows = Rows::new();
             let push = |m: &str, bac: f64, gm: f64, f1: f64, rows: &mut Rows| {
@@ -62,10 +67,10 @@ pub fn run(eng: &Engine, args: &Args) {
                 let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
                 push(sampler.name(), r.bac, r.gm, r.f1, &mut rows);
             }
-            rows
+            Ok(rows)
         }));
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("gap_eos", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -76,4 +81,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "gap_eos");
+    Ok(())
 }

@@ -14,14 +14,22 @@
 //!   markdown to stdout and writes the CSV under `results/`.
 //!
 //! The per-table binaries are thin wrappers (`Engine::new` → `run` →
-//! `Engine::finish`). Each experiment cell derives its RNG from its
+//! `Engine::finish`, reporting and exiting nonzero on `Err`). Each
+//! experiment cell derives its RNG from its
 //! [`ExperimentSpec`](crate::exp::ExperimentSpec) fingerprint, so CSV
 //! output is byte-identical between cold and warm-cache runs — and, by
 //! the same argument, between `--jobs 1` and `--jobs N`: the modules
 //! split their work into independent group jobs (one backbone and its
-//! dependent cells per job), run them on
+//! dependent cells per job), wrap each in
+//! [`Engine::cell`](crate::exp::Engine::cell) (journal replay + fault
+//! injection + typed errors), run them on
 //! [`run_jobs`](crate::exp::run_jobs), and append each job's returned
 //! [`Rows`] in input order. Only stderr progress lines may interleave.
+//!
+//! `run` returns `Result<(), EngineError>`: failed cells are collected
+//! into one [`EngineError::Cells`] per table (via [`gather`]) after
+//! every surviving cell has finished — and, because surviving cells are
+//! journaled, a rerun recomputes only what failed.
 
 pub mod ablations;
 pub mod fig3;
@@ -38,13 +46,50 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 
-use crate::exp::ExperimentSpec;
+use crate::exp::{CellFailure, EngineError, ExperimentSpec, JobPanic};
 use eos_data::Dataset;
 use eos_resample::balance_with;
 
 /// Table rows produced by one parallel group job, appended to the
-/// markdown table in job-submission order.
-pub(crate) type Rows = Vec<Vec<String>>;
+/// markdown table in job-submission order (the journal's row type).
+pub(crate) type Rows = crate::exp::Rows;
+
+/// Collects a batch of scheduler outcomes into per-cell row sets, or one
+/// [`EngineError::Cells`] roll-up if any cell failed. `labels` names the
+/// cells in submission order (same length as `outcomes`); successful
+/// siblings of a failed cell are already journaled by
+/// [`Engine::cell`](crate::exp::Engine::cell), so only the failures are
+/// lost. Each failure ticks `exp.cell.failed`.
+pub(crate) fn gather(
+    table: &'static str,
+    labels: &[String],
+    outcomes: Vec<Result<Result<Rows, EngineError>, JobPanic>>,
+) -> Result<Vec<Rows>, EngineError> {
+    assert_eq!(labels.len(), outcomes.len(), "one label per cell");
+    let mut rows = Vec::with_capacity(outcomes.len());
+    let mut failures = Vec::new();
+    for (label, outcome) in labels.iter().zip(outcomes) {
+        let cell = format!("{table}/{label}");
+        let error = match outcome {
+            Ok(Ok(r)) => {
+                rows.push(r);
+                continue;
+            }
+            Ok(Err(e)) => e,
+            Err(p) => EngineError::TaskPanic {
+                label: cell.clone(),
+                message: p.message,
+            },
+        };
+        eos_trace::counter("exp.cell.failed").add(1);
+        failures.push(CellFailure { cell, error });
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(EngineError::Cells { table, failures })
+    }
+}
 
 /// The pre-processing arm's input: the train set enlarged by the cell's
 /// oversampler in **pixel space**. Training the full network on this set

@@ -8,9 +8,11 @@
 //! convex combination) with the literal Algorithm 2 formula
 //! (away-from-enemy extrapolation).
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    dec_f64, enc_f64, run_jobs, BackbonePlan, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
-use crate::tables::Rows;
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_core::Direction;
 use eos_nn::LossKind;
@@ -21,11 +23,13 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
     vec![BackbonePlan::new("cifar10", LossKind::Ce)]
 }
 
-/// Produces the table. Two jobs — the pixel-space arm (its own enlarged
-/// backbone) and the embedding-space arm (shared backbone plus both
-/// direction fine-tunes). Each returns its rows and its headline BAC so
-/// the advantage line can be printed after the join.
-pub fn run(eng: &Engine, _args: &Args) {
+/// Produces the table. Two journaled cells — the pixel-space arm (its
+/// own enlarged backbone) and the embedding-space arm (shared backbone
+/// plus both direction fine-tunes). Each cell's first journal row is a
+/// meta row holding its headline BAC as an f64 bit pattern, so the
+/// advantage line prints identical digits on replay; the remaining rows
+/// are the table rows.
+pub fn run(eng: &Engine, _args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
     let mut table = MarkdownTable::new(&["Variant", "BAC", "GM", "FM"]);
@@ -40,31 +44,34 @@ pub fn run(eng: &Engine, _args: &Args) {
     };
 
     let pixel_pair = Arc::clone(&pair);
-    let pixel_arm = Box::new(move || {
+    let pixel_arm = eng.cell("pixel_eos", "pixel".to_string(), move || {
         let (train, test) = (&pixel_pair.0, &pixel_pair.1);
         eprintln!("[pixel_eos] EOS as pixel-space pre-processing ...");
         let enlarged =
             super::oversampled_pixels(train, &cell("pixel_eos-pre", SamplerSpec::eos(10)));
-        let mut pixel_tp = eng.backbone(&enlarged, LossKind::Ce, &cfg);
+        let mut pixel_tp = eng.backbone(&enlarged, LossKind::Ce, &cfg)?;
         let pixel = pixel_tp.baseline_eval(test);
-        let rows = vec![vec![
-            "EOS in pixel space (pre-processing)".into(),
-            paper_fmt(pixel.bac),
-            paper_fmt(pixel.gm),
-            paper_fmt(pixel.f1),
-        ]];
-        (rows, pixel.bac)
-    }) as Box<dyn FnOnce() -> (Rows, f64) + Send + '_>;
+        Ok(vec![
+            vec![enc_f64(pixel.bac)],
+            vec![
+                "EOS in pixel space (pre-processing)".into(),
+                paper_fmt(pixel.bac),
+                paper_fmt(pixel.gm),
+                paper_fmt(pixel.f1),
+            ],
+        ])
+    });
 
     let emb_pair = Arc::clone(&pair);
-    let emb_arm = Box::new(move || {
+    let emb_arm = eng.cell("pixel_eos", "embedding".to_string(), move || {
         let (train, test) = (&emb_pair.0, &emb_pair.1);
         eprintln!("[pixel_eos] EOS in embedding space ...");
-        let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+        let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
         let toward = cell("pixel_eos", SamplerSpec::eos(10));
         let built = toward.sampler.build().expect("EOS");
         let fe = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut toward.rng());
         let mut rows = Rows::new();
+        rows.push(vec![enc_f64(fe.bac)]);
         rows.push(vec![
             "EOS in embedding space (three-phase)".into(),
             paper_fmt(fe.bac),
@@ -89,12 +96,23 @@ pub fn run(eng: &Engine, _args: &Args) {
             paper_fmt(away.gm),
             paper_fmt(away.f1),
         ]);
-        (rows, fe.bac)
-    }) as Box<dyn FnOnce() -> (Rows, f64) + Send + '_>;
+        Ok(rows)
+    });
 
-    let mut results = run_jobs(eng.jobs, vec![pixel_arm, emb_arm]);
-    let (emb_rows, fe_bac) = results.pop().expect("embedding arm");
-    let (pixel_rows, pixel_bac) = results.pop().expect("pixel arm");
+    let labels = vec!["pixel".to_string(), "embedding".to_string()];
+    let mut results = gather(
+        "pixel_eos",
+        &labels,
+        run_jobs(eng.jobs, vec![pixel_arm, emb_arm]),
+    )?;
+    let headline = |rows: &mut Rows| -> Result<f64, EngineError> {
+        let meta = rows.remove(0);
+        dec_f64(&meta[0]).map_err(|e| EngineError::corrupt("pixel_eos headline BAC", e.to_string()))
+    };
+    let mut emb_rows = results.pop().expect("embedding arm");
+    let mut pixel_rows = results.pop().expect("pixel arm");
+    let fe_bac = headline(&mut emb_rows)?;
+    let pixel_bac = headline(&mut pixel_rows)?;
     for row in pixel_rows.into_iter().chain(emb_rows) {
         table.row(row);
     }
@@ -109,4 +127,5 @@ pub fn run(eng: &Engine, _args: &Args) {
         (fe_bac - pixel_bac) * 100.0
     );
     write_csv(&table, "pixel_eos");
+    Ok(())
 }

@@ -7,9 +7,11 @@
 //! variant wins in most dataset × method cells (7 of 9); Remix appears
 //! only as pre-processing (balancing twice would be double-counting).
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
-use crate::tables::Rows;
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 use std::sync::Arc;
@@ -24,11 +26,13 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
 
 /// Produces the table. Each pre-processing arm (one full training on its
 /// pixel-enlarged set) and each post arm (backbone + head fine-tunes) is
-/// an independent job; rows land in the same order as the serial loop.
-pub fn run(eng: &Engine, args: &Args) {
+/// an independent journaled cell; rows land in the same order as the
+/// serial loop.
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Descr", "BAC", "GM", "FM"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
         // Pre-processing arm: one full training run per oversampler, on
@@ -37,7 +41,9 @@ pub fn run(eng: &Engine, args: &Args) {
         pre.push(SamplerSpec::Remix);
         for sampler in pre {
             let pair = Arc::clone(&pair);
-            tasks.push(Box::new(move || {
+            let label = format!("{dataset}/pre-{}", sampler.name());
+            labels.push(label.clone());
+            tasks.push(eng.cell("table1", label, move || {
                 let (train, test) = (&pair.0, &pair.1);
                 let spec = ExperimentSpec {
                     table: "table1-pre",
@@ -49,22 +55,24 @@ pub fn run(eng: &Engine, args: &Args) {
                 };
                 eprintln!("[table1] {dataset} / Pre-{} ...", sampler.name());
                 let enlarged = super::oversampled_pixels(train, &spec);
-                let mut tp = eng.backbone(&enlarged, LossKind::Ce, &cfg);
+                let mut tp = eng.backbone(&enlarged, LossKind::Ce, &cfg)?;
                 let r = tp.baseline_eval(test);
-                vec![vec![
+                Ok(vec![vec![
                     dataset.to_string(),
                     format!("Pre-{}", sampler.name()),
                     paper_fmt(r.bac),
                     paper_fmt(r.gm),
                     paper_fmt(r.f1),
-                ]]
+                ]])
             }));
         }
         // Post arm: one backbone, one head fine-tune per oversampler.
-        tasks.push(Box::new(move || {
+        let label = format!("{dataset}/post");
+        labels.push(label.clone());
+        tasks.push(eng.cell("table1", label, move || {
             let (train, test) = (&pair.0, &pair.1);
             eprintln!("[table1] {dataset} / Post backbone ...");
-            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
             let mut rows = Rows::new();
             for sampler in SamplerSpec::classic_lineup() {
                 let spec = ExperimentSpec {
@@ -85,10 +93,10 @@ pub fn run(eng: &Engine, args: &Args) {
                     paper_fmt(r.f1),
                 ]);
             }
-            rows
+            Ok(rows)
         }));
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("table1", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -99,4 +107,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "table1");
+    Ok(())
 }

@@ -6,9 +6,11 @@
 //! feature-embedding space. Paper shape: EOS wins most cells; the
 //! backbone loss matters (LDAM embeddings are the strongest pairing).
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
-use crate::tables::Rows;
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 use std::sync::Arc;
@@ -21,20 +23,23 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table. One job per dataset × loss group: the group's
-/// backbone, its baseline eval and its head fine-tunes.
-pub fn run(eng: &Engine, args: &Args) {
+/// Produces the table. One journaled cell per dataset × loss group: the
+/// group's backbone, its baseline eval and its head fine-tunes.
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "Algo", "Method", "BAC", "GM", "FM"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
         for loss in LossKind::ALL {
             let pair = Arc::clone(&pair);
-            tasks.push(Box::new(move || {
+            let label = format!("{dataset}/{}", loss.name());
+            labels.push(label.clone());
+            tasks.push(eng.cell("table2", label, move || {
                 let (train, test) = (&pair.0, &pair.1);
                 eprintln!("[table2] {dataset} / {} ...", loss.name());
-                let mut tp = eng.backbone(train, loss, &cfg);
+                let mut tp = eng.backbone(train, loss, &cfg)?;
                 let mut rows = Rows::new();
                 let mut push = |method: &str, bac: f64, gm: f64, f1: f64| {
                     rows.push(vec![
@@ -63,11 +68,11 @@ pub fn run(eng: &Engine, args: &Args) {
                     let r = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
                     push(sampler.name(), r.bac, r.gm, r.f1);
                 }
-                rows
+                Ok(rows)
             }));
         }
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("table2", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -78,4 +83,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "table2");
+    Ok(())
 }

@@ -10,9 +10,11 @@
 //! competitive but far more expensive, especially on the many-class
 //! dataset.
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
-use crate::tables::Rows;
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 use std::sync::Arc;
@@ -26,22 +28,25 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table. One job per dataset × loss group; the measured
-/// oversampling seconds stay on stderr, so the rows are identical at any
-/// job count.
-pub fn run(eng: &Engine, args: &Args) {
+/// Produces the table. One journaled cell per dataset × loss group; the
+/// measured oversampling seconds stay on stderr, so the rows are
+/// identical at any job count (and on journal replay).
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table =
         MarkdownTable::new(&["Dataset", "Algo", "Method", "BAC", "GM", "FM", "SynthRows"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
         for loss in LossKind::ALL {
             let pair = Arc::clone(&pair);
-            tasks.push(Box::new(move || {
+            let label = format!("{dataset}/{}", loss.name());
+            labels.push(label.clone());
+            tasks.push(eng.cell("table3", label, move || {
                 let (train, test) = (&pair.0, &pair.1);
                 eprintln!("[table3] {dataset} / {} ...", loss.name());
-                let mut tp = eng.backbone(train, loss, &cfg);
+                let mut tp = eng.backbone(train, loss, &cfg)?;
                 let methods = [
                     SamplerSpec::GamoLite,
                     SamplerSpec::BaganLite,
@@ -90,11 +95,11 @@ pub fn run(eng: &Engine, args: &Args) {
                         sy.len().to_string(),
                     ]);
                 }
-                rows
+                Ok(rows)
             }));
         }
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("table3", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -105,4 +110,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "table3");
+    Ok(())
 }

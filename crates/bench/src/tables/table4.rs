@@ -4,9 +4,11 @@
 //! improves with K and plateaus by K ≈ 200–300 (a larger enemy
 //! neighbourhood gives a more diverse range expansion).
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
-use crate::tables::Rows;
+use crate::tables::{gather, Rows};
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::LossKind;
 
@@ -20,17 +22,21 @@ pub fn plan(args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table. One job per dataset: its backbone plus the K sweep.
-pub fn run(eng: &Engine, args: &Args) {
+/// Produces the table. One journaled cell per dataset: its backbone plus
+/// the K sweep.
+pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
     let cfg = eng.cfg();
     let mut table = MarkdownTable::new(&["Dataset", "K", "BAC", "GM", "FM"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for &dataset in &args.datasets {
         let pair = eng.dataset(dataset);
-        tasks.push(Box::new(move || {
+        let label = dataset.to_string();
+        labels.push(label.clone());
+        tasks.push(eng.cell("table4", label, move || {
             let (train, test) = (&pair.0, &pair.1);
             eprintln!("[table4] {dataset} backbone ...");
-            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
             let mut rows = Rows::new();
             for k in KS {
                 // K cannot exceed the number of other samples.
@@ -53,10 +59,10 @@ pub fn run(eng: &Engine, args: &Args) {
                     paper_fmt(r.f1),
                 ]);
             }
-            rows
+            Ok(rows)
         }));
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("table4", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -67,4 +73,5 @@ pub fn run(eng: &Engine, args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "table4");
+    Ok(())
 }

@@ -4,9 +4,11 @@
 //! Paper shape: EOS improves every architecture family (ResNet-56,
 //! WideResNet, DenseNet) over its end-to-end baseline.
 
-use crate::exp::{run_jobs, BackbonePlan, Engine, ExperimentSpec, SamplerSpec};
+use crate::exp::{
+    run_jobs, BackbonePlan, CellTask, Engine, EngineError, ExperimentSpec, SamplerSpec,
+};
 use crate::report::paper_fmt;
-use crate::tables::Rows;
+use crate::tables::gather;
 use crate::{write_csv, Args, MarkdownTable};
 use eos_nn::{Architecture, LossKind};
 use std::sync::Arc;
@@ -50,21 +52,26 @@ pub fn plan(_args: &Args) -> Vec<BackbonePlan> {
         .collect()
 }
 
-/// Produces the table. One job per architecture: its backbone override,
-/// the end-to-end baseline and the EOS fine-tune.
-pub fn run(eng: &Engine, _args: &Args) {
+/// Produces the table. One journaled cell per architecture: its backbone
+/// override, the end-to-end baseline and the EOS fine-tune.
+pub fn run(eng: &Engine, _args: &Args) -> Result<(), EngineError> {
     let base_cfg = eng.cfg();
     let pair = eng.dataset("cifar10");
     let mut table = MarkdownTable::new(&["Network", "BAC", "GM", "FM"]);
-    let mut tasks: Vec<Box<dyn FnOnce() -> Rows + Send + '_>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut tasks: Vec<CellTask<'_>> = Vec::new();
     for (name, tag, arch) in archs() {
         let pair = Arc::clone(&pair);
-        tasks.push(Box::new(move || {
+        // The cell tag already carries the table prefix; the cell label
+        // is just the architecture part ("resnet", "wrn", "densenet").
+        let label = tag.rsplit('/').next().unwrap_or(tag).to_string();
+        labels.push(label.clone());
+        tasks.push(eng.cell("table5", label, move || {
             let (train, test) = (&pair.0, &pair.1);
             let mut cfg = base_cfg;
             cfg.arch = arch;
             eprintln!("[table5] {name} ...");
-            let mut tp = eng.backbone(train, LossKind::Ce, &cfg);
+            let mut tp = eng.backbone(train, LossKind::Ce, &cfg)?;
             let base = tp.baseline_eval(test);
             let spec = ExperimentSpec {
                 table: tag,
@@ -76,7 +83,7 @@ pub fn run(eng: &Engine, _args: &Args) {
             };
             let built = spec.sampler.build().expect("EOS");
             let eos = tp.finetune_and_eval(built.as_ref(), test, &cfg, &mut spec.rng());
-            vec![
+            Ok(vec![
                 vec![
                     name.to_string(),
                     paper_fmt(base.bac),
@@ -89,10 +96,10 @@ pub fn run(eng: &Engine, _args: &Args) {
                     paper_fmt(eos.gm),
                     paper_fmt(eos.f1),
                 ],
-            ]
+            ])
         }));
     }
-    for rows in run_jobs(eng.jobs, tasks) {
+    for rows in gather("table5", &labels, run_jobs(eng.jobs, tasks))? {
         for row in rows {
             table.row(row);
         }
@@ -103,4 +110,5 @@ pub fn run(eng: &Engine, _args: &Args) {
     );
     println!("{}", table.render());
     write_csv(&table, "table5");
+    Ok(())
 }

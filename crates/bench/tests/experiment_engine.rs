@@ -38,7 +38,9 @@ fn pass(eng: &mut Engine) -> (EvalResult, EvalResult) {
     let cfg = eng.cfg();
     let pair = eng.dataset("celeba");
     let spec = cell();
-    let mut tp = eng.backbone(&pair.0, spec.loss, &cfg);
+    let mut tp = eng
+        .backbone(&pair.0, spec.loss, &cfg)
+        .expect("test backbone acquires cleanly");
     let base = tp.baseline_eval(&pair.1);
     let built = spec.sampler.build().unwrap();
     let tuned = tp.finetune_and_eval(built.as_ref(), &pair.1, &cfg, &mut spec.rng());

@@ -1,0 +1,233 @@
+//! Fault-injection matrix for the experiment engine: every injection
+//! point (`cache.read`, `cache.write`, `cache.claim`, `train`, `cell`)
+//! fired under a programmatic [`FaultPlan`], the typed [`EngineError`]
+//! variant surfacing where the design says it does, the `exp.fault.*`
+//! counters ticking, and a clean rerun healing bit-identically.
+//!
+//! Everything lives in one test function because the `exp.*` trace
+//! counters are process-global and the harness runs `#[test]`s in
+//! parallel threads. Fault plans are injected via
+//! [`Engine::with_faults`] instead of `$EOS_FAULTS` so the test cannot
+//! race other tests (or the user's shell) on the environment.
+
+use eos_bench::exp::engine::backbone_fingerprint;
+use eos_bench::exp::{
+    run_jobs, ArtifactCache, Engine, EngineError, FaultPlan, Journal, IO_ATTEMPTS,
+};
+use eos_core::{EvalResult, Scale};
+use eos_nn::LossKind;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const SEED: u64 = 11;
+
+fn counter(name: &str) -> u64 {
+    eos_trace::snapshot().counter(name)
+}
+
+fn plan(spec: &str) -> FaultPlan {
+    FaultPlan::parse(spec).expect("test fault spec parses")
+}
+
+fn engine(dir: &Path, faults: FaultPlan) -> Engine {
+    Engine::with_cache(Scale::Smoke, SEED, Some(ArtifactCache::at(dir))).with_faults(faults)
+}
+
+/// The probe every section repeats: acquire the celeba/CE backbone and
+/// evaluate the baseline — enough surface to compare runs bit-for-bit.
+fn baseline(eng: &Engine) -> Result<EvalResult, EngineError> {
+    let cfg = eng.cfg();
+    let pair = eng.dataset("celeba");
+    let mut tp = eng.backbone(&pair.0, LossKind::Ce, &cfg)?;
+    Ok(tp.baseline_eval(&pair.1))
+}
+
+fn assert_bit_identical(a: &EvalResult, b: &EvalResult, what: &str) {
+    assert_eq!(a.bac.to_bits(), b.bac.to_bits(), "{what}: BAC");
+    assert_eq!(a.gm.to_bits(), b.gm.to_bits(), "{what}: GM");
+    assert_eq!(a.f1.to_bits(), b.f1.to_bits(), "{what}: F1");
+    assert_eq!(a.predictions, b.predictions, "{what}: predictions");
+}
+
+#[test]
+fn every_injection_point_fires_and_heals() {
+    let root = std::env::temp_dir().join(format!("eos_fault_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let warm = root.join("warm");
+
+    // Reference: a clean cold run populates the cache.
+    let before = counter("exp.backbone.trained");
+    let reference = baseline(&engine(&warm, FaultPlan::empty())).expect("clean run");
+    assert_eq!(
+        counter("exp.backbone.trained") - before,
+        1,
+        "reference run trains exactly once"
+    );
+
+    // cache.read, transient: one injected IO error on the warm peek is
+    // absorbed by the bounded retry — no retrain, identical bits.
+    let (injected, by_point, retries, hits, trained) = (
+        counter("exp.fault.injected"),
+        counter("exp.fault.injected.cache.read"),
+        counter("exp.fault.retry"),
+        counter("exp.backbone.hit"),
+        counter("exp.backbone.trained"),
+    );
+    let absorbed = baseline(&engine(&warm, plan("cache.read:1:io"))).expect("transient absorbed");
+    assert_eq!(counter("exp.fault.injected") - injected, 1);
+    assert_eq!(counter("exp.fault.injected.cache.read") - by_point, 1);
+    assert_eq!(
+        counter("exp.fault.retry") - retries,
+        1,
+        "one retry heals it"
+    );
+    assert_eq!(counter("exp.backbone.hit") - hits, 1);
+    assert_eq!(counter("exp.backbone.trained") - trained, 0);
+    assert_bit_identical(&reference, &absorbed, "retry-absorbed read");
+
+    // cache.read, corrupt: InvalidData is never retried — the peek
+    // discards the entry, the claim-path re-read serves the intact file.
+    let (corrupt, trained) = (
+        counter("exp.backbone.corrupt"),
+        counter("exp.backbone.trained"),
+    );
+    let healed = baseline(&engine(&warm, plan("cache.read:1:corrupt"))).expect("corrupt healed");
+    assert_eq!(counter("exp.backbone.corrupt") - corrupt, 1);
+    assert_eq!(counter("exp.backbone.trained") - trained, 0);
+    assert_bit_identical(&reference, &healed, "corrupt-injected read");
+
+    // cache.read, persistent: an error that outlives every retry is a
+    // typed EngineError::Io, not a panic.
+    let retries = counter("exp.fault.retry");
+    let err = baseline(&engine(&warm, plan("cache.read:p1:io"))).expect_err("retries exhausted");
+    assert_eq!(err.kind(), "io", "{err}");
+    assert_eq!(
+        counter("exp.fault.retry") - retries,
+        u64::from(IO_ATTEMPTS) - 1,
+        "every retry was spent before failing"
+    );
+
+    // cache.write: a store that keeps failing costs the next run a
+    // retrain, never this run's result.
+    let trained = counter("exp.backbone.trained");
+    let unstored =
+        baseline(&engine(&root.join("wfail"), plan("cache.write:p1:io"))).expect("store non-fatal");
+    assert_eq!(counter("exp.backbone.trained") - trained, 1);
+    assert!(counter("exp.fault.injected.cache.write") > 0);
+    assert_bit_identical(&reference, &unstored, "failed-store run");
+
+    // cache.claim: unavailable claim machinery degrades to training
+    // uncoordinated, still bit-identical.
+    let uncoordinated = baseline(&engine(&root.join("cfail"), plan("cache.claim:p1:io")))
+        .expect("claim failure degrades");
+    assert!(counter("exp.fault.injected.cache.claim") > 0);
+    assert_bit_identical(&reference, &uncoordinated, "uncoordinated run");
+
+    // train: an injected divergence surfaces as TrainDivergence.
+    let eng = Engine::with_cache(Scale::Smoke, SEED, None).with_faults(plan("train:1:diverge"));
+    let err = baseline(&eng).expect_err("injected divergence");
+    assert_eq!(err.kind(), "train-divergence", "{err}");
+    assert!(counter("exp.fault.injected.train") > 0);
+
+    // cell, io kind: the cell boundary returns a typed error and the
+    // compute closure never runs.
+    let eng = Engine::with_cache(Scale::Smoke, SEED, None).with_faults(plan("cell:1:io"));
+    let ran = AtomicBool::new(false);
+    let err = eng.cell("ftest", "iocell".into(), || {
+        ran.store(true, Ordering::SeqCst);
+        Ok(vec![])
+    })()
+    .expect_err("cell fault is typed");
+    assert_eq!(err.kind(), "io", "{err}");
+    assert!(!ran.load(Ordering::SeqCst), "faulted cell must not compute");
+    assert!(counter("exp.fault.injected.cell") > 0);
+
+    // cell, panic kind: the scheduler catches it per task — the sibling
+    // completes and the panic payload names the injection.
+    let eng = Engine::with_cache(Scale::Smoke, SEED, None).with_faults(plan("cell:boom:panic"));
+    let panicked = counter("exp.job.panicked");
+    let outcomes = run_jobs(
+        1,
+        vec![
+            eng.cell("ftest", "fine".into(), || Ok(vec![vec!["v".into()]])),
+            eng.cell("ftest", "boom".into(), || Ok(vec![])),
+        ],
+    );
+    assert_eq!(counter("exp.job.panicked") - panicked, 1);
+    let rows = outcomes[0].as_ref().expect("sibling survives");
+    assert_eq!(rows.as_ref().unwrap(), &vec![vec!["v".to_string()]]);
+    let p = outcomes[1].as_ref().expect_err("injected panic caught");
+    assert!(p.message.contains("injected panic fault at cell"), "{p:?}");
+
+    // Lock timeout: a held claim outlives the bounded wait and fails the
+    // call with LockTimeout instead of polling forever.
+    let lock_dir = root.join("lock");
+    let eng = Engine::with_cache(Scale::Smoke, SEED, Some(ArtifactCache::at(&lock_dir)))
+        .with_lock_timeout(Duration::from_millis(60));
+    let pair = eng.dataset("celeba");
+    let fp = backbone_fingerprint(&pair.0, LossKind::Ce, &eng.cfg(), SEED);
+    let holder = ArtifactCache::at(&lock_dir);
+    let guard = holder
+        .try_claim(fp)
+        .expect("claim io ok")
+        .expect("claim was free");
+    let timeouts = counter("exp.lock.wait_timeout");
+    let err = baseline(&eng).expect_err("bounded wait expires");
+    assert_eq!(err.kind(), "lock-timeout", "{err}");
+    assert_eq!(counter("exp.lock.wait_timeout") - timeouts, 1);
+    drop(guard);
+
+    // Journal: a computed cell replays from disk (closure not re-run),
+    // and a corrupted entry heals by recomputing identical rows.
+    let jdir = root.join("journal");
+    let cell_rows = || Ok(vec![vec!["a".to_string(), "b".to_string()]]);
+    let computed = counter("exp.cell.computed");
+    let first = engine(&jdir, FaultPlan::empty()).cell("ftest", "replay".into(), cell_rows)()
+        .expect("computes");
+    assert_eq!(counter("exp.cell.computed") - computed, 1);
+    let replayed = counter("exp.cell.replayed");
+    let ran = AtomicBool::new(false);
+    let second = engine(&jdir, FaultPlan::empty()).cell("ftest", "replay".into(), || {
+        ran.store(true, Ordering::SeqCst);
+        cell_rows()
+    })()
+    .expect("replays");
+    assert_eq!(counter("exp.cell.replayed") - replayed, 1);
+    assert!(!ran.load(Ordering::SeqCst), "replay must not recompute");
+    assert_eq!(first, second, "replayed rows are identical");
+    let journal = Journal::at(jdir.join("journal"));
+    let entry = std::fs::read_dir(journal.dir())
+        .expect("journal dir exists")
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "eosj"))
+        .expect("one journal entry");
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+    let (jcorrupt, computed) = (
+        counter("exp.cell.journal_corrupt"),
+        counter("exp.cell.computed"),
+    );
+    let third = engine(&jdir, FaultPlan::empty()).cell("ftest", "replay".into(), cell_rows)()
+        .expect("recomputes past corruption");
+    assert_eq!(counter("exp.cell.journal_corrupt") - jcorrupt, 1);
+    assert_eq!(counter("exp.cell.computed") - computed, 1);
+    assert_eq!(first, third, "recomputed rows are identical");
+
+    // The matrix is complete: every injection point fired at least once.
+    for point in ["cache.read", "cache.write", "cache.claim", "train", "cell"] {
+        assert!(
+            counter(&format!("exp.fault.injected.{point}")) > 0,
+            "injection point {point} never fired"
+        );
+    }
+
+    // And after all of it, a clean warm run on the original cache still
+    // reproduces the reference bits without training.
+    let trained = counter("exp.backbone.trained");
+    let clean = baseline(&engine(&warm, FaultPlan::empty())).expect("clean heal");
+    assert_eq!(counter("exp.backbone.trained") - trained, 0);
+    assert_bit_identical(&reference, &clean, "post-storm clean run");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

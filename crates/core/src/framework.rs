@@ -5,8 +5,8 @@ use crate::config::PipelineConfig;
 use crate::metrics::ConfusionMatrix;
 use eos_data::Dataset;
 use eos_nn::{
-    effective_number_weights, train_epochs, ConvNet, CrossEntropyLoss, EpochStats, Layer, Linear,
-    Loss, LossKind, MultiStepLr, Sgd, TrainConfig,
+    effective_number_weights, train_epochs, try_train_epochs, ConvNet, CrossEntropyLoss,
+    EpochStats, Layer, Linear, Loss, LossKind, MultiStepLr, Sgd, TrainConfig, TrainError,
 };
 use eos_resample::{balance_with, Oversampler};
 use eos_tensor::{Rng64, Tensor};
@@ -128,12 +128,27 @@ pub struct ThreePhase {
 impl ThreePhase {
     /// Phase one: trains the backbone end-to-end on the (imbalanced)
     /// training set under the given loss, then extracts embeddings.
+    ///
+    /// Convenience wrapper over [`ThreePhase::try_train`] that panics
+    /// (with the [`TrainError`] diagnostics) if phase one diverges.
     pub fn train(
         train: &Dataset,
         loss_kind: LossKind,
         cfg: &PipelineConfig,
         rng: &mut Rng64,
     ) -> Self {
+        Self::try_train(train, loss_kind, cfg, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Phase one, with divergence surfaced as a structured
+    /// [`TrainError`] instead of a panic — the entry point the
+    /// experiment engine's fault-tolerant path goes through.
+    pub fn try_train(
+        train: &Dataset,
+        loss_kind: LossKind,
+        cfg: &PipelineConfig,
+        rng: &mut Rng64,
+    ) -> Result<Self, TrainError> {
         let t0 = Instant::now();
         let counts = train.class_counts();
         let mut net = ConvNet::new(cfg.arch, train.shape, train.num_classes, rng);
@@ -142,7 +157,7 @@ impl ThreePhase {
         let drw = (loss_kind == LossKind::Ldam).then(|| effective_number_weights(0.999, &counts));
         let history = {
             let _phase1 = eos_trace::span("eos.phase1");
-            train_epochs(&mut net, loss.as_mut(), &train.x, &train.y, &tc, drw, rng)
+            try_train_epochs(&mut net, loss.as_mut(), &train.x, &train.y, &tc, drw, rng)?
         };
         let train_fe = {
             // Phase two starts with embedding extraction; the augmentation
@@ -151,14 +166,14 @@ impl ThreePhase {
             let _phase2 = eos_trace::span("eos.phase2");
             extract_embeddings(&mut net, &train.x)
         };
-        ThreePhase {
+        Ok(ThreePhase {
             net,
             train_fe,
             train_y: train.y.clone(),
             num_classes: train.num_classes,
             history,
             backbone_seconds: t0.elapsed().as_secs_f64(),
-        }
+        })
     }
 
     /// Re-assembles a pipeline from previously produced parts — a

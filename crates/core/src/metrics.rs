@@ -32,6 +32,13 @@ impl ConfusionMatrix {
         self.counts[t * self.classes + p]
     }
 
+    /// Per-class truth counts (confusion-matrix row sums).
+    fn support(&self) -> Vec<usize> {
+        (0..self.classes)
+            .map(|c| (0..self.classes).map(|p| self.at(c, p)).sum())
+            .collect()
+    }
+
     /// Per-class recall (sensitivity); 0 for classes absent from the truth.
     pub fn recalls(&self) -> Vec<f64> {
         (0..self.classes)
@@ -70,10 +77,23 @@ impl ConfusionMatrix {
         diag as f64 / total as f64
     }
 
-    /// Balanced accuracy: the mean of per-class recalls.
+    /// Balanced accuracy: the mean of per-class recalls, averaged over
+    /// the classes that actually appear in the truth. A class with no
+    /// true samples has no recall to measure; counting it as zero would
+    /// deflate the score of any evaluation on a class subset.
     pub fn balanced_accuracy(&self) -> f64 {
-        let r = self.recalls();
-        r.iter().sum::<f64>() / r.len() as f64
+        let support = self.support();
+        let recalls = self.recalls();
+        let (sum, present) = recalls
+            .iter()
+            .zip(&support)
+            .filter(|&(_, &s)| s > 0)
+            .fold((0.0, 0usize), |(sum, n), (&r, _)| (sum + r, n + 1));
+        if present == 0 {
+            0.0
+        } else {
+            sum / present as f64
+        }
     }
 
     /// Multi-class geometric mean of recalls.
@@ -86,22 +106,32 @@ impl ConfusionMatrix {
         (r.iter().map(|x| x.ln()).sum::<f64>() / r.len() as f64).exp()
     }
 
-    /// Macro-averaged F1.
+    /// Macro-averaged F1, averaged over truth-present classes like
+    /// [`balanced_accuracy`](Self::balanced_accuracy) (spurious
+    /// predictions of an absent class still cost precision elsewhere, but
+    /// the absent class itself contributes no term).
     pub fn macro_f1(&self) -> f64 {
+        let support = self.support();
         let rec = self.recalls();
         let prec = self.precisions();
-        let f1s: Vec<f64> = rec
+        let (sum, present) = rec
             .iter()
             .zip(&prec)
-            .map(|(&r, &p)| {
-                if r + p == 0.0 {
+            .zip(&support)
+            .filter(|&(_, &s)| s > 0)
+            .fold((0.0, 0usize), |(sum, n), ((&r, &p), _)| {
+                let f1 = if r + p == 0.0 {
                     0.0
                 } else {
                     2.0 * r * p / (r + p)
-                }
-            })
-            .collect();
-        f1s.iter().sum::<f64>() / f1s.len() as f64
+                };
+                (sum + f1, n + 1)
+            });
+        if present == 0 {
+            0.0
+        } else {
+            sum / present as f64
+        }
     }
 
     /// All three paper metrics at once.
@@ -218,6 +248,22 @@ mod tests {
         let r = cm.recalls();
         assert_eq!(r[1], 0.0);
         assert_eq!(r[2], 0.0);
+    }
+
+    #[test]
+    fn bac_and_f1_average_over_truth_present_classes_only() {
+        // Three declared classes, but the truth only contains 0 and 1:
+        // recalls are 1.0 and 0.5, so BAC is their mean — the absent
+        // class 2 must not drag it down to (1.0 + 0.5 + 0.0) / 3.
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 0, 1, 0], 3);
+        assert!((cm.balanced_accuracy() - 0.75).abs() < 1e-9);
+        // F1: class 0 has p = 2/3, r = 1 -> 0.8; class 1 has p = 1,
+        // r = 0.5 -> 2/3; class 2 contributes no term.
+        assert!((cm.macro_f1() - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-9);
+        // An empty matrix reports zero, not NaN.
+        let empty = ConfusionMatrix::from_predictions(&[], &[], 3);
+        assert_eq!(empty.balanced_accuracy(), 0.0);
+        assert_eq!(empty.macro_f1(), 0.0);
     }
 
     #[test]

@@ -17,6 +17,18 @@ const RECORD_100: usize = 2 + 3 * 32 * 32; // coarse label + fine label + pixels
 pub fn load_cifar10_file(path: &Path) -> std::io::Result<Dataset> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    // 0 % RECORD == 0, so an empty file would otherwise slip through as a
+    // zero-sample dataset and fail far away from its cause.
+    if bytes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{} is empty — expected CIFAR-10 records of {RECORD} bytes \
+                 (truncated download or interrupted extraction?)",
+                path.display()
+            ),
+        ));
+    }
     if bytes.len() % RECORD != 0 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -53,15 +65,31 @@ pub fn load_cifar10_file(path: &Path) -> std::io::Result<Dataset> {
 /// from an extracted `cifar-10-batches-bin/` directory, returning
 /// `(train, test)`.
 pub fn load_cifar10_dir(dir: &Path) -> std::io::Result<(Dataset, Dataset)> {
+    // Names the file that failed: a raw `File::open` error carries no
+    // path, which makes "No such file or directory" useless against a
+    // directory of six batch files.
+    let load = |name: String| {
+        let path = dir.join(&name);
+        load_cifar10_file(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                std::io::Error::new(
+                    e.kind(),
+                    format!("missing batch file {} in {}", name, dir.display()),
+                )
+            } else {
+                e
+            }
+        })
+    };
     let mut train: Option<Dataset> = None;
     for i in 1..=5 {
-        let batch = load_cifar10_file(&dir.join(format!("data_batch_{i}.bin")))?;
+        let batch = load(format!("data_batch_{i}.bin"))?;
         train = Some(match train {
             Some(t) => t.concat(&batch),
             None => batch,
         });
     }
-    let test = load_cifar10_file(&dir.join("test_batch.bin"))?;
+    let test = load("test_batch.bin".to_string())?;
     Ok((train.expect("five batches loaded"), test))
 }
 
@@ -70,6 +98,16 @@ pub fn load_cifar10_dir(dir: &Path) -> std::io::Result<(Dataset, Dataset)> {
 pub fn load_cifar100_file(path: &Path) -> std::io::Result<Dataset> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{} is empty — expected CIFAR-100 records of {RECORD_100} bytes \
+                 (truncated download or interrupted extraction?)",
+                path.display()
+            ),
+        ));
+    }
     if bytes.len() % RECORD_100 != 0 {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -159,6 +197,41 @@ mod tests {
     #[test]
     fn missing_file_is_io_error() {
         assert!(load_cifar10_file(Path::new("/nonexistent/never.bin")).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_file_with_clear_error() {
+        let dir = std::env::temp_dir().join("eos_cifar_test_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, []).unwrap();
+        let expect_err = |r: std::io::Result<Dataset>| match r {
+            Err(e) => e,
+            Ok(_) => panic!("an empty file must not load"),
+        };
+        for err in [
+            expect_err(load_cifar10_file(&path)),
+            expect_err(load_cifar100_file(&path)),
+        ] {
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("empty"), "{err}");
+            assert!(err.to_string().contains("empty.bin"), "{err}");
+        }
+    }
+
+    #[test]
+    fn dir_loader_names_the_missing_batch() {
+        let dir = std::env::temp_dir().join("eos_cifar_test_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_fake_batch(&dir.join("data_batch_1.bin"), &[(0, 0)]);
+        // data_batch_2.bin is absent: the error must say which file.
+        let err = match load_cifar10_dir(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("a missing batch must not load"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("data_batch_2.bin"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     fn write_fake_100(path: &Path, records: &[(u8, u8, u8)]) {

@@ -106,3 +106,146 @@ echo "parallelism gate: --jobs 4 byte-identical to --jobs 1 (stdout, CSVs, backb
 ( cd "$gate_dir" && "$suite_bin" --scale smoke --seed 42 --datasets celeba \
     --jobs 4 --bench > bench.out 2> bench.err )
 echo "suite bench gate: serial and parallel passes byte-identical"
+
+# Crash-resume gate: a suite run killed mid-stream (deterministic
+# process abort at the 4th experiment cell) must resume on rerun —
+# replaying the cells journaled before the kill, training zero backbones
+# — and end byte-identical to an uninterrupted run. A second rerun then
+# replays every cell without computing anything.
+(
+  cd "$gate_dir"
+  rm -rf resume && mkdir -p resume/ref resume/crash
+  (
+    cd resume/ref
+    EOS_CACHE_DIR="$PWD/cache" "$suite_bin" --scale smoke --seed 42 \
+      --datasets celeba --skip-runtime > suite.out 2> suite.err
+  )
+  (
+    cd resume/crash
+    if EOS_FAULTS='cell:4:abort' EOS_CACHE_DIR="$PWD/cache" "$suite_bin" \
+        --scale smoke --seed 42 --datasets celeba --skip-runtime \
+        > crash.out 2> crash.err; then
+      echo "FAIL: aborted suite run exited zero" >&2
+      exit 1
+    fi
+    grep -q 'aborting process at cell' crash.err || {
+      echo "FAIL: the abort fault never fired" >&2
+      exit 1
+    }
+    # Resume on the same cache + journal — with a transient-fault storm
+    # still active: journaled cells replay, the rest compute, injected
+    # IO errors are absorbed by the retry policy. Every *prewarmed*
+    # backbone comes from the cache; only the derived backbones of
+    # never-run cells may train, so the resumed count must be strictly
+    # below the uninterrupted run's.
+    EOS_FAULTS='cache.read:2:io' EOS_CACHE_DIR="$PWD/cache" "$suite_bin" \
+      --scale smoke --seed 42 --datasets celeba --skip-runtime \
+      > suite.out 2> suite.err
+    ref_trained="$(grep -o 'backbones trained: [0-9]*' ../ref/suite.err | grep -o '[0-9]*$')"
+    res_trained="$(grep -o 'backbones trained: [0-9]*' suite.err | grep -o '[0-9]*$')"
+    [ -n "$ref_trained" ] && [ -n "$res_trained" ] \
+      && [ "$res_trained" -lt "$ref_trained" ] || {
+      echo "FAIL: resume saved no trainings ($res_trained vs $ref_trained uninterrupted)" >&2
+      exit 1
+    }
+    if grep -q 'faults injected: 0,' suite.err; then
+      echo "FAIL: the resume-time storm injected nothing" >&2
+      exit 1
+    fi
+    if grep -q 'replayed: 0,' suite.err; then
+      echo "FAIL: resumed suite replayed no journaled cells" >&2
+      exit 1
+    fi
+    if grep -q 'cells computed: 0,' suite.err; then
+      echo "FAIL: resume had nothing left to compute (abort fired too late?)" >&2
+      exit 1
+    fi
+    # Second rerun: the journal is complete, every cell replays.
+    EOS_CACHE_DIR="$PWD/cache" "$suite_bin" --scale smoke --seed 42 \
+      --datasets celeba --skip-runtime > replay.out 2> replay.err
+    grep -q 'cells computed: 0,' replay.err || {
+      echo "FAIL: full-replay rerun still computed cells" >&2
+      exit 1
+    }
+    cmp suite.out replay.out || {
+      echo "FAIL: full-replay stdout differs from the resumed run" >&2
+      exit 1
+    }
+  )
+  cmp resume/ref/suite.out resume/crash/suite.out || {
+    echo "FAIL: resumed suite stdout differs from the uninterrupted run" >&2
+    exit 1
+  }
+  for csv in resume/ref/results/*.csv; do
+    cmp "$csv" "resume/crash/results/$(basename "$csv")" || {
+      echo "FAIL: $(basename "$csv") differs after crash-resume" >&2
+      exit 1
+    }
+  done
+)
+echo "crash-resume gate: aborted suite resumed byte-identically (journal replayed, trainings saved)"
+
+# Fault-storm gates: (a) a storm of deterministic single-shot transient
+# faults — cache read, write and claim each failing once — is absorbed
+# by the bounded retry policy with byte-identical output; (b) a
+# persistent cell panic fails the table with a typed FAILURE REPORT and
+# a nonzero exit, and a clean rerun heals byte-identically.
+(
+  cd "$gate_dir"
+  rm -rf faults && mkdir -p faults/clean faults/storm faults/broken
+  (
+    cd faults/clean
+    EOS_CACHE_DIR="$PWD/cache" "$table2_bin" --scale smoke --seed 42 \
+      --datasets celeba > table2.out 2> table2.err
+  )
+  (
+    cd faults/storm
+    EOS_FAULTS='cache.read:2:io,cache.write:1:io,cache.claim:1:io' \
+      EOS_CACHE_DIR="$PWD/cache" "$table2_bin" --scale smoke --seed 42 \
+      --datasets celeba > table2.out 2> table2.err
+    if grep -q 'faults injected: 0,' table2.err; then
+      echo "FAIL: the fault storm injected nothing" >&2
+      exit 1
+    fi
+    if grep -q 'io retries: 0,' table2.err; then
+      echo "FAIL: the fault storm exercised no retries" >&2
+      exit 1
+    fi
+  )
+  cmp faults/clean/table2.out faults/storm/table2.out || {
+    echo "FAIL: stdout differs under an absorbed fault storm" >&2
+    exit 1
+  }
+  cmp faults/clean/results/table2.csv faults/storm/results/table2.csv || {
+    echo "FAIL: table2.csv differs under an absorbed fault storm" >&2
+    exit 1
+  }
+  (
+    cd faults/broken
+    if EOS_FAULTS='cell:table2:panic' EOS_CACHE_DIR="$PWD/cache" "$table2_bin" \
+        --scale smoke --seed 42 --datasets celeba > broken.out 2> broken.err; then
+      echo "FAIL: a persistently panicking table exited zero" >&2
+      exit 1
+    fi
+    grep -q 'FAILURE REPORT' broken.err || {
+      echo "FAIL: no structured failure report on stderr" >&2
+      exit 1
+    }
+    grep -q 'task-panic' broken.err || {
+      echo "FAIL: the panic did not surface as a typed task-panic" >&2
+      exit 1
+    }
+    # The storm gone, the same cache dir heals to a clean run.
+    EOS_CACHE_DIR="$PWD/cache" "$table2_bin" --scale smoke --seed 42 \
+      --datasets celeba > table2.out 2> table2.err
+  )
+  cmp faults/clean/table2.out faults/broken/table2.out || {
+    echo "FAIL: stdout differs after healing a panicking table" >&2
+    exit 1
+  }
+  cmp faults/clean/results/table2.csv faults/broken/results/table2.csv || {
+    echo "FAIL: table2.csv differs after healing a panicking table" >&2
+    exit 1
+  }
+)
+echo "fault-storm gate: transient storm absorbed, panic storm reported + healed byte-identically"
