@@ -24,4 +24,4 @@ pub use args::Args;
 pub use exp::{ArtifactCache, BackbonePlan, Engine, EngineError, ExperimentSpec, SamplerSpec};
 pub use report::{write_csv, MarkdownTable};
 pub use runner::{name_hash, prepared_dataset, samplers_for_table2};
-pub use timing::{bench, bench_stats, format_duration, BenchStats, JsonRecord};
+pub use timing::{bench, bench_stats, format_duration, percentile, BenchStats, JsonRecord};

@@ -35,6 +35,20 @@ impl BenchStats {
     }
 }
 
+/// The `p`-th percentile (0–100) of a set of latency samples, by the
+/// nearest-rank method on a sorted copy. Serving benchmarks report p50
+/// and p99 tails with this; means hide exactly the stalls a batching
+/// queue can introduce.
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    // Nearest-rank: the smallest sample ≥ p% of the distribution.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1)]
+}
+
 /// Times `f` over `samples` runs (after one warm-up run) and prints a
 /// one-line report. Returns the mean duration so callers can build
 /// comparison tables.
@@ -99,6 +113,24 @@ mod tests {
         assert!(s.contains("\"bench\": \"gemm \\\"256\\\"\","));
         assert!(s.contains("\"gflops\": 1.2500\n"));
         eos_trace::validate(&s).expect("BENCH records must be valid JSON");
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&samples, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&samples, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&samples, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&samples, 0.0), Duration::from_millis(1));
+        // Order of arrival must not matter.
+        let mut shuffled = samples.clone();
+        shuffled.reverse();
+        assert_eq!(percentile(&shuffled, 99.0), Duration::from_millis(99));
+        // A single sample is every percentile.
+        assert_eq!(
+            percentile(&[Duration::from_micros(7)], 50.0),
+            Duration::from_micros(7)
+        );
     }
 
     #[test]

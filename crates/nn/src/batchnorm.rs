@@ -230,11 +230,39 @@ impl Layer for BatchNorm2d {
         let n = x.dim(0);
         let m = n * self.spatial;
         let mut out = Tensor::zeros(&[n, self.channels * self.spatial]);
+        if !train {
+            // Inference applies a fixed per-channel map, so the
+            // channel-major regrouping (two full transpose passes) buys
+            // nothing: normalise straight over the row-major layout in one
+            // pass. The per-element expression is exactly the one the
+            // channel-major eval path computes, so the output is
+            // bit-identical — this is purely the serving hot path.
+            let spatial = self.spatial;
+            let gamma = self.core.gamma.value.data();
+            let beta = self.core.beta.value.data();
+            let rm = &self.core.running_mean;
+            let rv = &self.core.running_var;
+            let width = self.channels * spatial;
+            par::par_chunks_mut(out.data_mut(), width, |i, yrow| {
+                let row = x.row_slice(i);
+                for ch in 0..self.channels {
+                    let inv_std = 1.0 / (rv[ch] + EPS).sqrt();
+                    let seg = ch * spatial;
+                    for (y, &xv) in yrow[seg..seg + spatial]
+                        .iter_mut()
+                        .zip(&row[seg..seg + spatial])
+                    {
+                        *y = gamma[ch] * ((xv - rm[ch]) * inv_std) + beta[ch];
+                    }
+                }
+            });
+            return out;
+        }
         workspace::with_local(|ws| {
             let mut x_cm = ws.checkout(self.channels * m);
             self.group_into(x, &mut x_cm);
             let mut ys = ws.checkout(self.channels * m);
-            self.core.forward_flat(&x_cm, m, train, &mut ys, ws);
+            self.core.forward_flat(&x_cm, m, true, &mut ys, ws);
             self.ungroup_into(&ys, n, out.data_mut());
             ws.give(x_cm);
             ws.give(ys);
@@ -376,6 +404,34 @@ impl Layer for BatchNorm1d {
 mod tests {
     use super::*;
     use eos_tensor::{central_difference, normal, rel_error, Rng64};
+
+    #[test]
+    fn bn2d_eval_fast_path_matches_channel_major_reference() {
+        // The row-major eval pass must reproduce the channel-major eval
+        // computation bit for bit (same per-element expression).
+        let mut rng = Rng64::new(33);
+        let (c, s, n) = (5, 12, 4);
+        let mut bn = BatchNorm2d::new(c, s);
+        for _ in 0..3 {
+            let x = normal(&[n, c * s], 0.0, 1.5, &mut rng);
+            let _ = bn.forward(&x, true);
+        }
+        let x = normal(&[n, c * s], 0.3, 2.0, &mut rng);
+        let fast = bn.forward(&x, false);
+        // Reference: the pre-existing grouped eval path.
+        let m = n * s;
+        let mut reference = Tensor::zeros(&[n, c * s]);
+        workspace::with_local(|ws| {
+            let mut x_cm = ws.checkout(c * m);
+            bn.group_into(&x, &mut x_cm);
+            let mut ys = ws.checkout(c * m);
+            bn.core.forward_flat(&x_cm, m, false, &mut ys, ws);
+            bn.ungroup_into(&ys, n, reference.data_mut());
+            ws.give(x_cm);
+            ws.give(ys);
+        });
+        assert_eq!(fast.data(), reference.data());
+    }
 
     #[test]
     fn harness_gradcheck_bn1d_and_bn2d_train_mode() {

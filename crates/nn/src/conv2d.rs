@@ -3,8 +3,9 @@
 use crate::layer::{Layer, Param};
 use crate::workspace;
 use eos_tensor::{
-    col2im_into, gemm_into, gemm_nt_into, gemm_tn_into, im2col_into, kaiming_uniform, par, scratch,
-    Conv2dGeometry, Rng64, Tensor,
+    col2im_into, conv2d_direct_into, gemm_into, gemm_nt_into, gemm_prepacked_into, gemm_tn_into,
+    im2col_into, im2col_panels_into, kaiming_uniform, par, scratch, Conv2dGeometry, Rng64, Tensor,
+    PANEL_WIDTH,
 };
 
 /// Convolution over `(batch, C·H·W)` rows, each interpreted as a `C×H×W`
@@ -15,6 +16,7 @@ pub struct Conv2d {
     geom: Conv2dGeometry,
     out_channels: usize,
     cache: Option<ConvCache>,
+    eval_cache: Option<EvalCache>,
 }
 
 /// Per-batch cache: every image's patch matrix, stored as one flat
@@ -22,6 +24,21 @@ pub struct Conv2d {
 /// batch instead of reallocating `n` tensors per step.
 struct ConvCache {
     cols: Tensor,
+}
+
+/// Target footprint of one image group's packed panels on the batched
+/// inference path: half a typical L2, leaving the other half for the
+/// group's inputs and outputs, so the unfold → GEMM handoff never
+/// round-trips through DRAM.
+const GROUP_PANEL_BYTES: usize = 1 << 20;
+
+/// Batched-inference scratch: the panel-packed patch matrix and the wide
+/// GEMM output are kept across forwards, so a steady-state serving loop
+/// (same batch size every call) allocates and zero-fills nothing — both
+/// buffers are fully overwritten by the unfold and the GEMM.
+struct EvalCache {
+    panels: Vec<f32>,
+    big: Vec<f32>,
 }
 
 impl Conv2d {
@@ -38,6 +55,7 @@ impl Conv2d {
             geom,
             out_channels,
             cache: None,
+            eval_cache: None,
         }
     }
 
@@ -119,8 +137,79 @@ impl Layer for Conv2d {
                 },
             );
             self.cache = Some(ConvCache { cols });
+        } else if n > 1
+            && geom.stride == 1
+            && geom.out_width().is_multiple_of(2 * PANEL_WIDTH)
+            && geom.out_height().is_multiple_of(2)
+        {
+            // Batched inference on wide spatial planes: direct
+            // register-blocked convolution — no patch matrix at all.
+            // Bit-identical to the lowered paths (see
+            // `conv2d_direct_into`). Like the panel-GEMM lowering below
+            // it serves only the batched path; single-image requests
+            // stay on the reference per-image lowering at the bottom.
+            par::par_chunks_mut(out.data_mut(), out_len, |i, orow| {
+                conv2d_direct_into(x.row_slice(i), w.data(), orow, &geom);
+                add_bias(orow);
+            });
+        } else if n > 1 && out_spatial.is_multiple_of(PANEL_WIDTH) {
+            // Batched inference: unfold images straight into the GEMM's
+            // panel-packed right-hand-side layout and run one wide GEMM
+            // per *group* of images (`N = g·H'·W'`), instead of `n`
+            // narrow GEMMs that each repack the weights and never
+            // amortise the kernel's setup. Groups are sized so the
+            // packed panels stay cache-resident between the unfold that
+            // writes them and the GEMM that reads them back — one giant
+            // batch-wide GEMM would round-trip the panels through DRAM.
+            // The microkernel gives every output column a dedicated
+            // accumulator over ascending `k`, so each image's columns
+            // come out bit-identical to the per-image path below at any
+            // group size — the panels of image `i` sit at offset
+            // `i · cols_len` within its group precisely because `H'·W'`
+            // is a whole number of panels.
+            let plen = geom.patch_len();
+            let group = (GROUP_PANEL_BYTES / (cols_len * std::mem::size_of::<f32>())).clamp(1, n);
+            let mut ec = match self.eval_cache.take() {
+                Some(ec)
+                    if ec.panels.len() == group * cols_len
+                        && ec.big.len() == self.out_channels * group * out_spatial =>
+                {
+                    ec
+                }
+                _ => EvalCache {
+                    panels: vec![0.0; group * cols_len],
+                    big: vec![0.0; self.out_channels * group * out_spatial],
+                },
+            };
+            for g0 in (0..n).step_by(group) {
+                let g = (n - g0).min(group);
+                let gn = g * out_spatial;
+                par::par_chunks_mut(&mut ec.panels[..g * cols_len], cols_len, |i, pbuf| {
+                    im2col_panels_into(x.row_slice(g0 + i), &geom, pbuf);
+                });
+                let big = &mut ec.big[..self.out_channels * gn];
+                gemm_prepacked_into(w.data(), &ec.panels[..g * cols_len], big, plen, gn);
+                // The wide GEMM is channel-major over the group; gather
+                // each image's `(O, H'·W')` block back into its output
+                // row.
+                let big_ref = &ec.big;
+                par::par_chunks_mut(
+                    &mut out.data_mut()[g0 * out_len..(g0 + g) * out_len],
+                    out_len,
+                    |i, orow| {
+                        for (o, dst) in orow.chunks_exact_mut(out_spatial).enumerate() {
+                            dst.copy_from_slice(
+                                &big_ref[o * gn + i * out_spatial..][..out_spatial],
+                            );
+                        }
+                        add_bias(orow);
+                    },
+                );
+            }
+            self.eval_cache = Some(ec);
         } else {
-            // Inference: no cache to keep, so unfold into per-worker
+            // Single-image inference (or a spatial size that is not a
+            // whole number of GEMM panels): unfold into per-worker
             // workspace scratch and GEMM straight into this image's
             // output slice.
             par::par_chunks_mut(out.data_mut(), out_len, |i, orow| {
@@ -361,6 +450,44 @@ mod tests {
         let y_both = conv.forward(&both, false);
         let y_a = conv.forward(&a, false);
         assert_eq!(y_both.row_slice(0), y_a.row_slice(0));
+    }
+
+    #[test]
+    fn batched_eval_path_matches_per_image_bits() {
+        // 4×4 input with pad 1 keeps a 4×4 = 16-patch output: a whole
+        // number of GEMM panels, so a multi-row eval forward takes the
+        // one-wide-GEMM batched path. Every row must be bit-identical
+        // to forwarding that image alone (the per-image fallback path).
+        let mut rng = Rng64::new(21);
+        let g = geom(3, 4, 4, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 5, true, &mut rng);
+        let x = normal(&[6, 48], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        for i in 0..6 {
+            let xi = Tensor::from_vec(x.row_slice(i).to_vec(), &[1, 48]);
+            let yi = conv.forward(&xi, false);
+            assert_eq!(y.row_slice(i), yi.row_slice(0), "image {i}");
+        }
+        // And the train-mode forward (always per-image) agrees too.
+        let y_train = conv.forward(&x, true);
+        assert_eq!(y.data(), y_train.data());
+    }
+
+    #[test]
+    fn partial_panel_shapes_use_the_fallback_and_stay_batch_invariant() {
+        // A 3×3 output is 9 patches — not a whole panel — so eval must
+        // fall back to per-image GEMMs and still be composition
+        // invariant.
+        let mut rng = Rng64::new(22);
+        let g = geom(2, 3, 3, 3, 1, 1);
+        let mut conv = Conv2d::new(g, 4, true, &mut rng);
+        let x = normal(&[5, 18], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, false);
+        for i in 0..5 {
+            let xi = Tensor::from_vec(x.row_slice(i).to_vec(), &[1, 18]);
+            let yi = conv.forward(&xi, false);
+            assert_eq!(y.row_slice(i), yi.row_slice(0), "image {i}");
+        }
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub trait Layer {
     /// gradients and returning ∂loss/∂input.
     fn backward(&mut self, grad: &Tensor) -> Tensor;
 
+    /// Forward-only inference entry: eval-mode behaviour (batch norm uses
+    /// running statistics, dropout is the identity) with no backward
+    /// caching. This is the path the serving engine drives; it must leave
+    /// every observable output of the layer a pure function of the input
+    /// and the loaded weights.
+    fn infer(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, false)
+    }
+
     /// Mutable access to all trainable parameters, in a stable order.
     fn params(&mut self) -> Vec<&mut Param> {
         Vec::new()

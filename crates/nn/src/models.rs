@@ -115,6 +115,12 @@ impl ConvNet {
         self.features.forward(x, false)
     }
 
+    /// Forward-only inference to logits: eval-mode batch norm, inert
+    /// dropout, no backward caches. The serving engine's entry point.
+    pub fn infer(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, false)
+    }
+
     /// Backward pass from ∂loss/∂logits through head and features.
     pub fn backward(&mut self, dlogits: &Tensor) -> Tensor {
         let dfe = self.head.backward(dlogits);

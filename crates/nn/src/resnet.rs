@@ -91,15 +91,18 @@ impl Layer for BasicBlock {
         let h = self.bn1.forward(&h, train);
         let h = self.relu1.forward(&h, train);
         let h = self.conv2.forward(&h, train);
-        let main = self.bn2.forward(&h, train);
-        let skip = match &mut self.shortcut {
+        let mut y = self.bn2.forward(&h, train);
+        // Accumulate the shortcut in place: an identity skip adds `x`
+        // directly (no clone), a projection skip adds its own output.
+        // Element-wise addition of the same operands, so the result is
+        // unchanged from building a fresh sum tensor.
+        match &mut self.shortcut {
             Some((c, b)) => {
                 let s = c.forward(x, train);
-                b.forward(&s, train)
+                y.add_assign_(&b.forward(&s, train));
             }
-            None => x.clone(),
-        };
-        let mut y = main.add(&skip);
+            None => y.add_assign_(x),
+        }
         if train {
             // Refill the retained mask buffer in place; it only allocates
             // the first time (or on a batch-size change), keeping the

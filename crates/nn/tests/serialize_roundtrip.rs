@@ -1,0 +1,279 @@
+//! Serialize round-trip sweep: every `Layer` variant the paper's models
+//! are built from must survive `save_weights` → `load_weights` with its
+//! eval-mode behaviour bit-intact.
+//!
+//! Each case builds a net, warms it up with train-mode forwards (so
+//! batch-norm running statistics are non-trivial and demonstrably part
+//! of the checkpoint), saves it, restores the bytes into a *differently
+//! initialised* but structurally identical net, and requires three
+//! things: the restored net's `extra_state` equals the donor's, its
+//! eval forward is bit-identical to the donor's, and re-serializing the
+//! restored net reproduces the original bytes (save → load → save is a
+//! fixed point).
+
+use eos_nn::load_weights;
+use eos_nn::{
+    save_weights_bytes, Architecture, BasicBlock, BatchNorm1d, BatchNorm2d, Conv2d, ConvNet,
+    Dropout, GlobalAvgPool, Layer, LeakyRelu, Linear, MaxPool2d, Relu, Sequential, Sigmoid, Tanh,
+};
+use eos_tensor::{normal, Conv2dGeometry, Rng64};
+
+/// One sweep case: a named builder producing (net, flat input width).
+/// The same builder runs twice with different seeds so the restored net
+/// provably gets its numbers from the bytes, not from its own init.
+struct Case {
+    name: &'static str,
+    build: fn(u64) -> (Box<dyn Layer>, usize),
+}
+
+fn geom(c: usize, hw: usize, kernel: usize, stride: usize, pad: usize) -> Conv2dGeometry {
+    Conv2dGeometry {
+        in_channels: c,
+        height: hw,
+        width: hw,
+        kernel,
+        stride,
+        pad,
+    }
+}
+
+fn seq(layers: Vec<Box<dyn Layer>>) -> Box<dyn Layer> {
+    Box::new(Sequential::new(layers))
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "linear_with_bias",
+            build: |s| (Box::new(Linear::new(6, 4, true, &mut Rng64::new(s))), 6),
+        },
+        Case {
+            name: "linear_no_bias",
+            build: |s| (Box::new(Linear::new(6, 4, false, &mut Rng64::new(s))), 6),
+        },
+        Case {
+            name: "conv2d_k3_s1_p1",
+            build: |s| {
+                let g = geom(3, 8, 3, 1, 1);
+                let conv = Conv2d::new(g, 4, true, &mut Rng64::new(s));
+                let w = conv.in_len();
+                (Box::new(conv), w)
+            },
+        },
+        Case {
+            name: "conv2d_k3_s2_p1_strided",
+            build: |s| {
+                let g = geom(3, 8, 3, 2, 1);
+                let conv = Conv2d::new(g, 4, true, &mut Rng64::new(s));
+                let w = conv.in_len();
+                (Box::new(conv), w)
+            },
+        },
+        Case {
+            name: "conv2d_k1_s1_p0_projection",
+            build: |s| {
+                let g = geom(4, 8, 1, 1, 0);
+                let conv = Conv2d::new(g, 8, false, &mut Rng64::new(s));
+                let w = conv.in_len();
+                (Box::new(conv), w)
+            },
+        },
+        Case {
+            name: "conv2d_k5_s1_p2_no_bias",
+            build: |s| {
+                let g = geom(2, 9, 5, 1, 2);
+                let conv = Conv2d::new(g, 3, false, &mut Rng64::new(s));
+                let w = conv.in_len();
+                (Box::new(conv), w)
+            },
+        },
+        Case {
+            name: "batchnorm1d_running_stats",
+            build: |s| {
+                (
+                    seq(vec![
+                        Box::new(Linear::new(5, 8, true, &mut Rng64::new(s))),
+                        Box::new(BatchNorm1d::new(8)),
+                    ]),
+                    5,
+                )
+            },
+        },
+        Case {
+            name: "batchnorm2d_running_stats",
+            build: |s| {
+                let g = geom(3, 6, 3, 1, 1);
+                let conv = Conv2d::new(g, 4, false, &mut Rng64::new(s));
+                let w = conv.in_len();
+                (
+                    seq(vec![Box::new(conv), Box::new(BatchNorm2d::new(4, 36))]),
+                    w,
+                )
+            },
+        },
+        Case {
+            name: "dropout_and_activations",
+            build: |s| {
+                let mut rng = Rng64::new(s);
+                (
+                    seq(vec![
+                        Box::new(Linear::new(6, 10, true, &mut rng)),
+                        Box::new(Relu::new()),
+                        Box::new(Dropout::new(0.3, s ^ 0xAB)),
+                        Box::new(Linear::new(10, 10, true, &mut rng)),
+                        Box::new(LeakyRelu::new(0.1)),
+                        Box::new(Linear::new(10, 8, true, &mut rng)),
+                        Box::new(Tanh::new()),
+                        Box::new(Linear::new(8, 3, true, &mut rng)),
+                        Box::new(Sigmoid::new()),
+                    ]),
+                    6,
+                )
+            },
+        },
+        Case {
+            name: "pools_in_a_conv_stack",
+            build: |s| {
+                let g = geom(3, 8, 3, 1, 1);
+                let conv = Conv2d::new(g, 4, true, &mut Rng64::new(s));
+                let w = conv.in_len();
+                (
+                    seq(vec![
+                        Box::new(conv),
+                        Box::new(MaxPool2d::new(4, 8, 8)),
+                        Box::new(GlobalAvgPool::new(4, 16)),
+                        Box::new(Linear::new(4, 3, true, &mut Rng64::new(s ^ 1))),
+                    ]),
+                    w,
+                )
+            },
+        },
+        Case {
+            name: "basicblock_identity_shortcut",
+            build: |s| {
+                let b = BasicBlock::new(4, 4, 6, 6, 1, &mut Rng64::new(s));
+                (Box::new(b) as Box<dyn Layer>, 4 * 36)
+            },
+        },
+        Case {
+            name: "basicblock_projection_stride2",
+            build: |s| {
+                let b = BasicBlock::new(4, 8, 6, 6, 2, &mut Rng64::new(s));
+                (Box::new(b) as Box<dyn Layer>, 4 * 36)
+            },
+        },
+        Case {
+            name: "basicblock_projection_channel_change",
+            build: |s| {
+                let b = BasicBlock::new(4, 6, 6, 6, 1, &mut Rng64::new(s));
+                (Box::new(b) as Box<dyn Layer>, 4 * 36)
+            },
+        },
+    ]
+}
+
+/// Warm a net with train-mode batches so every batch-norm in the stack
+/// accumulates running statistics worth checkpointing.
+fn warm(net: &mut dyn Layer, width: usize, seed: u64) {
+    let mut rng = Rng64::new(seed);
+    for _ in 0..3 {
+        let x = normal(&[8, width], 0.0, 1.0, &mut rng);
+        let _ = net.forward(&x, true);
+    }
+}
+
+#[test]
+fn every_layer_variant_roundtrips_with_eval_equality() {
+    for case in cases() {
+        let (mut donor, width) = (case.build)(1);
+        warm(donor.as_mut(), width, 100);
+        let blob = save_weights_bytes(donor.as_mut());
+
+        let (mut restored, rw) = (case.build)(2);
+        assert_eq!(width, rw, "{}: builder is seed-dependent", case.name);
+        load_weights(restored.as_mut(), blob.as_slice())
+            .unwrap_or_else(|e| panic!("{}: restore failed: {e}", case.name));
+
+        assert_eq!(
+            restored.extra_state(),
+            donor.extra_state(),
+            "{}: restored extra state differs",
+            case.name
+        );
+        let x = normal(&[5, width], 0.0, 1.0, &mut Rng64::new(200));
+        assert_eq!(
+            restored.infer(&x).data(),
+            donor.infer(&x).data(),
+            "{}: eval forward differs after restore",
+            case.name
+        );
+        assert_eq!(
+            save_weights_bytes(restored.as_mut()),
+            blob,
+            "{}: save → load → save is not a fixed point",
+            case.name
+        );
+    }
+}
+
+/// Without the train-mode warm-up the sweep would vacuously pass for
+/// batch norm (fresh running statistics are all zeros/ones). Prove the
+/// warm-up matters: a warmed checkpoint must differ from a cold one.
+#[test]
+fn warmup_actually_changes_what_is_checkpointed() {
+    for name in ["batchnorm1d_running_stats", "batchnorm2d_running_stats"] {
+        let case = cases()
+            .into_iter()
+            .find(|c| c.name == name)
+            .expect("case exists");
+        let (mut cold, width) = (case.build)(1);
+        let cold_blob = save_weights_bytes(cold.as_mut());
+        let (mut warmed, _) = (case.build)(1);
+        warm(warmed.as_mut(), width, 100);
+        assert_ne!(
+            save_weights_bytes(warmed.as_mut()),
+            cold_blob,
+            "{name}: running statistics never reached the checkpoint"
+        );
+    }
+}
+
+/// The three paper architectures end-to-end: train-mode warm-up,
+/// checkpoint, restore into a differently seeded clone, eval equality.
+#[test]
+fn paper_architectures_roundtrip_end_to_end() {
+    for arch in [
+        Architecture::ResNet {
+            blocks_per_stage: 2,
+            width: 4,
+        },
+        Architecture::WideResNet { k: 1 },
+        Architecture::DenseNet {
+            growth: 4,
+            layers_per_block: 2,
+        },
+    ] {
+        let shape = (3usize, 8usize, 8usize);
+        let width = 3 * 64;
+        let mut donor = ConvNet::new(arch, shape, 5, &mut Rng64::new(1));
+        warm(&mut donor, width, 300);
+        let blob = save_weights_bytes(&mut donor);
+
+        let mut restored = ConvNet::new(arch, shape, 5, &mut Rng64::new(2));
+        load_weights(&mut restored, blob.as_slice())
+            .unwrap_or_else(|e| panic!("{}: restore failed: {e}", arch.name()));
+        let x = normal(&[4, width], 0.0, 1.0, &mut Rng64::new(400));
+        assert_eq!(
+            restored.infer(&x).data(),
+            donor.infer(&x).data(),
+            "{}: eval forward differs after restore",
+            arch.name()
+        );
+        assert_eq!(
+            save_weights_bytes(&mut restored),
+            blob,
+            "{}: re-serialization is not byte-stable",
+            arch.name()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! The serving engine's typed failure surface.
+
+use std::fmt;
+
+/// Everything that can go wrong between a submitted request and its
+/// prediction. Every variant is a *request-scoped* failure: the server
+/// itself stays up and keeps serving other requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is full. Backpressure: the caller should
+    /// retry later or shed load; the server never buffers beyond its
+    /// configured capacity.
+    Overloaded {
+        /// The configured queue capacity that was hit.
+        cap: usize,
+    },
+    /// The server no longer accepts new work. Requests accepted before
+    /// shutdown still drain to completion.
+    ShuttingDown,
+    /// The request's feature vector does not match the model's input
+    /// width.
+    BadInput {
+        /// Input width the loaded model expects.
+        expected: usize,
+        /// Width the request actually carried.
+        got: usize,
+    },
+    /// The worker thread processing this request's batch panicked inside
+    /// the model forward. The worker survives (the panic is caught and
+    /// every request of the batch is failed with this error).
+    WorkerPanicked,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { cap } => {
+                write!(f, "request queue full (capacity {cap})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadInput { expected, got } => {
+                write!(
+                    f,
+                    "bad input width: expected {expected} features, got {got}"
+                )
+            }
+            ServeError::WorkerPanicked => {
+                write!(f, "worker panicked while running the batch forward")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_their_numbers() {
+        assert_eq!(
+            ServeError::Overloaded { cap: 64 }.to_string(),
+            "request queue full (capacity 64)"
+        );
+        assert!(ServeError::BadInput {
+            expected: 10,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 10 features, got 3"));
+        assert_eq!(
+            ServeError::ShuttingDown.to_string(),
+            "server is shutting down"
+        );
+        assert!(ServeError::WorkerPanicked.to_string().contains("panicked"));
+    }
+}

@@ -1,0 +1,339 @@
+//! Property tests for the dynamic micro-batcher: result routing,
+//! liveness under adversarial arrivals, the queue bound, and the
+//! shutdown-drain contract.
+
+use eos_nn::{Layer, Linear, Sequential};
+use eos_serve::{InferenceModel, Prediction, ServeConfig, ServeError, Server};
+use eos_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+const WIDTH: usize = 2;
+
+/// Identity-ish linear model: logits = [x0, x1, -x0-x1]. Each request's
+/// correct answer is a pure function of its own features, so any
+/// misrouting of results to tickets is caught exactly.
+fn probe_model() -> InferenceModel {
+    let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0], &[3, WIDTH]);
+    let net = Sequential::new(vec![
+        Box::new(Linear::from_weights(w, None)) as Box<dyn Layer>
+    ]);
+    InferenceModel::new(Box::new(net), WIDTH)
+}
+
+/// The feature vector whose correct logits encode `i`.
+fn features(i: usize) -> Vec<f32> {
+    vec![i as f32, -(i as f32) * 0.5]
+}
+
+fn assert_routed(i: usize, p: &Prediction) {
+    assert_eq!(
+        p.logits[0], i as f32,
+        "request {i} received another request's result"
+    );
+    assert_eq!(p.logits[1], -(i as f32) * 0.5);
+}
+
+/// A layer that blocks every forward until the gate opens, so tests can
+/// hold the worker busy and probe the queue deterministically. Eval-only
+/// (the serve path never calls backward).
+struct GatedIdentity {
+    gate: Arc<Gate>,
+}
+
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+    /// Forwards that have started (entered the gate wait or passed it).
+    entered: AtomicUsize,
+}
+
+impl Gate {
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_entered(&self, n: usize) {
+        let mut spins = 0;
+        while self.entered.load(Ordering::SeqCst) < n {
+            std::thread::sleep(Duration::from_millis(1));
+            spins += 1;
+            assert!(spins < 10_000, "worker never reached the gate");
+        }
+    }
+}
+
+impl Layer for GatedIdentity {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.gate.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.gate.open.lock().unwrap();
+        while !*open {
+            open = self.gate.cv.wait(open).unwrap();
+        }
+        x.clone()
+    }
+
+    fn backward(&mut self, _grad: &Tensor) -> Tensor {
+        unreachable!("serve path never calls backward")
+    }
+
+    fn out_features(&self, in_features: usize) -> usize {
+        in_features
+    }
+}
+
+fn gated_server(gate: &Arc<Gate>, queue_cap: usize) -> Server {
+    let gate = Arc::clone(gate);
+    Server::start(
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_cap,
+            workers: 1,
+            threads_per_worker: 1,
+        },
+        move |_| {
+            InferenceModel::new(
+                Box::new(GatedIdentity {
+                    gate: Arc::clone(&gate),
+                }),
+                WIDTH,
+            )
+        },
+    )
+}
+
+/// Every result lands on the ticket that submitted it, and ids are
+/// dense and in submission order — across coalesced batches and racing
+/// workers.
+#[test]
+fn results_map_to_their_requests_in_submission_order() {
+    let server = Server::start(
+        ServeConfig {
+            max_batch: 7,
+            max_wait: Duration::from_micros(500),
+            queue_cap: 512,
+            workers: 3,
+            threads_per_worker: 1,
+        },
+        |_| probe_model(),
+    );
+    let n = 200usize;
+    let tickets: Vec<_> = (0..n)
+        .map(|i| server.submit(features(i)).unwrap())
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        assert_eq!(t.id(), i as u64, "ids must follow submission order");
+        let p = t
+            .wait_timeout(Duration::from_secs(20))
+            .expect("request starved")
+            .expect("request failed");
+        assert_eq!(p.id, i as u64);
+        assert_routed(i, &p);
+    }
+    server.shutdown();
+}
+
+/// Adversarial arrival patterns — bursts bigger than a batch, lone
+/// stragglers behind an idle window, trickles that never fill a batch —
+/// must all complete within the batching deadline's order of magnitude:
+/// nothing starves waiting for a batch that never fills.
+#[test]
+fn no_request_starves_under_adversarial_arrivals() {
+    let server = Server::start(
+        ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 512,
+            workers: 2,
+            threads_per_worker: 1,
+        },
+        |_| probe_model(),
+    );
+    let mut tickets = Vec::new();
+    let mut next = 0usize;
+    // Burst of 40 (vs max_batch 16), then a dead window, then a lone
+    // request, then a slow trickle with gaps longer than max_wait.
+    for _ in 0..40 {
+        tickets.push((next, server.submit(features(next)).unwrap()));
+        next += 1;
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    tickets.push((next, server.submit(features(next)).unwrap()));
+    next += 1;
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(4));
+        tickets.push((next, server.submit(features(next)).unwrap()));
+        next += 1;
+    }
+    for (i, t) in tickets {
+        let p = t
+            .wait_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|| panic!("request {i} starved"))
+            .expect("request failed");
+        assert_routed(i, &p);
+    }
+    server.shutdown();
+}
+
+/// The queue never exceeds its bound: with the single worker gated on
+/// one in-flight request, exactly `cap` more are accepted and the next
+/// submit fails typed `Overloaded` without being queued.
+#[test]
+fn queue_bound_is_enforced_with_typed_backpressure() {
+    let cap = 8usize;
+    let gate = Arc::new(Gate::default());
+    let server = gated_server(&gate, cap);
+    // First request occupies the worker (popped off the queue, stuck at
+    // the gate).
+    let first = server.submit(features(0)).unwrap();
+    gate.wait_entered(1);
+    // Now fill the queue to its bound.
+    let queued: Vec<_> = (1..=cap)
+        .map(|i| server.submit(features(i)).unwrap())
+        .collect();
+    assert_eq!(server.queue_depth(), cap, "queue must sit exactly at cap");
+    // One more is typed backpressure, and does not displace anything.
+    match server.submit(features(99)) {
+        Err(ServeError::Overloaded { cap: c }) => assert_eq!(c, cap),
+        Err(e) => panic!("expected Overloaded, got {e:?}"),
+        Ok(_) => panic!("submit beyond the bound was accepted"),
+    }
+    assert_eq!(server.queue_depth(), cap);
+    // Open the gate: everything accepted completes with its own result.
+    gate.open();
+    let p = first
+        .wait_timeout(Duration::from_secs(10))
+        .unwrap()
+        .unwrap();
+    assert_routed(0, &p);
+    for (i, t) in queued.into_iter().enumerate() {
+        let p = t.wait_timeout(Duration::from_secs(10)).unwrap().unwrap();
+        assert_routed(i + 1, &p);
+    }
+    server.shutdown();
+}
+
+/// Shutdown drains exactly the accepted set: every ticket accepted
+/// before shutdown resolves `Ok`, submits racing the drain either
+/// resolve or fail typed `ShuttingDown` (never hang), and submits after
+/// shutdown always fail.
+#[test]
+fn shutdown_drains_exactly_the_accepted_set() {
+    let gate = Arc::new(Gate::default());
+    let server = Arc::new(gated_server(&gate, 64));
+    let accepted: Vec<_> = (0..10)
+        .map(|i| server.submit(features(i)).unwrap())
+        .collect();
+    gate.wait_entered(1);
+
+    // Shut down from a sibling thread while the worker is still gated on
+    // the first batch; racing submits must resolve one way or the other.
+    let racer = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let mut outcomes = Vec::new();
+            for i in 10..30 {
+                outcomes.push((i, server.submit(features(i))));
+            }
+            outcomes
+        })
+    };
+    let stopper = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.shutdown())
+    };
+    // Let the drain begin, then release the worker.
+    std::thread::sleep(Duration::from_millis(5));
+    gate.open();
+    let drained = stopper.join().unwrap();
+    let raced = racer.join().unwrap();
+
+    // Every pre-shutdown ticket resolves Ok.
+    for (i, t) in accepted.into_iter().enumerate() {
+        let p = t
+            .wait_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|| panic!("accepted request {i} was dropped by the drain"))
+            .expect("accepted request failed");
+        assert_routed(i, &p);
+    }
+    // Racing submits: accepted ones resolve, rejected ones are typed.
+    for (i, outcome) in raced {
+        match outcome {
+            Ok(t) => {
+                let p = t
+                    .wait_timeout(Duration::from_secs(10))
+                    .unwrap_or_else(|| panic!("raced request {i} was dropped"))
+                    .expect("raced request failed");
+                assert_routed(i, &p);
+            }
+            Err(e) => assert_eq!(e, ServeError::ShuttingDown),
+        }
+    }
+    // The drain reported a plausible backlog and the queue is now empty.
+    assert!(drained <= 64);
+    assert_eq!(server.queue_depth(), 0);
+    assert_eq!(
+        server.submit(features(0)).err(),
+        Some(ServeError::ShuttingDown)
+    );
+}
+
+/// A panicking forward fails its own batch typed — and only its own
+/// batch: the worker survives and keeps serving.
+#[test]
+fn worker_panic_fails_the_batch_not_the_server() {
+    struct PanicOnFlag {
+        flag: Arc<AtomicBool>,
+    }
+    impl Layer for PanicOnFlag {
+        fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+            if self.flag.load(Ordering::SeqCst) {
+                panic!("injected model panic");
+            }
+            x.clone()
+        }
+        fn backward(&mut self, _grad: &Tensor) -> Tensor {
+            unreachable!()
+        }
+        fn out_features(&self, in_features: usize) -> usize {
+            in_features
+        }
+    }
+    let flag = Arc::new(AtomicBool::new(true));
+    let factory_flag = Arc::clone(&flag);
+    let server = Server::start(
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(100),
+            queue_cap: 64,
+            workers: 1,
+            threads_per_worker: 1,
+        },
+        move |_| {
+            InferenceModel::new(
+                Box::new(PanicOnFlag {
+                    flag: Arc::clone(&factory_flag),
+                }),
+                WIDTH,
+            )
+        },
+    );
+    let doomed = server.submit(features(1)).unwrap();
+    assert_eq!(
+        doomed.wait_timeout(Duration::from_secs(10)).unwrap().err(),
+        Some(ServeError::WorkerPanicked)
+    );
+    flag.store(false, Ordering::SeqCst);
+    let healed = server
+        .submit(features(2))
+        .unwrap()
+        .wait_timeout(Duration::from_secs(10))
+        .expect("worker died after a caught panic")
+        .expect("healed request failed");
+    assert_routed(2, &healed);
+    server.shutdown();
+}

@@ -1,0 +1,177 @@
+//! Differential bit-identity: the serve path versus the trainer's own
+//! eval forward.
+//!
+//! The serving contract is that putting a micro-batcher, worker threads
+//! and a thread-budget split between a request and the model changes
+//! **nothing** about the answer: for the same weights, every request's
+//! logits are bit-identical to the row the trainer's eval-mode forward
+//! produces for the same input. The suite pins this across batch sizes
+//! {1, 3, 32} and worker thread budgets {1, 2, 4, 8}, and separately
+//! pins the lemma it rests on — row `i` of a batched eval forward does
+//! not depend on which other rows share the batch.
+
+use eos_nn::{save_weights_bytes, Architecture, ConvNet};
+use eos_serve::{InferenceModel, ServeConfig, Server};
+use eos_tensor::{normal, Rng64, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SHAPE: (usize, usize, usize) = (3, 8, 8);
+const IN_LEN: usize = 3 * 8 * 8;
+const CLASSES: usize = 4;
+
+fn arch() -> Architecture {
+    Architecture::ResNet {
+        blocks_per_stage: 1,
+        width: 4,
+    }
+}
+
+/// A trained-ish checkpoint: run a few train-mode batches so batch-norm
+/// running statistics are non-trivial, then serialize.
+fn checkpoint() -> Arc<[u8]> {
+    let mut rng = Rng64::new(42);
+    let mut net = ConvNet::new(arch(), SHAPE, CLASSES, &mut rng);
+    for _ in 0..3 {
+        let x = normal(&[8, IN_LEN], 0.0, 1.0, &mut rng);
+        let _ = net.forward(&x, true);
+    }
+    save_weights_bytes(&mut net).into()
+}
+
+fn restore(blob: &[u8]) -> InferenceModel {
+    let fresh = ConvNet::new(arch(), SHAPE, CLASSES, &mut Rng64::new(999));
+    InferenceModel::from_eosw_bytes(Box::new(fresh), IN_LEN, blob).expect("checkpoint restores")
+}
+
+/// The invariance lemma: each row of a batched eval forward equals the
+/// row produced by running that sample alone (and by any sub-batching).
+#[test]
+fn eval_forward_rows_are_batch_composition_invariant() {
+    let blob = checkpoint();
+    let mut model = restore(&blob);
+    let x = normal(&[32, IN_LEN], 0.0, 1.0, &mut Rng64::new(7));
+    let full = model.forward(&x);
+    for i in [0usize, 1, 13, 31] {
+        let solo = model.forward(&Tensor::from_vec(x.row_slice(i).to_vec(), &[1, IN_LEN]));
+        assert_eq!(
+            solo.row_slice(0),
+            full.row_slice(i),
+            "row {i} depends on its batch"
+        );
+    }
+    // An odd-sized sub-batch (exercises GEMM edge tiles) of
+    // non-contiguous rows.
+    let picks = [3usize, 17, 30];
+    let mut flat = Vec::new();
+    for &i in &picks {
+        flat.extend_from_slice(x.row_slice(i));
+    }
+    let sub = model.forward(&Tensor::from_vec(flat, &[picks.len(), IN_LEN]));
+    for (r, &i) in picks.iter().enumerate() {
+        assert_eq!(sub.row_slice(r), full.row_slice(i), "sub-batch row {r}");
+    }
+}
+
+/// The full contract: serve through the micro-batcher at every
+/// batch-size × thread-budget combination and bit-compare every request
+/// against the trainer's eval forward of the whole set at the ambient
+/// thread count.
+#[test]
+fn served_logits_match_trainer_eval_forward_bitwise() {
+    let blob = checkpoint();
+    let mut reference = restore(&blob);
+    for &batch in &[1usize, 3, 32] {
+        let x = normal(
+            &[batch, IN_LEN],
+            0.0,
+            1.0,
+            &mut Rng64::new(100 + batch as u64),
+        );
+        let expected = reference.forward(&x);
+        for &threads in &[1usize, 2, 4, 8] {
+            let blob = Arc::clone(&blob);
+            let server = Server::start(
+                ServeConfig {
+                    max_batch: batch,
+                    max_wait: Duration::from_millis(5),
+                    queue_cap: 256,
+                    workers: 1,
+                    threads_per_worker: threads,
+                },
+                move |_| restore(&blob),
+            );
+            let tickets: Vec<_> = (0..batch)
+                .map(|i| server.submit(x.row_slice(i).to_vec()).expect("accepted"))
+                .collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                let p = t
+                    .wait_timeout(Duration::from_secs(30))
+                    .expect("request starved")
+                    .expect("request failed");
+                assert_eq!(
+                    p.logits.as_slice(),
+                    expected.row_slice(i),
+                    "batch {batch}, {threads} threads, request {i}: served logits differ"
+                );
+                let mut probs = vec![0.0f32; CLASSES];
+                Tensor::from_vec(expected.row_slice(i).to_vec(), &[1, CLASSES])
+                    .softmax_rows_into(&mut probs);
+                assert_eq!(
+                    p.probs, probs,
+                    "batch {batch}, {threads} threads, request {i}: probs differ"
+                );
+                assert_eq!(
+                    p.argmax,
+                    expected
+                        .row_slice(i)
+                        .iter()
+                        .enumerate()
+                        .fold(0, |best, (j, &v)| if v > expected.row_slice(i)[best] {
+                            j
+                        } else {
+                            best
+                        },)
+                );
+            }
+            server.shutdown();
+        }
+    }
+}
+
+/// Multiple workers racing over one request stream still answer every
+/// request with the reference bits (whatever batches they formed).
+#[test]
+fn concurrent_workers_preserve_bit_identity() {
+    let blob = checkpoint();
+    let mut reference = restore(&blob);
+    let n = 48usize;
+    let x = normal(&[n, IN_LEN], 0.0, 1.0, &mut Rng64::new(5));
+    let expected = reference.forward(&x);
+    let factory_blob = Arc::clone(&blob);
+    let server = Server::start(
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(100),
+            queue_cap: 256,
+            workers: 4,
+            threads_per_worker: 2,
+        },
+        move |_| restore(&factory_blob),
+    );
+    let tickets: Vec<_> = (0..n)
+        .map(|i| server.submit(x.row_slice(i).to_vec()).expect("accepted"))
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let p = t
+            .wait_timeout(Duration::from_secs(30))
+            .expect("request starved")
+            .expect("request failed");
+        assert_eq!(
+            p.logits.as_slice(),
+            expected.row_slice(i),
+            "request {i} differs under 4 racing workers"
+        );
+    }
+    server.shutdown();
+}

@@ -1,0 +1,233 @@
+//! Eval-mode inertness: dropout and batch norm must be provably dead in
+//! the serve path.
+//!
+//! Two failure modes would silently corrupt serving. If dropout ran in
+//! train mode, two identical requests would draw different masks and
+//! return different bits. If batch norm used batch statistics (or kept
+//! updating its running statistics), a request's answer would depend on
+//! which strangers share its coalesced batch, and the model would drift
+//! as it served. This suite pins all of it: identical requests are
+//! bit-identical across time, across batch compositions, and across
+//! server instances, and the model's non-trainable state is unchanged
+//! after serving.
+
+use eos_nn::{
+    save_weights_bytes, Architecture, BatchNorm1d, ConvNet, Dropout, Layer, Linear, Relu,
+    Sequential,
+};
+use eos_serve::{InferenceModel, ServeConfig, Server};
+use eos_tensor::{normal, Rng64};
+use std::sync::Arc;
+use std::time::Duration;
+
+const IN: usize = 10;
+const CLASSES: usize = 3;
+
+/// A stack containing both hazards: dropout (p = 0.5, would flip half
+/// the activations per draw in train mode) and batch norm (would read
+/// batch statistics in train mode).
+fn hazard_net(seed: u64) -> Box<dyn Layer> {
+    let mut rng = Rng64::new(seed);
+    Box::new(Sequential::new(vec![
+        Box::new(Linear::new(IN, 16, true, &mut rng)),
+        Box::new(BatchNorm1d::new(16)),
+        Box::new(Relu::new()),
+        Box::new(Dropout::new(0.5, seed ^ 0xD0)),
+        Box::new(Linear::new(16, CLASSES, true, &mut rng)),
+    ]))
+}
+
+/// Train-mode warm-up (so BN running statistics are non-trivial, i.e.
+/// the eval path demonstrably reads *stored* state), then serialize.
+fn checkpoint() -> Arc<[u8]> {
+    let mut net = hazard_net(3);
+    let mut rng = Rng64::new(17);
+    for _ in 0..4 {
+        let x = normal(&[16, IN], 0.0, 1.0, &mut rng);
+        let _ = net.forward(&x, true);
+    }
+    save_weights_bytes(net.as_mut()).into()
+}
+
+fn restore(blob: &[u8]) -> InferenceModel {
+    InferenceModel::from_eosw_bytes(hazard_net(777), IN, blob).expect("checkpoint restores")
+}
+
+fn serve(blob: &Arc<[u8]>, max_batch: usize, workers: usize) -> Server {
+    let blob = Arc::clone(blob);
+    Server::start(
+        ServeConfig {
+            max_batch,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 256,
+            workers,
+            threads_per_worker: 1,
+        },
+        move |_| restore(&blob),
+    )
+}
+
+fn get(server: &Server, features: Vec<f32>) -> eos_serve::Prediction {
+    server
+        .submit(features)
+        .expect("accepted")
+        .wait_timeout(Duration::from_secs(30))
+        .expect("request starved")
+        .expect("request failed")
+}
+
+/// The headline test: two identical requests return identical bits.
+/// Live dropout or live batch statistics would both break this.
+#[test]
+fn identical_requests_get_identical_bits() {
+    let blob = checkpoint();
+    let server = serve(&blob, 8, 1);
+    let features: Vec<f32> = (0..IN).map(|i| (i as f32 - 4.5) * 0.3).collect();
+    let first = get(&server, features.clone());
+    for _ in 0..10 {
+        let again = get(&server, features.clone());
+        assert_eq!(again.logits, first.logits, "serving is not deterministic");
+        assert_eq!(again.probs, first.probs);
+        assert_eq!(again.argmax, first.argmax);
+    }
+    server.shutdown();
+}
+
+/// Identical rows inside ONE coalesced batch answer identically, and a
+/// request's answer does not change with the strangers sharing its
+/// batch (batch statistics would poison both).
+#[test]
+fn answers_do_not_depend_on_batch_company() {
+    let blob = checkpoint();
+    let mut rng = Rng64::new(23);
+    let probe: Vec<f32> = (0..IN).map(|i| (i as f32) * 0.1 - 0.4).collect();
+
+    // Alone in its batch.
+    let server = serve(&blob, 1, 1);
+    let alone = get(&server, probe.clone());
+    server.shutdown();
+
+    // Coalesced with 7 random strangers plus one twin of itself.
+    let server = serve(&blob, 16, 1);
+    let mut tickets = Vec::new();
+    tickets.push(server.submit(probe.clone()).unwrap());
+    for _ in 0..7 {
+        let stranger = normal(&[1, IN], 0.0, 2.0, &mut rng).data().to_vec();
+        tickets.push(server.submit(stranger).unwrap());
+    }
+    tickets.push(server.submit(probe.clone()).unwrap());
+    let mut results = Vec::new();
+    for t in tickets {
+        results.push(
+            t.wait_timeout(Duration::from_secs(30))
+                .expect("request starved")
+                .expect("request failed"),
+        );
+    }
+    assert_eq!(
+        results[0].logits, alone.logits,
+        "answer changed with batch company: batch norm is reading batch statistics"
+    );
+    assert_eq!(
+        results[8].logits, alone.logits,
+        "twin request in the same batch answered differently: dropout is live"
+    );
+    server.shutdown();
+}
+
+/// Serving must be read-only: batch-norm running statistics (the only
+/// inference-critical mutable state) are bit-identical before and after
+/// a serving session, both through the server and through the direct
+/// `InferenceModel::forward` the workers call.
+#[test]
+fn serving_leaves_running_statistics_untouched() {
+    let blob = checkpoint();
+    let mut model = restore(&blob);
+    let before = model.extra_state();
+    assert!(
+        before.iter().any(|&v| v != 0.0 && v != 1.0),
+        "warm-up should have produced non-trivial running statistics"
+    );
+    let mut rng = Rng64::new(41);
+    for _ in 0..5 {
+        let x = normal(&[4, IN], 0.0, 1.0, &mut rng);
+        let _ = model.forward(&x);
+    }
+    assert_eq!(
+        model.extra_state(),
+        before,
+        "eval forward mutated batch-norm running statistics"
+    );
+
+    // And end-to-end: a fresh replica answers the same probe with the
+    // same bits after the server has chewed through unrelated traffic —
+    // drift in any worker-held state would surface here.
+    let server = serve(&blob, 8, 2);
+    let probe: Vec<f32> = (0..IN).map(|i| (i as f32).sin()).collect();
+    let fresh = get(&server, probe.clone());
+    for _ in 0..40 {
+        let stranger = normal(&[1, IN], 0.0, 3.0, &mut rng).data().to_vec();
+        let _ = get(&server, stranger);
+    }
+    let aged = get(&server, probe);
+    assert_eq!(aged.logits, fresh.logits, "the serving model drifted");
+    server.shutdown();
+}
+
+/// The ConvNet path (BatchNorm2d inside ResNet blocks) honours the same
+/// contract: identical requests through a served ResNet are identical,
+/// and its running statistics survive serving unchanged.
+#[test]
+fn convnet_bn2d_is_inert_in_the_serve_path() {
+    let arch = Architecture::ResNet {
+        blocks_per_stage: 1,
+        width: 4,
+    };
+    let shape = (3usize, 8usize, 8usize);
+    let in_len = shape.0 * shape.1 * shape.2;
+    let mut rng = Rng64::new(11);
+    let mut net = ConvNet::new(arch, shape, CLASSES, &mut rng);
+    for _ in 0..3 {
+        let x = normal(&[8, in_len], 0.0, 1.0, &mut rng);
+        let _ = net.forward(&x, true);
+    }
+    let blob: Arc<[u8]> = save_weights_bytes(&mut net).into();
+    let restore = move |blob: &[u8]| {
+        let fresh = ConvNet::new(arch, shape, CLASSES, &mut Rng64::new(0));
+        InferenceModel::from_eosw_bytes(Box::new(fresh), in_len, blob).expect("restores")
+    };
+
+    let mut model = restore(&blob);
+    let before = model.extra_state();
+    let x = normal(&[4, in_len], 0.0, 1.0, &mut rng);
+    let first = model.forward(&x);
+    let second = model.forward(&x);
+    assert_eq!(
+        first.data(),
+        second.data(),
+        "repeated ConvNet eval forwards differ"
+    );
+    assert_eq!(
+        model.extra_state(),
+        before,
+        "ConvNet eval forward mutated BatchNorm2d running statistics"
+    );
+
+    let factory_blob = Arc::clone(&blob);
+    let server = Server::start(
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 64,
+            workers: 1,
+            threads_per_worker: 2,
+        },
+        move |_| restore(&factory_blob),
+    );
+    let probe = x.row_slice(0).to_vec();
+    let a = get(&server, probe.clone());
+    let b = get(&server, probe);
+    assert_eq!(a.logits, b.logits, "served ConvNet is not deterministic");
+    assert_eq!(a.logits.as_slice(), first.row_slice(0));
+    server.shutdown();
+}

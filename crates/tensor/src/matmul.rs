@@ -103,33 +103,68 @@ fn packed_gemm_rows<F: Fn(usize, usize) -> f32>(
     let nrows = rows.len() / n;
     let panel_len = k * NR;
     let full_np = n / NR;
+    let ntiles = nrows.div_ceil(MR);
     A_PACK.with(|cell| {
         let mut apack = cell.borrow_mut();
-        if apack.len() < k * MR {
-            apack.resize(k * MR, 0.0);
+        if apack.len() < k * MR * ntiles {
+            apack.resize(k * MR * ntiles, 0.0);
         }
-        let apack = &mut apack[..k * MR];
-        for it in (0..nrows).step_by(MR) {
+        let apack = &mut apack[..k * MR * ntiles];
+        // Pack every MR-row tile of Â up front: element (it + ir, p) at
+        // tile offset + p*MR + ir. Rows past the m-edge are zero so the
+        // kernel reads are in bounds; their lanes are never written back.
+        for t in 0..ntiles {
+            let it = t * MR;
             let h = (nrows - it).min(MR);
-            // Pack the MR-row tile of Â: element (it + ir, p) at p*MR + ir.
-            // Rows past the m-edge are zero so the kernel reads are in
-            // bounds; their lanes are simply never written back.
+            let tp = &mut apack[t * k * MR..(t + 1) * k * MR];
             for p in 0..k {
                 for ir in 0..MR {
-                    apack[p * MR + ir] = if ir < h { a_at(row0 + it + ir, p) } else { 0.0 };
+                    tp[p * MR + ir] = if ir < h { a_at(row0 + it + ir, p) } else { 0.0 };
                 }
             }
-            tile_kernel_dispatch(apack, packed_b, rows, it, h, k, n);
-            // Masked scalar n-tail: same carried accumulator, same
-            // ascending-p order, reading the zero-padded last panel.
-            if full_np * NR < n {
-                let bpanel = &packed_b[full_np * panel_len..];
+        }
+        // Sweep the B̂ panels in cache-sized blocks with every row tile
+        // visiting a block before the sweep moves on, so each panel is
+        // pulled from memory once (not once per row tile) and reused
+        // while hot. Iteration order only: every output element is still
+        // produced by exactly one kernel call that carries its
+        // accumulator over the full `p = 0..k` ascending reduction, so
+        // the result is bit-identical to the unblocked sweep.
+        let nb = (PANEL_BLOCK_BYTES / (panel_len * std::mem::size_of::<f32>())).max(1);
+        let mut jp0 = 0;
+        while jp0 < full_np {
+            let jp1 = (jp0 + nb).min(full_np);
+            for t in 0..ntiles {
+                let it = t * MR;
+                let h = (nrows - it).min(MR);
+                tile_kernel_dispatch(
+                    &apack[t * k * MR..(t + 1) * k * MR],
+                    packed_b,
+                    rows,
+                    it,
+                    h,
+                    k,
+                    n,
+                    jp0,
+                    jp1,
+                );
+            }
+            jp0 = jp1;
+        }
+        // Masked scalar n-tail: same carried accumulator, same
+        // ascending-p order, reading the zero-padded last panel.
+        if full_np * NR < n {
+            let bpanel = &packed_b[full_np * panel_len..];
+            for t in 0..ntiles {
+                let it = t * MR;
+                let h = (nrows - it).min(MR);
+                let tp = &apack[t * k * MR..(t + 1) * k * MR];
                 for ir in 0..h {
                     for j in full_np * NR..n {
                         let jr = j - full_np * NR;
                         let mut acc = rows[(it + ir) * n + j];
                         for p in 0..k {
-                            acc += apack[p * MR + ir] * bpanel[p * NR + jr];
+                            acc += tp[p * MR + ir] * bpanel[p * NR + jr];
                         }
                         rows[(it + ir) * n + j] = acc;
                     }
@@ -139,13 +174,19 @@ fn packed_gemm_rows<F: Fn(usize, usize) -> f32>(
     });
 }
 
-/// Register micro-kernel over every full `NR`-wide panel for one packed
-/// `MR`-row tile of Â. One register row per output row: the inner update is
-/// a broadcast of â(ir, p) against the contiguous `NR`-wide b panel row,
-/// the same shape the vectoriser handles in the seed kernel — each element
-/// keeps its own accumulator over `p = 0..k` ascending, so no reassociation
-/// is needed (or performed), with any instruction width.
+/// Target footprint of one B̂ panel block in [`packed_gemm_rows`]'s sweep:
+/// small enough to sit in L1 alongside the packed Â tile and the touched
+/// C lines, large enough to amortise the per-block tile loop.
+const PANEL_BLOCK_BYTES: usize = 16 * 1024;
+
+/// Register micro-kernel over the full `NR`-wide panels `jp0..jp1` for one
+/// packed `MR`-row tile of Â. One register row per output row: the inner
+/// update is a broadcast of â(ir, p) against the contiguous `NR`-wide b
+/// panel row, the same shape the vectoriser handles in the seed kernel —
+/// each element keeps its own accumulator over `p = 0..k` ascending, so no
+/// reassociation is needed (or performed), with any instruction width.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 fn tile_kernel(
     apack: &[f32],
     packed_b: &[f32],
@@ -154,9 +195,11 @@ fn tile_kernel(
     h: usize,
     k: usize,
     n: usize,
+    jp0: usize,
+    jp1: usize,
 ) {
     let panel_len = k * NR;
-    for jp in 0..n / NR {
+    for jp in jp0..jp1 {
         let bpanel = &packed_b[jp * panel_len..(jp + 1) * panel_len];
         let mut acc = [[0.0f32; NR]; MR];
         for (ir, row) in acc.iter_mut().enumerate().take(h) {
@@ -188,6 +231,7 @@ fn tile_kernel(
 /// path bit-identical to the portable one.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
 fn tile_kernel_avx2(
     apack: &[f32],
     packed_b: &[f32],
@@ -196,8 +240,10 @@ fn tile_kernel_avx2(
     h: usize,
     k: usize,
     n: usize,
+    jp0: usize,
+    jp1: usize,
 ) {
-    tile_kernel(apack, packed_b, rows, it, h, k, n);
+    tile_kernel(apack, packed_b, rows, it, h, k, n, jp0, jp1);
 }
 
 /// When set, [`tile_kernel_dispatch`] ignores CPU feature detection and
@@ -212,6 +258,14 @@ static FORCE_SCALAR_KERNEL: AtomicBool = AtomicBool::new(false);
 /// unrelated GEMMs whose performance matters.
 pub fn set_force_scalar_kernel(on: bool) {
     FORCE_SCALAR_KERNEL.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`set_force_scalar_kernel`] is currently forcing the portable
+/// kernels. Shared with the direct convolution's dispatch so the
+/// verification harness exercises every wide/portable pair with one
+/// toggle.
+pub(crate) fn force_scalar_kernel() -> bool {
+    FORCE_SCALAR_KERNEL.load(Ordering::Relaxed)
 }
 
 /// Records one GEMM call: total count, which micro-kernel the per-tile
@@ -241,6 +295,7 @@ fn trace_gemm(m: usize, k: usize, n: usize) {
 /// Runs the widest bit-identical micro-kernel the CPU supports. Feature
 /// detection is cached by `std`, so the check is one relaxed atomic load.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn tile_kernel_dispatch(
     apack: &[f32],
     packed_b: &[f32],
@@ -249,15 +304,17 @@ fn tile_kernel_dispatch(
     h: usize,
     k: usize,
     n: usize,
+    jp0: usize,
+    jp1: usize,
 ) {
     #[cfg(target_arch = "x86_64")]
     if !FORCE_SCALAR_KERNEL.load(Ordering::Relaxed) && std::arch::is_x86_feature_detected!("avx2") {
         // SAFETY: the avx2 requirement was just checked at runtime.
         unsafe {
-            return tile_kernel_avx2(apack, packed_b, rows, it, h, k, n);
+            return tile_kernel_avx2(apack, packed_b, rows, it, h, k, n, jp0, jp1);
         }
     }
-    tile_kernel(apack, packed_b, rows, it, h, k, n);
+    tile_kernel(apack, packed_b, rows, it, h, k, n, jp0, jp1);
 }
 
 impl Tensor {
@@ -374,6 +431,44 @@ pub fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     scratch::give(packed_b);
 }
 
+/// Column width of the packed right-hand-side panels every GEMM in this
+/// module streams from. Callers that pre-pack their own `B̂` (the batched
+/// convolution lowering writes `im2col` output straight into panels)
+/// must use this width and feed the result to [`gemm_prepacked_into`].
+pub const PANEL_WIDTH: usize = NR;
+
+/// `out = a (m×k) · B̂ (k×n)` where `packed_b` already holds `B̂` in
+/// [`PANEL_WIDTH`]-wide column panels (element `(p, j)` at
+/// `(j / NR)·k·NR + p·NR + (j % NR)`, exactly the layout the module's own
+/// packer produces). `n` must be a whole number of panels — the caller
+/// owns the padding decision.
+///
+/// Every output column is accumulated over `p = 0..k` ascending in its
+/// own register lane, so a column's bits depend only on its own panel
+/// lane and the left-hand side — **not** on its position in `B̂` or on
+/// which other columns exist. That position independence is what lets
+/// the convolution layers concatenate many images' patch matrices into
+/// one wide GEMM and still return per-image results bit-identical to
+/// per-image calls. Row-parallel with shape-only chunk boundaries, like
+/// every other entry point here, so results are also thread-count
+/// invariant.
+pub fn gemm_prepacked_into(a: &[f32], packed_b: &[f32], out: &mut [f32], k: usize, n: usize) {
+    assert!(
+        n > 0 && n.is_multiple_of(NR),
+        "n must be whole panels of {NR}"
+    );
+    assert_eq!(out.len() % n, 0, "output not a whole number of rows");
+    let m = out.len() / n;
+    assert_eq!(a.len(), m * k, "lhs size mismatch");
+    assert_eq!(packed_b.len(), k * n, "packed rhs size mismatch");
+    trace_gemm(m, k, n);
+    out.fill(0.0);
+    let chunk = tile_rows_per_chunk(m, k * n);
+    par::par_chunks_mut(out, chunk * n, |ci, rows| {
+        packed_gemm_rows(&|i, p| a[i * k + p], packed_b, rows, ci * chunk, k, n);
+    });
+}
+
 /// `out = aᵀ (k×m stored m-major) · b (m×n)`, serial, into a caller-owned
 /// `k×n` buffer. `a` is stored row-major as `m×k`.
 ///
@@ -453,6 +548,60 @@ mod tests {
         assert_eq!(a.dims(), b.dims());
         for (x, y) in a.data().iter().zip(b.data()) {
             assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn prepacked_gemm_matches_matmul_bitwise() {
+        let (m, k, n) = (5usize, 19usize, 4 * PANEL_WIDTH);
+        let a = seq(&[m, k]);
+        let b = seq(&[k, n]);
+        let expected = a.matmul(&b);
+        let packed = pack_b(|p, j| b.at(&[p, j]), k, n);
+        let mut out = vec![0.0f32; m * n];
+        gemm_prepacked_into(a.data(), &packed, &mut out, k, n);
+        assert_eq!(out.as_slice(), expected.data());
+        scratch::give(packed);
+    }
+
+    #[test]
+    fn prepacked_gemm_columns_are_position_independent() {
+        // The same logical B column must produce the same output bits no
+        // matter where it sits in the panel sequence — the property the
+        // batched convolution lowering rests on.
+        let (m, k) = (7usize, 23usize);
+        let a = seq(&[m, k]);
+        let col: Vec<f32> = (0..k).map(|p| ((p * 3 + 1) as f32 * 0.21).cos()).collect();
+        let narrow = PANEL_WIDTH;
+        let wide = 6 * PANEL_WIDTH;
+        // Narrow GEMM: the probe column alone (panel zero-padded by us).
+        let packed_narrow = pack_b(|p, j| if j == 0 { col[p] } else { 0.0 }, k, narrow);
+        let mut out_narrow = vec![0.0f32; m * narrow];
+        gemm_prepacked_into(a.data(), &packed_narrow, &mut out_narrow, k, narrow);
+        scratch::give(packed_narrow);
+        // Wide GEMM: the probe column buried at an arbitrary offset among
+        // noise columns.
+        let at = 3 * PANEL_WIDTH + 5;
+        let packed_wide = pack_b(
+            |p, j| {
+                if j == at {
+                    col[p]
+                } else {
+                    ((p * 7 + j) as f32 * 0.11).sin()
+                }
+            },
+            k,
+            wide,
+        );
+        let mut out_wide = vec![0.0f32; m * wide];
+        gemm_prepacked_into(a.data(), &packed_wide, &mut out_wide, k, wide);
+        scratch::give(packed_wide);
+        for i in 0..m {
+            assert_eq!(
+                out_narrow[i * narrow],
+                out_wide[i * wide + at],
+                "row {i}: column result depends on its position"
+            );
         }
     }
 

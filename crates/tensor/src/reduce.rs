@@ -113,6 +113,18 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         let (m, n) = (self.dim(0), self.dim(1));
         let mut out = scratch::take_zeroed(m * n);
+        self.softmax_rows_into(&mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`Tensor::softmax_rows`] into a caller-owned buffer of exactly
+    /// `m·n` elements, so serving hot loops can reuse the allocation
+    /// batch to batch. Same stabilised per-row arithmetic (and therefore
+    /// the same bits) as the allocating variant.
+    pub fn softmax_rows_into(&self, out: &mut [f32]) {
+        assert_eq!(self.rank(), 2);
+        let (m, n) = (self.dim(0), self.dim(1));
+        assert_eq!(out.len(), m * n, "softmax_rows_into buffer size");
         for i in 0..m {
             let row = self.row_slice(i);
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -126,7 +138,6 @@ impl Tensor {
                 *o /= z;
             }
         }
-        Tensor::from_vec(out, &[m, n])
     }
 }
 
@@ -177,6 +188,21 @@ mod tests {
             assert!(s.at(&[i, 2]) > s.at(&[i, 1]));
             assert!(s.at(&[i, 1]) > s.at(&[i, 0]));
         }
+    }
+
+    #[test]
+    fn softmax_rows_into_matches_allocating_variant() {
+        let t = Tensor::from_vec(vec![0.5, -1.5, 2.0, 7.0, 7.0, -3.0], &[2, 3]);
+        let mut buf = vec![0.0f32; 6];
+        t.softmax_rows_into(&mut buf);
+        assert_eq!(buf.as_slice(), t.softmax_rows().data());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size")]
+    fn softmax_rows_into_rejects_wrong_buffer() {
+        let mut buf = vec![0.0f32; 5];
+        m().softmax_rows_into(&mut buf);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub use eos_gan as gan;
 pub use eos_neighbors as neighbors;
 pub use eos_nn as nn;
 pub use eos_resample as resample;
+pub use eos_serve as serve;
 pub use eos_tensor as tensor;
 pub use eos_trace as trace;
 pub use eos_tsne as tsne;
