@@ -26,6 +26,7 @@ fn one_epoch_cfg() -> TrainConfig {
         weight_decay: 5e-4,
         schedule: None,
         drw_epoch: None,
+        checkpoint: None,
     }
 }
 

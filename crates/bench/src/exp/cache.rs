@@ -26,7 +26,11 @@
 //!
 //! [`ArtifactCache::gc`] lists entries with size and age, removes
 //! orphaned temp files, stale locks and checksum-corrupt entries, and can
-//! evict oldest-first down to a byte cap (`suite --cache-gc`).
+//! evict oldest-first down to a byte cap (`suite --cache-gc`). The
+//! `ckpt/` subdirectory — mid-training EOST checkpoints, see
+//! [`ArtifactCache::ckpt_dir`] — is swept too: corrupt checkpoints and
+//! checkpoints superseded by a finished entry go, in-flight resume points
+//! stay (and never count against the cap).
 
 use crate::exp::faults::FaultPlan;
 use crate::exp::spec::Fnv;
@@ -110,6 +114,15 @@ impl ArtifactCache {
     /// Path of the backbone entry with the given fingerprint.
     pub fn backbone_path(&self, fp: u64) -> PathBuf {
         self.dir.join(format!("bb_{fp:016x}.eosc"))
+    }
+
+    /// Directory in-flight training checkpoints (EOST files) live in,
+    /// beside the finished entries. The engine stems each training's
+    /// checkpoints by its backbone fingerprint (`ckpt/bb_<fp>.ep*.eost`),
+    /// so a killed training resumes from here and [`ArtifactCache::gc`]
+    /// can tell which checkpoints a finished `bb_<fp>.eosc` supersedes.
+    pub fn ckpt_dir(&self) -> PathBuf {
+        self.dir.join("ckpt")
     }
 
     /// Path of the claim lock guarding the entry with the given
@@ -372,9 +385,68 @@ impl ArtifactCache {
                 report.remove(&self.dir, oldest, "over size cap")?;
             }
         }
+        // Training checkpoints are transient: keep only intact ones whose
+        // training has not finished yet. They sit outside the size cap —
+        // an in-flight training's resume point must not be evicted by a
+        // cache-pressure sweep.
+        self.gc_checkpoints(&mut report, &mut kept)?;
         kept.sort_by(|a, b| a.name.cmp(&b.name));
         report.kept = kept;
         Ok(report)
+    }
+
+    /// Sweeps the `ckpt/` subdirectory: orphaned temps, checksum-corrupt
+    /// EOST files (the EOST tail is the same FNV-1a-over-prefix scheme as
+    /// EOSC, so [`entry_checksum_ok`] covers both), and checkpoints whose
+    /// training already produced its final `bb_<fp>.eosc` entry. Reported
+    /// names are prefixed `ckpt/`.
+    fn gc_checkpoints(&self, report: &mut GcReport, kept: &mut Vec<GcEntry>) -> io::Result<()> {
+        let entries = match std::fs::read_dir(self.ckpt_dir()) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| SystemTime::now().duration_since(m).ok())
+                .unwrap_or(Duration::ZERO);
+            let reason = if name.contains(".tmp.") {
+                Some("orphaned temp file")
+            } else if name.ends_with(".eost") {
+                let finished = name
+                    .split_once(".ep")
+                    .is_some_and(|(stem, _)| self.dir.join(format!("{stem}.eosc")).exists());
+                if finished {
+                    Some("superseded checkpoint")
+                } else if entry_checksum_ok(&path)? {
+                    None
+                } else {
+                    Some("corrupt entry")
+                }
+            } else {
+                // Not ours; never touch it.
+                continue;
+            };
+            let item = GcEntry {
+                name: format!("ckpt/{name}"),
+                bytes: meta.len(),
+                age,
+            };
+            match reason {
+                Some(why) => report.remove(&self.dir, item, why)?,
+                None => kept.push(item),
+            }
+        }
+        Ok(())
     }
 }
 
@@ -525,6 +597,16 @@ mod tests {
         (train, test, cfg)
     }
 
+    /// Minimal byte string whose FNV-1a tail verifies — enough for the
+    /// gc sweep, which checks the checksum but never parses structure.
+    fn checkpoint_bytes() -> Vec<u8> {
+        let mut payload = b"EOST-shaped test payload".to_vec();
+        let mut h = Fnv::new();
+        h.bytes(&payload);
+        payload.extend_from_slice(&h.finish().to_le_bytes());
+        payload
+    }
+
     fn temp_cache(tag: &str) -> ArtifactCache {
         let dir = std::env::temp_dir().join(format!("eos_cache_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -647,21 +729,48 @@ mod tests {
         std::fs::write(cache.backbone_path(0xC), b"EOSCgarbage").unwrap();
         // A foreign file must survive every sweep.
         std::fs::write(cache.dir().join("README"), b"not ours").unwrap();
+        // Checkpoint junk: a corrupt EOST, a checkpoint whose training
+        // finished (entry 0xA exists), an orphaned temp — plus one intact
+        // in-flight checkpoint (no finished 0xF entry) that must survive.
+        let ckpt = cache.ckpt_dir();
+        std::fs::create_dir_all(&ckpt).unwrap();
+        std::fs::write(ckpt.join("bb_00000000000000ff.ep00001.eost"), b"torn").unwrap();
+        std::fs::write(
+            ckpt.join(format!("bb_{:016x}.ep00002.eost", 0xAu64)),
+            checkpoint_bytes(),
+        )
+        .unwrap();
+        std::fs::write(ckpt.join(".bb_x.eost.tmp.2"), b"half").unwrap();
+        let live = format!("bb_{:016x}.ep00001.eost", 0xFu64);
+        std::fs::write(ckpt.join(&live), checkpoint_bytes()).unwrap();
         std::thread::sleep(Duration::from_millis(80));
 
         let report = cache.gc(None).unwrap();
-        assert_eq!(report.kept.len(), 2, "both intact entries kept");
-        assert_eq!(report.removed.len(), 3, "temp + stale lock + corrupt");
+        assert_eq!(report.kept.len(), 3, "two intact entries + live ckpt");
+        assert_eq!(
+            report.removed.len(),
+            6,
+            "temp + stale lock + corrupt entry + ckpt temp/corrupt/superseded"
+        );
         assert!(report.reclaimed_bytes > 0);
         assert!(cache.dir().join("README").exists());
         assert!(!cache.lock_path(0xDEAD).exists());
+        assert!(ckpt.join(&live).exists(), "in-flight checkpoint kept");
+        let reasons: Vec<&str> = report.removed.iter().map(|(_, why)| *why).collect();
+        assert!(reasons.contains(&"superseded checkpoint"));
 
-        // Cap that fits exactly one entry: the older (0xA) is evicted.
+        // Cap that fits exactly one entry: the older (0xA) is evicted;
+        // the in-flight checkpoint does not count against the cap.
         let report = cache.gc(Some(size_b)).unwrap();
-        assert_eq!(report.kept.len(), 1);
-        assert_eq!(report.kept[0].name, format!("bb_{:016x}.eosc", 0xBu64));
+        assert_eq!(report.kept.len(), 2);
+        assert!(report
+            .kept
+            .iter()
+            .any(|e| e.name == format!("bb_{:016x}.eosc", 0xBu64)));
+        assert!(report.kept.iter().any(|e| e.name == format!("ckpt/{live}")));
         assert!(!cache.backbone_path(0xA).exists());
         assert!(cache.backbone_path(0xB).exists());
+        assert!(ckpt.join(&live).exists());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -11,7 +11,7 @@ use crate::exp::spec::Fnv;
 use crate::runner::prepared_dataset;
 use eos_core::{PipelineConfig, Scale, ThreePhase};
 use eos_data::Dataset;
-use eos_nn::{Architecture, LossKind, TrainError};
+use eos_nn::{Architecture, Checkpointer, LossKind, TrainError};
 use eos_tensor::Rng64;
 use std::collections::HashMap;
 use std::io;
@@ -134,6 +134,7 @@ pub struct Engine {
     journal: Option<Journal>,
     faults: Arc<FaultPlan>,
     lock_timeout: Duration,
+    ckpt_every: usize,
     datasets: Mutex<HashMap<&'static str, Arc<(Dataset, Dataset)>>>,
 }
 
@@ -150,10 +151,21 @@ impl Engine {
                 std::process::exit(2);
             }
         };
+        let ckpt_every = match std::env::var("EOS_CKPT_EVERY") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("error: bad EOS_CKPT_EVERY '{v}' (expected a non-negative integer)");
+                    std::process::exit(2);
+                }
+            },
+            Err(_) => 1,
+        };
         let cache = (!args.no_cache).then(ArtifactCache::at_default);
         Engine::with_cache(args.scale, args.seed, cache)
             .with_jobs(args.jobs)
             .with_faults(faults)
+            .with_ckpt_every(ckpt_every)
     }
 
     /// Engine with an explicit cache (or `None` to always train fresh),
@@ -170,6 +182,7 @@ impl Engine {
             journal,
             faults: Arc::new(FaultPlan::empty()),
             lock_timeout: DEFAULT_LOCK_TIMEOUT,
+            ckpt_every: 1,
             datasets: Mutex::new(HashMap::new()),
         }
     }
@@ -194,6 +207,15 @@ impl Engine {
     /// claim before failing with [`EngineError::LockTimeout`].
     pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
         self.lock_timeout = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Sets the training-checkpoint cadence: a backbone training saves an
+    /// EOST checkpoint every `n` completed epochs (plus always at the
+    /// final epoch). `0` disables mid-training checkpoints entirely; the
+    /// default is 1. Overridable at the CLI via `$EOS_CKPT_EVERY`.
+    pub fn with_ckpt_every(mut self, every: usize) -> Self {
+        self.ckpt_every = every;
         self
     }
 
@@ -282,9 +304,11 @@ impl Engine {
                     }) {
                         Ok(bytes) => {
                             eos_trace::counter("exp.cache.bytes_written").add(bytes);
+                            self.clear_checkpoints(fp);
                         }
-                        // A failed store costs the next run a retrain,
-                        // nothing else.
+                        // A failed store costs the next run a retrain —
+                        // and the checkpoints stay, so even that retrain
+                        // replays zero epochs.
                         Err(e) => eprintln!("[exp] could not store cache entry {fp:016x}: {e}"),
                     }
                     // The guard drops here — after the entry is visible,
@@ -316,6 +340,7 @@ impl Engine {
                     let mut tp = self.train_backbone(fp, train, loss, cfg)?;
                     if let Ok(bytes) = cache.store_backbone(fp, &mut tp) {
                         eos_trace::counter("exp.cache.bytes_written").add(bytes);
+                        self.clear_checkpoints(fp);
                     }
                     return Ok(tp);
                 }
@@ -323,8 +348,59 @@ impl Engine {
         }
     }
 
-    /// Phase-one training on the fingerprint-seeded stream. Divergence
-    /// (a non-finite loss, real or injected at the `train` fault point)
+    /// The checkpointer a backbone training runs under, or `None` when
+    /// the engine is cache-less or checkpoints are disabled. Checkpoints
+    /// live in the cache's `ckpt/` subdirectory, stemmed by the backbone
+    /// fingerprint, so a killed training resumes from its last completed
+    /// epoch when the same fingerprint trains again. The after-epoch hook
+    /// arms the `train.epoch` fault point: an abort/panic fires *after*
+    /// that epoch's checkpoint is on disk — exactly the mid-training kill
+    /// the crash-resume gate stages.
+    fn checkpointer(&self, fp: u64) -> Option<Checkpointer> {
+        let cache = self.cache.as_ref()?;
+        if self.ckpt_every == 0 {
+            return None;
+        }
+        let faults = Arc::clone(&self.faults);
+        let label = format!("backbone {fp:016x}");
+        Some(
+            Checkpointer::new(cache.ckpt_dir(), format!("bb_{fp:016x}"))
+                .every(self.ckpt_every)
+                .after_epoch(move |epochs_done| {
+                    match faults.fire("train.epoch", &label) {
+                        None => {}
+                        Some(FaultKind::Panic) => {
+                            panic!("injected panic fault at train.epoch {epochs_done} ({label})")
+                        }
+                        Some(FaultKind::Abort) => {
+                            eprintln!(
+                                "[faults] aborting process at train.epoch {epochs_done} ({label})"
+                            );
+                            std::process::abort();
+                        }
+                        // Epoch boundaries have no IO or loss of their own
+                        // to corrupt; only the kill kinds apply here.
+                        Some(kind) => eprintln!(
+                            "[faults] ignoring {kind:?} at train.epoch {epochs_done} ({label}): \
+                             only panic/abort apply at epoch boundaries"
+                        ),
+                    }
+                }),
+        )
+    }
+
+    /// Removes the finished training's checkpoints once its final entry
+    /// is durable in the cache — they are superseded by `bb_<fp>.eosc`.
+    fn clear_checkpoints(&self, fp: u64) {
+        if let Some(ckpt) = self.checkpointer(fp) {
+            ckpt.clear();
+        }
+    }
+
+    /// Phase-one training on the fingerprint-seeded stream, resuming from
+    /// the newest intact EOST checkpoint when one exists (a previous run
+    /// of this fingerprint was killed mid-training). Divergence (a
+    /// non-finite loss, real or injected at the `train` fault point)
     /// surfaces as [`EngineError::TrainDivergence`].
     fn train_backbone(
         &self,
@@ -361,8 +437,11 @@ impl Engine {
         }
         let tp = {
             let _span = eos_trace::span("exp.backbone_train");
-            ThreePhase::try_train(train, loss, cfg, &mut Rng64::new(fp))
-                .map_err(|source| EngineError::TrainDivergence { what, source })?
+            ThreePhase::try_train_ckpt(train, loss, cfg, &mut Rng64::new(fp), self.checkpointer(fp))
+                .map_err(|f| EngineError::TrainDivergence {
+                    what: format!("{what} (after {} completed epochs)", f.completed.len()),
+                    source: f.error,
+                })?
         };
         eos_trace::counter("exp.backbone.trained").add(1);
         Ok(tp)
@@ -510,6 +589,15 @@ impl Engine {
             snap.counter("exp.cell.failed"),
             snap.counter("exp.fault.injected"),
             snap.counter("exp.fault.retry"),
+        );
+        eprintln!(
+            "[exp:{tag}] epochs trained: {}, checkpoints saved: {}, loaded: {}, corrupt: {}, \
+             ckpt bytes: {}",
+            snap.counter("train.epochs"),
+            snap.counter("train.ckpt.saved"),
+            snap.counter("train.ckpt.loaded"),
+            snap.counter("train.ckpt.corrupt"),
+            snap.counter("train.ckpt.bytes"),
         );
         let dispatched = snap.counter("exp.job.dispatched");
         if dispatched > 0 {

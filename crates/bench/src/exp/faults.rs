@@ -13,7 +13,10 @@
 //! ```
 //!
 //! - **point** — where the fault fires: `cache.read`, `cache.write`,
-//!   `cache.claim`, `train`, or `cell`.
+//!   `cache.claim`, `train` (once per backbone training, before it
+//!   starts), `train.epoch` (at every completed epoch boundary, after
+//!   the checkpoint save — `train.epoch:2:abort` is the mid-training
+//!   kill of the resume gate), or `cell`.
 //! - **trigger** — `N` (digits: fires exactly on the N-th hit of that
 //!   point, counted per process), `pP[@SEED]` (seeded probabilistic:
 //!   fires on each hit with probability `P`, drawn deterministically
@@ -42,7 +45,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// The injection points, in spec order.
-pub const FAULT_POINTS: [&str; 5] = ["cache.read", "cache.write", "cache.claim", "train", "cell"];
+pub const FAULT_POINTS: [&str; 6] = [
+    "cache.read",
+    "cache.write",
+    "cache.claim",
+    "train",
+    "train.epoch",
+    "cell",
+];
 
 /// IO retry policy: attempts per operation (1 initial + 2 retries).
 pub const IO_ATTEMPTS: u32 = 3;

@@ -203,6 +203,7 @@ pub fn run(eng: &Engine, args: &Args) -> Result<(), EngineError> {
                 weight_decay: cfg.weight_decay,
                 schedule: None,
                 drw_epoch: None,
+                checkpoint: None,
             };
             let _ = train_epochs(&mut head, &mut ce, &ux, &uy, &tc, None, &mut under_rng);
             tp.net.set_head(head);

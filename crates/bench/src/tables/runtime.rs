@@ -54,6 +54,7 @@ pub fn run(args: &Args) {
             weight_decay: cfg.weight_decay,
             schedule: None,
             drw_epoch: None,
+            checkpoint: None,
         };
         let _ = train_epochs(
             &mut net,

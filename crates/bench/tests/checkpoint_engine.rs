@@ -1,0 +1,111 @@
+//! Mid-training kill and resume at the engine level: a backbone training
+//! killed at an epoch boundary (the `train.epoch` fault point fires
+//! *after* that epoch's EOST checkpoint hits the disk) resumes from the
+//! checkpoint in a fresh engine, retrains strictly fewer epochs than a
+//! scratch run, and lands on bit-identical results. Once the finished
+//! entry is durably cached, the training's checkpoints are cleared.
+//!
+//! Lives in its own test binary: the `train.*` counters are
+//! process-global, and the epoch arithmetic below needs them quiet.
+
+use eos_bench::exp::{ArtifactCache, Engine, EngineError, FaultPlan};
+use eos_core::{EvalResult, Scale};
+use eos_nn::LossKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+const SEED: u64 = 19;
+
+fn counter(name: &str) -> u64 {
+    eos_trace::snapshot().counter(name)
+}
+
+fn engine(dir: &Path, faults: FaultPlan) -> Engine {
+    Engine::with_cache(Scale::Smoke, SEED, Some(ArtifactCache::at(dir))).with_faults(faults)
+}
+
+/// Acquire the celeba/CE backbone and evaluate the baseline — enough
+/// surface to compare a resumed run against a scratch run bit-for-bit.
+fn baseline(eng: &Engine) -> Result<EvalResult, EngineError> {
+    let cfg = eng.cfg();
+    let pair = eng.dataset("celeba");
+    let mut tp = eng.backbone(&pair.0, LossKind::Ce, &cfg)?;
+    Ok(tp.baseline_eval(&pair.1))
+}
+
+fn eost_files(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == "eost"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn killed_training_resumes_from_checkpoint_with_fewer_epochs() {
+    let dir = std::env::temp_dir().join(format!("eos_ckpt_engine_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let total_epochs = Scale::Smoke.pipeline().backbone_epochs as u64;
+    assert!(total_epochs >= 3, "test needs room for a mid-training kill");
+
+    // Reference: a cache-less engine trains the full schedule.
+    let reference = baseline(&Engine::with_cache(Scale::Smoke, SEED, None))
+        .expect("reference training succeeds");
+
+    // Killed run: the second firing of `train.epoch` panics — right
+    // after epoch 2's checkpoint was saved.
+    let killer = engine(&dir, FaultPlan::parse("train.epoch:2:panic").unwrap());
+    let saved_before = counter("train.ckpt.saved");
+    let outcome = catch_unwind(AssertUnwindSafe(|| baseline(&killer)));
+    assert!(
+        outcome.is_err(),
+        "the injected fault must kill the training"
+    );
+    assert!(
+        counter("train.ckpt.saved") - saved_before >= 2,
+        "checkpoints for epochs 1 and 2 must predate the kill"
+    );
+    drop(killer);
+    let ckpt_dir = ArtifactCache::at(&dir).ckpt_dir();
+    assert!(
+        eost_files(&ckpt_dir) >= 1,
+        "the kill left checkpoints behind"
+    );
+
+    // Resume: a fresh engine, no faults, same cache dir. It must load a
+    // checkpoint and retrain strictly fewer epochs than the schedule.
+    let epochs_before = counter("train.epochs");
+    let loaded_before = counter("train.ckpt.loaded");
+    let resumed = baseline(&engine(&dir, FaultPlan::empty())).expect("resume succeeds");
+    let retrained = counter("train.epochs") - epochs_before;
+    assert_eq!(
+        counter("train.ckpt.loaded") - loaded_before,
+        1,
+        "resume restores exactly one checkpoint"
+    );
+    assert!(
+        retrained >= 1 && retrained < total_epochs,
+        "resume retrained {retrained} of {total_epochs} epochs"
+    );
+    assert_eq!(
+        resumed.predictions, reference.predictions,
+        "resumed backbone diverged from the uninterrupted one"
+    );
+    assert_eq!(resumed.bac.to_bits(), reference.bac.to_bits(), "BAC bits");
+
+    // The finished entry is cached, so the checkpoints are gone — and a
+    // warm rerun is a pure cache hit that trains zero epochs.
+    assert_eq!(eost_files(&ckpt_dir), 0, "checkpoints cleared after store");
+    let epochs_before = counter("train.epochs");
+    let warm = baseline(&engine(&dir, FaultPlan::empty())).expect("warm rerun succeeds");
+    assert_eq!(
+        counter("train.epochs") - epochs_before,
+        0,
+        "warm rerun trains nothing"
+    );
+    assert_eq!(warm.predictions, reference.predictions);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,5 +1,6 @@
 //! Fault-injection matrix for the experiment engine: every injection
-//! point (`cache.read`, `cache.write`, `cache.claim`, `train`, `cell`)
+//! point (`cache.read`, `cache.write`, `cache.claim`, `train`, `cell`;
+//! `train.epoch` has its own binary, `checkpoint_engine.rs`)
 //! fired under a programmatic [`FaultPlan`], the typed [`EngineError`]
 //! variant surfacing where the design says it does, the `exp.fault.*`
 //! counters ticking, and a clean rerun healing bit-identically.

@@ -50,6 +50,7 @@ pub fn crt_finetune(tp: &mut ThreePhase, cfg: &PipelineConfig, rng: &mut Rng64) 
         weight_decay: cfg.weight_decay,
         schedule: None,
         drw_epoch: None,
+        checkpoint: None,
     };
     let _ = train_epochs(&mut head, &mut ce, &x, &labels, &tc, None, rng);
     tp.net.set_head(head);

@@ -5,8 +5,9 @@ use crate::config::PipelineConfig;
 use crate::metrics::ConfusionMatrix;
 use eos_data::Dataset;
 use eos_nn::{
-    effective_number_weights, train_epochs, try_train_epochs, ConvNet, CrossEntropyLoss,
-    EpochStats, Layer, Linear, Loss, LossKind, MultiStepLr, Sgd, TrainConfig, TrainError,
+    effective_number_weights, train_epochs, try_train_epochs_resumable, Checkpointer, ConvNet,
+    CrossEntropyLoss, EpochStats, Layer, Linear, Loss, LossKind, MultiStepLr, Sgd, TrainConfig,
+    TrainFailure,
 };
 use eos_resample::{balance_with, Oversampler};
 use eos_tensor::{Rng64, Tensor};
@@ -93,6 +94,7 @@ fn backbone_schedule(cfg: &PipelineConfig, loss: LossKind, class_counts: &[usize
             // LDAM-DRW defers effective-number re-weighting to the tail.
             cfg.drw_epoch.min(cfg.backbone_epochs.saturating_sub(1))
         }),
+        checkpoint: None,
     }
     .with_counts(class_counts)
 }
@@ -130,7 +132,7 @@ impl ThreePhase {
     /// training set under the given loss, then extracts embeddings.
     ///
     /// Convenience wrapper over [`ThreePhase::try_train`] that panics
-    /// (with the [`TrainError`] diagnostics) if phase one diverges.
+    /// (with the [`TrainFailure`] diagnostics) if phase one diverges.
     pub fn train(
         train: &Dataset,
         loss_kind: LossKind,
@@ -141,23 +143,40 @@ impl ThreePhase {
     }
 
     /// Phase one, with divergence surfaced as a structured
-    /// [`TrainError`] instead of a panic — the entry point the
-    /// experiment engine's fault-tolerant path goes through.
+    /// [`TrainFailure`] (diagnosis plus completed-epoch history) instead
+    /// of a panic — the entry point the experiment engine's
+    /// fault-tolerant path goes through.
     pub fn try_train(
         train: &Dataset,
         loss_kind: LossKind,
         cfg: &PipelineConfig,
         rng: &mut Rng64,
-    ) -> Result<Self, TrainError> {
+    ) -> Result<Self, TrainFailure> {
+        Self::try_train_ckpt(train, loss_kind, cfg, rng, None)
+    }
+
+    /// [`ThreePhase::try_train`] with epoch-granular crash safety: when a
+    /// [`Checkpointer`] is supplied, phase one resumes from its newest
+    /// valid `EOST` checkpoint and saves one at every due epoch boundary,
+    /// so a killed backbone training re-pays only the epochs since the
+    /// last checkpoint — and ends with byte-identical weights.
+    pub fn try_train_ckpt(
+        train: &Dataset,
+        loss_kind: LossKind,
+        cfg: &PipelineConfig,
+        rng: &mut Rng64,
+        checkpoint: Option<Checkpointer>,
+    ) -> Result<Self, TrainFailure> {
         let t0 = Instant::now();
         let counts = train.class_counts();
         let mut net = ConvNet::new(cfg.arch, train.shape, train.num_classes, rng);
         let mut loss = loss_kind.build(&counts);
-        let tc = backbone_schedule(cfg, loss_kind, &counts);
+        let mut tc = backbone_schedule(cfg, loss_kind, &counts);
+        tc.checkpoint = checkpoint;
         let drw = (loss_kind == LossKind::Ldam).then(|| effective_number_weights(0.999, &counts));
         let history = {
             let _phase1 = eos_trace::span("eos.phase1");
-            try_train_epochs(&mut net, loss.as_mut(), &train.x, &train.y, &tc, drw, rng)?
+            try_train_epochs_resumable(&mut net, loss.as_mut(), &train.x, &train.y, &tc, drw, rng)?
         };
         let train_fe = {
             // Phase two starts with embedding extraction; the augmentation
@@ -253,6 +272,7 @@ impl ThreePhase {
             weight_decay: cfg.weight_decay,
             schedule: None,
             drw_epoch: None,
+            checkpoint: None,
         };
         let _ = train_epochs(&mut head, &mut ce, &bx, &by, &tc, None, rng);
         self.net.set_head(head);

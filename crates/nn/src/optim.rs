@@ -66,6 +66,23 @@ impl Sgd {
         );
     }
 
+    /// The momentum velocity buffers, one per parameter in visitation
+    /// order (empty before the first step). Exported verbatim into `EOST`
+    /// training checkpoints so a resumed run continues the exact same
+    /// momentum trajectory.
+    pub fn velocity(&self) -> &[Vec<f32>] {
+        &self.velocity
+    }
+
+    /// Installs previously exported velocity buffers (the resume half of
+    /// [`Sgd::velocity`]). The buffers must match the parameter set the
+    /// optimiser will step — count and per-buffer length are re-checked on
+    /// the next step. Passing an empty `Vec` resets to the lazy-init
+    /// state (zero velocity on first step).
+    pub fn set_velocity(&mut self, velocity: Vec<Vec<f32>>) {
+        self.velocity = velocity;
+    }
+
     fn update_one(lr: f32, momentum: f32, weight_decay: f32, p: &mut Param, v: &mut [f32]) {
         assert_eq!(v.len(), p.len(), "parameter shape changed");
         let decay = if p.decay { weight_decay } else { 0.0 };
@@ -230,6 +247,32 @@ mod tests {
         let delta_two = p.value.data()[0] - after_one;
         // Second step moves farther than the first thanks to velocity.
         assert!(delta_two.abs() > after_one.abs());
+    }
+
+    #[test]
+    fn velocity_roundtrip_resumes_the_momentum_trajectory() {
+        // Two steps in one optimiser vs. one step, velocity export into a
+        // fresh optimiser, second step there: bit-identical parameters.
+        let grad = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let mut p_ref = Param::new(Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        let mut opt_ref = Sgd::new(0.1, 0.9, 0.01);
+        p_ref.grad = grad.clone();
+        opt_ref.step(&mut [&mut p_ref]);
+        let mid = p_ref.value.data().to_vec();
+        let vel_mid = opt_ref.velocity().to_vec();
+        p_ref.grad = grad.clone();
+        opt_ref.step(&mut [&mut p_ref]);
+
+        let mut p = Param::new(Tensor::from_vec(mid, &[2]));
+        let mut opt = Sgd::new(0.1, 0.9, 0.01);
+        opt.set_velocity(vel_mid);
+        p.grad = grad;
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.value.data(), p_ref.value.data(), "resumed step diverged");
+
+        // Resetting to empty re-enters lazy zero-velocity init.
+        opt.set_velocity(Vec::new());
+        assert!(opt.velocity().is_empty());
     }
 
     #[test]

@@ -1,12 +1,21 @@
 //! Model weight serialization.
 //!
-//! A small self-describing binary format (`EOSW`): trainable parameters
-//! in the layer's stable order plus non-trainable state (batch-norm
-//! running statistics), so a saved network reproduces inference exactly.
-//! This is what lets phase one of the framework be trained once and the
-//! classifier head fine-tuned many times in later processes.
+//! Two small self-describing binary formats:
+//!
+//! * `EOSW` — trainable parameters in the layer's stable order plus
+//!   non-trainable state (batch-norm running statistics), so a saved
+//!   network reproduces inference exactly. This is what lets phase one
+//!   of the framework be trained once and the classifier head
+//!   fine-tuned many times in later processes.
+//! * `EOST` — a full mid-training snapshot ([`TrainState`]): an `EOSW`
+//!   blob plus SGD momentum velocity, the shuffle RNG, the cumulative
+//!   sample order, the epoch counter / LR position / DRW flag and the
+//!   per-epoch history, closed by an FNV-1a checksum. Restoring one
+//!   continues training bit-identically from the epoch boundary it was
+//!   taken at — the substrate of the crash-safe resume contract.
 
 use crate::layer::Layer;
+use crate::trainer::EpochStats;
 use eos_tensor::Tensor;
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -213,6 +222,243 @@ pub fn load_weights_file(layer: &mut dyn Layer, path: &Path) -> io::Result<()> {
     load_weights(layer, io::BufReader::new(file))
 }
 
+// ---------------------------------------------------------------------------
+// EOST: epoch-boundary training checkpoints.
+
+const TRAIN_MAGIC: &[u8; 4] = b"EOST";
+const TRAIN_VERSION: u32 = 1;
+/// Caps on per-section counts, sized far above anything the workspace
+/// trains but small enough that a corrupt length field fails the read
+/// instead of driving a giant allocation.
+const MAX_VELOCITY_BUFFERS: usize = 1 << 20;
+const MAX_EPOCHS: usize = 1 << 20;
+const MAX_ORDER: usize = MAX_TENSOR_ELEMS;
+const MAX_WEIGHTS_BYTES: usize = 1 << 33;
+
+/// FNV-1a over `bytes`. Same constants as the experiment engine's cache
+/// checksums, so an `EOST` file's trailing hash validates under either
+/// implementation.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything [`crate::trainer::try_train_epochs_resumable`] needs to
+/// continue a run bit-identically from an epoch boundary.
+///
+/// The weights travel as an opaque `EOSW` blob (parameters + BN running
+/// stats), so the structural validation of [`load_weights`] — shape
+/// checks, finiteness, trailing-byte detection — applies unchanged when
+/// the snapshot is restored into a network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainState {
+    /// Number of fully completed epochs (the resume point).
+    pub epochs_done: usize,
+    /// Optimiser learning rate after the last completed epoch (the
+    /// LR-schedule position; re-derived from the schedule on resume, but
+    /// stored so schedule-free runs restore the exact value).
+    pub lr: f32,
+    /// Whether the DRW class weights have been installed in the loss.
+    pub drw_installed: bool,
+    /// The xoshiro256** state words of the shuffle RNG.
+    pub rng_words: [u64; 4],
+    /// The RNG's cached Box–Muller spare, if any.
+    pub rng_spare: Option<f64>,
+    /// `EOSW` blob: parameters + batch-norm running statistics.
+    pub weights: Vec<u8>,
+    /// SGD momentum velocity, one buffer per parameter in visitation
+    /// order; empty when no step has run.
+    pub velocity: Vec<Vec<f32>>,
+    /// The cumulative sample permutation. The trainer shuffles one
+    /// `order` vector in place across epochs, so resuming from a fresh
+    /// identity permutation would change every later epoch's batches.
+    pub order: Vec<u32>,
+    /// Per-epoch stats of the completed epochs (`len == epochs_done`).
+    pub history: Vec<EpochStats>,
+}
+
+/// Serialises a [`TrainState`] into an `EOST` byte buffer ending in an
+/// FNV-1a checksum of everything before it.
+pub fn save_train_state_bytes(state: &TrainState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let w = &mut buf;
+    w.extend_from_slice(TRAIN_MAGIC);
+    write_u32(w, TRAIN_VERSION).unwrap();
+    write_u64(w, state.epochs_done as u64).unwrap();
+    w.extend_from_slice(&state.lr.to_le_bytes());
+    w.push(state.drw_installed as u8);
+    w.push(state.rng_spare.is_some() as u8);
+    for word in state.rng_words {
+        write_u64(w, word).unwrap();
+    }
+    write_u64(w, state.rng_spare.unwrap_or(0.0).to_bits()).unwrap();
+    write_u64(w, state.weights.len() as u64).unwrap();
+    w.extend_from_slice(&state.weights);
+    write_u64(w, state.velocity.len() as u64).unwrap();
+    for v in &state.velocity {
+        write_u64(w, v.len() as u64).unwrap();
+        write_f32s(w, v).unwrap();
+    }
+    write_u64(w, state.order.len() as u64).unwrap();
+    for &i in &state.order {
+        write_u32(w, i).unwrap();
+    }
+    write_u64(w, state.history.len() as u64).unwrap();
+    for h in &state.history {
+        write_u64(w, h.epoch as u64).unwrap();
+        w.extend_from_slice(&h.loss.to_le_bytes());
+        w.extend_from_slice(&h.accuracy.to_le_bytes());
+    }
+    let checksum = fnv1a(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Parses an `EOST` buffer back into a [`TrainState`].
+///
+/// The trailing checksum is verified before anything else, so a
+/// truncated or bit-flipped file fails cleanly here — the checkpointer
+/// treats any error as "this entry is corrupt, fall back to the
+/// previous one". Structural and finiteness validation follows; the
+/// embedded weights blob is validated later by [`load_weights`] when
+/// it is restored into a concrete network.
+pub fn load_train_state_bytes(bytes: &[u8]) -> io::Result<TrainState> {
+    if bytes.len() < 8 {
+        return Err(bad("EOST file shorter than its checksum"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(bad(format!(
+            "EOST checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+    let r = &mut &body[..];
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != TRAIN_MAGIC {
+        return Err(bad("not an EOST training checkpoint"));
+    }
+    let version = read_u32(r)?;
+    if version != TRAIN_VERSION {
+        return Err(bad(format!("unsupported EOST version {version}")));
+    }
+    let epochs_done = read_u64(r)? as usize;
+    if epochs_done > MAX_EPOCHS {
+        return Err(bad(format!(
+            "EOST claims {epochs_done} completed epochs (corrupt field?)"
+        )));
+    }
+    let lr = read_f32(r)?;
+    if !lr.is_finite() {
+        return Err(bad("non-finite learning rate in EOST"));
+    }
+    let mut flags = [0u8; 2];
+    r.read_exact(&mut flags)?;
+    if flags[0] > 1 || flags[1] > 1 {
+        return Err(bad("EOST boolean flag out of range"));
+    }
+    let drw_installed = flags[0] == 1;
+    let has_spare = flags[1] == 1;
+    let mut rng_words = [0u64; 4];
+    for word in &mut rng_words {
+        *word = read_u64(r)?;
+    }
+    let spare_bits = read_u64(r)?;
+    let rng_spare = has_spare.then(|| f64::from_bits(spare_bits));
+    if let Some(s) = rng_spare {
+        if !s.is_finite() {
+            return Err(bad("non-finite RNG spare in EOST"));
+        }
+    }
+    let weights_len = read_u64(r)? as usize;
+    if weights_len > MAX_WEIGHTS_BYTES {
+        return Err(bad(format!(
+            "EOST claims a {weights_len}-byte weights blob (corrupt field?)"
+        )));
+    }
+    let mut weights = vec![0u8; weights_len];
+    r.read_exact(&mut weights)?;
+    let n_vel = read_u64(r)? as usize;
+    if n_vel > MAX_VELOCITY_BUFFERS {
+        return Err(bad(format!(
+            "EOST claims {n_vel} velocity buffers (corrupt field?)"
+        )));
+    }
+    let mut velocity = Vec::with_capacity(n_vel);
+    for i in 0..n_vel {
+        let len = read_u64(r)? as usize;
+        if len > MAX_TENSOR_ELEMS {
+            return Err(bad(format!(
+                "velocity buffer {i} claims {len} elements (corrupt field?)"
+            )));
+        }
+        let v = read_f32s(r, len)?;
+        if v.iter().any(|x| !x.is_finite()) {
+            return Err(bad(format!("non-finite value in velocity buffer {i}")));
+        }
+        velocity.push(v);
+    }
+    let order_len = read_u64(r)? as usize;
+    if order_len > MAX_ORDER {
+        return Err(bad(format!(
+            "EOST claims a {order_len}-element sample order (corrupt field?)"
+        )));
+    }
+    let mut order = Vec::with_capacity(order_len);
+    for _ in 0..order_len {
+        order.push(read_u32(r)?);
+    }
+    let n_hist = read_u64(r)? as usize;
+    if n_hist != epochs_done {
+        return Err(bad(format!(
+            "EOST history has {n_hist} entries for {epochs_done} completed epochs"
+        )));
+    }
+    let mut history = Vec::with_capacity(n_hist);
+    for i in 0..n_hist {
+        let epoch = read_u64(r)? as usize;
+        let loss = read_f32(r)?;
+        let accuracy = read_f32(r)?;
+        if epoch != i {
+            return Err(bad(format!("EOST history entry {i} claims epoch {epoch}")));
+        }
+        if !loss.is_finite() || !accuracy.is_finite() {
+            return Err(bad(format!("non-finite stats in history entry {i}")));
+        }
+        history.push(EpochStats {
+            epoch,
+            loss,
+            accuracy,
+        });
+    }
+    if !r.is_empty() {
+        return Err(bad("trailing bytes before the EOST checksum"));
+    }
+    Ok(TrainState {
+        epochs_done,
+        lr,
+        drw_installed,
+        rng_words,
+        rng_spare,
+        weights,
+        velocity,
+        order,
+        history,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +641,137 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("non-finite"));
+    }
+
+    fn sample_state() -> TrainState {
+        let mut net = tiny_net(3);
+        let x = normal(&[4, 3 * 64], 0.0, 1.0, &mut Rng64::new(8));
+        let _ = net.forward(&x, true); // non-trivial BN stats
+        let mut rng = Rng64::new(12);
+        let _ = rng.normal(); // cache a spare so both flag paths are hit
+        let (rng_words, rng_spare) = rng.state();
+        TrainState {
+            epochs_done: 2,
+            lr: 0.025,
+            drw_installed: true,
+            rng_words,
+            rng_spare,
+            weights: save_weights_bytes(&mut net),
+            velocity: vec![vec![0.5, -0.25], vec![], vec![1e-3]],
+            order: vec![3, 0, 2, 1],
+            history: vec![
+                EpochStats {
+                    epoch: 0,
+                    loss: 1.2,
+                    accuracy: 0.4,
+                },
+                EpochStats {
+                    epoch: 1,
+                    loss: 0.8,
+                    accuracy: 0.6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn train_state_roundtrip_is_exact() {
+        let state = sample_state();
+        let bytes = save_train_state_bytes(&state);
+        let back = load_train_state_bytes(&bytes).unwrap();
+        assert_eq!(back, state);
+
+        // The no-spare flag path round-trips too.
+        let mut no_spare = state;
+        no_spare.rng_spare = None;
+        no_spare.drw_installed = false;
+        let back = load_train_state_bytes(&save_train_state_bytes(&no_spare)).unwrap();
+        assert_eq!(back, no_spare);
+    }
+
+    #[test]
+    fn train_state_rejects_truncation_and_bit_flips() {
+        let bytes = save_train_state_bytes(&sample_state());
+        // Any truncation breaks the checksum (or leaves less than one).
+        for cut in [0, 1, 7, bytes.len() / 2, bytes.len() - 1] {
+            let err = load_train_state_bytes(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        // A single flipped bit anywhere in the body breaks the checksum.
+        for pos in [4, 12, bytes.len() / 3, bytes.len() - 9] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x40;
+            let err = load_train_state_bytes(&corrupt).unwrap_err();
+            assert!(err.to_string().contains("checksum"), "flip at {pos}: {err}");
+        }
+        // A flipped checksum itself is also caught.
+        let mut corrupt = bytes.clone();
+        let end = corrupt.len();
+        corrupt[end - 1] ^= 1;
+        assert!(load_train_state_bytes(&corrupt)
+            .unwrap_err()
+            .to_string()
+            .contains("checksum"));
+    }
+
+    #[test]
+    fn train_state_rejects_valid_checksum_over_bad_structure() {
+        // Re-checksummed corruption gets past the hash, so the
+        // structural checks must catch it.
+        let reseal = |mut body: Vec<u8>| {
+            let checksum = fnv1a(&body);
+            body.extend_from_slice(&checksum.to_le_bytes());
+            body
+        };
+        let state = sample_state();
+        let sealed = save_train_state_bytes(&state);
+        let body = sealed[..sealed.len() - 8].to_vec();
+
+        // Wrong magic.
+        let mut b = body.clone();
+        b[..4].copy_from_slice(b"NOPE");
+        assert!(load_train_state_bytes(&reseal(b))
+            .unwrap_err()
+            .to_string()
+            .contains("not an EOST"));
+        // Wrong version.
+        let mut b = body.clone();
+        b[4..8].copy_from_slice(&9u32.to_le_bytes());
+        assert!(load_train_state_bytes(&reseal(b))
+            .unwrap_err()
+            .to_string()
+            .contains("version 9"));
+        // Absurd epoch count.
+        let mut b = body.clone();
+        b[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(load_train_state_bytes(&reseal(b))
+            .unwrap_err()
+            .to_string()
+            .contains("completed epochs"));
+        // History length disagreeing with the epoch counter.
+        let mut bad_hist = state.clone();
+        bad_hist.epochs_done = 1;
+        let sealed = save_train_state_bytes(&bad_hist);
+        assert!(load_train_state_bytes(&sealed)
+            .unwrap_err()
+            .to_string()
+            .contains("history"));
+        // Trailing junk before the checksum.
+        let mut b = body;
+        b.push(0);
+        assert!(load_train_state_bytes(&reseal(b))
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors; the cache layer computes
+        // the same function independently, so pin the constants here.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

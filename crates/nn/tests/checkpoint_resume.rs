@@ -1,0 +1,309 @@
+//! The crash-safe training contract, end to end: a run killed at ANY
+//! epoch boundary and resumed via `try_train_epochs_resumable` must
+//! produce final weights byte-identical to the uninterrupted run — at
+//! every thread count — and a damaged checkpoint must heal to the
+//! previous one, never panic.
+//!
+//! A "kill after epoch k" is staged by running the resumable loop with
+//! `cfg.epochs = k`: the final-epoch checkpoint always saves, so the
+//! on-disk state is exactly what a `SIGKILL` right after epoch k's
+//! boundary leaves behind.
+
+use eos_nn::{
+    mlp, try_train_epochs, try_train_epochs_resumable, Checkpointer, CrossEntropyLoss, EpochStats,
+    Layer, MultiStepLr, TrainConfig,
+};
+use eos_tensor::{normal, par, Rng64, Tensor};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// `set_num_threads` is process-global and the `train.ckpt.*` counters
+/// are too; every test serialises on this lock.
+static LOCK: Mutex<()> = Mutex::new(());
+
+const EPOCHS: usize = 6;
+const TRAIN_SEED: u64 = 88;
+const NET_SEED: u64 = 77;
+
+fn blobs(n_per: usize, rng: &mut Rng64) -> (Tensor, Vec<usize>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for class in 0..2usize {
+        let centre = if class == 0 { -2.0 } else { 2.0 };
+        for _ in 0..n_per {
+            rows.push(normal(&[2], centre, 0.5, rng));
+            labels.push(class);
+        }
+    }
+    (Tensor::stack_rows(&rows), labels)
+}
+
+fn param_bits(net: &mut dyn Layer) -> Vec<u32> {
+    net.params()
+        .iter()
+        .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// The full trainer-state surface: LR schedule (milestones inside the
+/// run), DRW installation mid-run, momentum, shuffling.
+fn cfg(epochs: usize, checkpoint: Option<Checkpointer>) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 8,
+        lr: 0.1,
+        schedule: Some(Box::new(MultiStepLr {
+            base_lr: 0.1,
+            milestones: vec![2, 4],
+            gamma: 0.1,
+        })),
+        drw_epoch: Some(3),
+        checkpoint,
+        ..TrainConfig::default()
+    }
+}
+
+fn drw() -> Option<Vec<f32>> {
+    Some(vec![1.0, 2.5])
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eos_ckpt_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `epochs` epochs from scratch (checkpointing into `dir` when
+/// given), returning the final parameter bits and the history.
+fn run(x: &Tensor, y: &[usize], epochs: usize, dir: Option<&Path>) -> (Vec<u32>, Vec<EpochStats>) {
+    let ckpt = dir.map(|d| Checkpointer::new(d, "run").keep(3));
+    let mut net = mlp(&[2, 6, 2], &mut Rng64::new(NET_SEED));
+    let mut loss = CrossEntropyLoss::new();
+    let hist = try_train_epochs_resumable(
+        &mut net,
+        &mut loss,
+        x,
+        y,
+        &cfg(epochs, ckpt),
+        drw(),
+        &mut Rng64::new(TRAIN_SEED),
+    )
+    .unwrap();
+    (param_bits(&mut net), hist)
+}
+
+#[test]
+fn kill_at_every_epoch_boundary_resumes_bit_identically_at_every_thread_count() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut data_rng = Rng64::new(5);
+    let (x, y) = blobs(15, &mut data_rng);
+    let restore = par::num_threads();
+    for threads in [1usize, 2, 4, 8] {
+        par::set_num_threads(threads);
+        // Uninterrupted reference, no checkpointing involved at all.
+        let mut ref_net = mlp(&[2, 6, 2], &mut Rng64::new(NET_SEED));
+        let mut ref_loss = CrossEntropyLoss::new();
+        let ref_hist = try_train_epochs(
+            &mut ref_net,
+            &mut ref_loss,
+            &x,
+            &y,
+            &cfg(EPOCHS, None),
+            drw(),
+            &mut Rng64::new(TRAIN_SEED),
+        )
+        .unwrap();
+        let ref_bits = param_bits(&mut ref_net);
+
+        for kill_after in 1..EPOCHS {
+            let dir = temp_dir(&format!("kill{kill_after}_t{threads}"));
+            // The killed run: dies right after epoch `kill_after`'s
+            // checkpoint hits the disk.
+            let _ = run(&x, &y, kill_after, Some(&dir));
+            let loaded_before = eos_trace::snapshot().counter("train.ckpt.loaded");
+            // The resumed run: fresh process state, same checkpoint dir.
+            let (bits, hist) = run(&x, &y, EPOCHS, Some(&dir));
+            assert_eq!(
+                eos_trace::snapshot().counter("train.ckpt.loaded"),
+                loaded_before + 1,
+                "resume must restore from a checkpoint, not retrain"
+            );
+            assert_eq!(
+                hist, ref_hist,
+                "history diverged (killed after {kill_after}, {threads} threads)"
+            );
+            assert_eq!(
+                bits, ref_bits,
+                "weights diverged (killed after {kill_after}, {threads} threads)"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    par::set_num_threads(restore);
+}
+
+#[test]
+fn corrupt_or_truncated_checkpoint_heals_to_the_previous_entry() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut data_rng = Rng64::new(5);
+    let (x, y) = blobs(15, &mut data_rng);
+    let (ref_bits, ref_hist) = {
+        let mut net = mlp(&[2, 6, 2], &mut Rng64::new(NET_SEED));
+        let mut loss = CrossEntropyLoss::new();
+        let hist = try_train_epochs(
+            &mut net,
+            &mut loss,
+            &x,
+            &y,
+            &cfg(EPOCHS, None),
+            drw(),
+            &mut Rng64::new(TRAIN_SEED),
+        )
+        .unwrap();
+        (param_bits(&mut net), hist)
+    };
+
+    for damage in ["truncate", "bitflip", "garbage"] {
+        let dir = temp_dir(&format!("heal_{damage}"));
+        let _ = run(&x, &y, 4, Some(&dir));
+        // keep(3) retained epochs 2, 3 and 4; damage the newest.
+        let newest = Checkpointer::new(&dir, "run").entries()[0].1.clone();
+        let good = std::fs::read(&newest).unwrap();
+        let bad = match damage {
+            "truncate" => good[..good.len() / 2].to_vec(),
+            "bitflip" => {
+                let mut b = good.clone();
+                let mid = b.len() / 2;
+                b[mid] ^= 0x10;
+                b
+            }
+            _ => b"EOSTnot a checkpoint".to_vec(),
+        };
+        std::fs::write(&newest, bad).unwrap();
+
+        let corrupt_before = eos_trace::snapshot().counter("train.ckpt.corrupt");
+        let (bits, hist) = run(&x, &y, EPOCHS, Some(&dir));
+        assert_eq!(
+            eos_trace::snapshot().counter("train.ckpt.corrupt"),
+            corrupt_before + 1,
+            "the damaged entry must be counted ({damage})"
+        );
+        assert_eq!(hist, ref_hist, "history diverged after healing {damage}");
+        assert_eq!(bits, ref_bits, "weights diverged after healing {damage}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn every_checkpoint_damaged_falls_back_to_scratch_without_panicking() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut data_rng = Rng64::new(5);
+    let (x, y) = blobs(15, &mut data_rng);
+    let (ref_bits, ref_hist) = {
+        let mut net = mlp(&[2, 6, 2], &mut Rng64::new(NET_SEED));
+        let mut loss = CrossEntropyLoss::new();
+        let hist = try_train_epochs(
+            &mut net,
+            &mut loss,
+            &x,
+            &y,
+            &cfg(EPOCHS, None),
+            drw(),
+            &mut Rng64::new(TRAIN_SEED),
+        )
+        .unwrap();
+        (param_bits(&mut net), hist)
+    };
+    let dir = temp_dir("all_bad");
+    let _ = run(&x, &y, 4, Some(&dir));
+    for (_, path) in Checkpointer::new(&dir, "run").entries() {
+        std::fs::write(path, b"ruined").unwrap();
+    }
+    // A full restart is the worst case — and still bit-identical, since
+    // the scratch run replays the same RNG stream from epoch zero.
+    let (bits, hist) = run(&x, &y, EPOCHS, Some(&dir));
+    assert_eq!(hist, ref_hist);
+    assert_eq!(bits, ref_bits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn incompatible_checkpoint_is_skipped_not_trusted() {
+    // A checkpoint from a longer run (more completed epochs than this
+    // configuration trains at all) must be rejected by validation, and
+    // the short run must come out identical to its own scratch run.
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut data_rng = Rng64::new(5);
+    let (x, y) = blobs(15, &mut data_rng);
+    let dir = temp_dir("incompat");
+    let _ = run(&x, &y, EPOCHS, Some(&dir));
+
+    let corrupt_before = eos_trace::snapshot().counter("train.ckpt.corrupt");
+    let (bits, hist) = run(&x, &y, 2, Some(&dir));
+    assert!(
+        eos_trace::snapshot().counter("train.ckpt.corrupt") > corrupt_before,
+        "over-long checkpoints must be rejected"
+    );
+    let (scratch_bits, scratch_hist) = {
+        let d = temp_dir("incompat_scratch");
+        let out = run(&x, &y, 2, Some(&d));
+        let _ = std::fs::remove_dir_all(&d);
+        out
+    };
+    assert_eq!(hist, scratch_hist);
+    assert_eq!(bits, scratch_bits);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_policy_keeps_the_newest_k_entries() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut data_rng = Rng64::new(5);
+    let (x, y) = blobs(10, &mut data_rng);
+    let dir = temp_dir("retention");
+    let ckpt = Checkpointer::new(&dir, "run").keep(2);
+    let mut net = mlp(&[2, 6, 2], &mut Rng64::new(NET_SEED));
+    let mut loss = CrossEntropyLoss::new();
+    try_train_epochs_resumable(
+        &mut net,
+        &mut loss,
+        &x,
+        &y,
+        &cfg(5, Some(ckpt)),
+        drw(),
+        &mut Rng64::new(TRAIN_SEED),
+    )
+    .unwrap();
+    let entries = Checkpointer::new(&dir, "run").entries();
+    let epochs: Vec<usize> = entries.iter().map(|(e, _)| *e).collect();
+    assert_eq!(epochs, vec![5, 4], "newest two, newest first");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sparse_cadence_still_saves_the_final_epoch() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut data_rng = Rng64::new(5);
+    let (x, y) = blobs(10, &mut data_rng);
+    let dir = temp_dir("cadence");
+    let ckpt = Checkpointer::new(&dir, "run").every(2).keep(10);
+    let mut net = mlp(&[2, 6, 2], &mut Rng64::new(NET_SEED));
+    let mut loss = CrossEntropyLoss::new();
+    try_train_epochs_resumable(
+        &mut net,
+        &mut loss,
+        &x,
+        &y,
+        &cfg(5, Some(ckpt)),
+        drw(),
+        &mut Rng64::new(TRAIN_SEED),
+    )
+    .unwrap();
+    let epochs: Vec<usize> = Checkpointer::new(&dir, "run")
+        .entries()
+        .iter()
+        .map(|(e, _)| *e)
+        .collect();
+    assert_eq!(epochs, vec![5, 4, 2], "every 2nd epoch plus the final 5th");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -185,6 +185,62 @@ echo "suite bench gate: serial and parallel passes byte-identical"
 )
 echo "crash-resume gate: aborted suite resumed byte-identically (journal replayed, trainings saved)"
 
+# Mid-training-kill gate: a suite run killed *inside* a backbone training
+# (deterministic process abort at the 2nd train.epoch boundary, fired
+# right after that epoch's EOST checkpoint hit the disk) must resume on
+# rerun — loading the checkpoint instead of restarting the training, so
+# strictly fewer epochs are retrained than the uninterrupted run paid —
+# and still end byte-identical on stdout and every CSV.
+(
+  cd "$gate_dir"
+  rm -rf ckpt && mkdir -p ckpt/ref ckpt/kill
+  (
+    cd ckpt/ref
+    EOS_CACHE_DIR="$PWD/cache" "$suite_bin" --scale smoke --seed 42 \
+      --datasets celeba --skip-runtime > suite.out 2> suite.err
+  )
+  (
+    cd ckpt/kill
+    if EOS_FAULTS='train.epoch:2:abort' EOS_CACHE_DIR="$PWD/cache" "$suite_bin" \
+        --scale smoke --seed 42 --datasets celeba --skip-runtime \
+        > crash.out 2> crash.err; then
+      echo "FAIL: the mid-training abort exited zero" >&2
+      exit 1
+    fi
+    grep -q 'aborting process at train.epoch' crash.err || {
+      echo "FAIL: the train.epoch abort never fired" >&2
+      exit 1
+    }
+    # Resume on the same cache: the killed training restarts from its
+    # epoch-2 checkpoint, not from scratch.
+    EOS_CACHE_DIR="$PWD/cache" "$suite_bin" --scale smoke --seed 42 \
+      --datasets celeba --skip-runtime > suite.out 2> suite.err
+    loaded="$(grep -o 'checkpoints saved: [0-9]*, loaded: [0-9]*' suite.err | grep -o '[0-9]*$')"
+    [ -n "$loaded" ] && [ "$loaded" -ge 1 ] || {
+      echo "FAIL: resumed suite loaded no training checkpoint" >&2
+      exit 1
+    }
+    ref_epochs="$(grep -o 'epochs trained: [0-9]*' ../ref/suite.err | grep -o '[0-9]*$')"
+    res_epochs="$(grep -o 'epochs trained: [0-9]*' suite.err | grep -o '[0-9]*$')"
+    [ -n "$ref_epochs" ] && [ -n "$res_epochs" ] \
+      && [ "$res_epochs" -lt "$ref_epochs" ] || {
+      echo "FAIL: resume retrained every epoch ($res_epochs vs $ref_epochs uninterrupted)" >&2
+      exit 1
+    }
+  )
+  cmp ckpt/ref/suite.out ckpt/kill/suite.out || {
+    echo "FAIL: mid-training-resumed suite stdout differs from the uninterrupted run" >&2
+    exit 1
+  }
+  for csv in ckpt/ref/results/*.csv; do
+    cmp "$csv" "ckpt/kill/results/$(basename "$csv")" || {
+      echo "FAIL: $(basename "$csv") differs after a mid-training kill + resume" >&2
+      exit 1
+    }
+  done
+)
+echo "mid-training-kill gate: epoch-boundary abort resumed from its checkpoint byte-identically"
+
 # Fault-storm gates: (a) a storm of deterministic single-shot transient
 # faults — cache read, write and claim each failing once — is absorbed
 # by the bounded retry policy with byte-identical output; (b) a
